@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the core rejection algorithms.
+
+Not tied to a paper figure; these pin down the library's own performance
+envelope (greedy O(n²) vs DP O(n·W) vs FPTAS O(n²/ε) vs exact search) so
+regressions show up in ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import (
+    RejectionProblem,
+    branch_and_bound,
+    dp_cycles,
+    exhaustive,
+    fptas,
+    fractional_lower_bound,
+    greedy_marginal,
+    lp_rounding,
+    pareto_exact,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel, xscale_power_model
+from repro.tasks import frame_instance
+from repro.tasks.generators import scaled_capacity
+
+
+def float_problem(n, seed=0, load=1.5):
+    rng = np.random.default_rng(seed)
+    tasks = frame_instance(rng, n_tasks=n, load=load)
+    g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+    return RejectionProblem(tasks=tasks, energy_fn=g)
+
+
+def integer_problem(n, grid, seed=0, load=1.5):
+    rng = np.random.default_rng(seed)
+    tasks = frame_instance(rng, n_tasks=n, load=load, integer_cycles=grid)
+    deadline, s_max = scaled_capacity(deadline=1.0, s_max=1.0, integer_cycles=grid)
+    model = PolynomialPowerModel(beta0=0.08, beta1=1.52, alpha=3.0, s_max=s_max)
+    return RejectionProblem(
+        tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline)
+    )
+
+
+class TestHeuristics:
+    def test_greedy_marginal_n100(self, benchmark):
+        problem = float_problem(100)
+        sol = benchmark(greedy_marginal, problem)
+        assert problem.is_feasible(sol.accepted)
+
+    def test_lp_rounding_n100(self, benchmark):
+        problem = float_problem(100)
+        sol = benchmark(lp_rounding, problem)
+        assert problem.is_feasible(sol.accepted)
+
+    def test_fractional_bound_n200(self, benchmark):
+        problem = float_problem(200)
+        value = benchmark(fractional_lower_bound, problem)
+        assert value >= 0.0
+
+
+class TestExact:
+    def test_exhaustive_n14(self, benchmark):
+        problem = float_problem(14)
+        sol = benchmark.pedantic(exhaustive, (problem,), rounds=1, iterations=1)
+        assert problem.is_feasible(sol.accepted)
+
+    def test_branch_and_bound_n20(self, benchmark):
+        problem = float_problem(20)
+        sol = benchmark.pedantic(
+            branch_and_bound, (problem,), rounds=1, iterations=1
+        )
+        assert problem.is_feasible(sol.accepted)
+
+    def test_pareto_exact_n60(self, benchmark):
+        problem = float_problem(60)
+        sol = benchmark.pedantic(pareto_exact, (problem,), rounds=1, iterations=1)
+        assert problem.is_feasible(sol.accepted)
+
+    def test_dp_cycles_n50_grid2000(self, benchmark):
+        problem = integer_problem(50, grid=2000)
+        sol = benchmark.pedantic(dp_cycles, (problem,), rounds=1, iterations=1)
+        assert problem.is_feasible(sol.accepted)
+
+
+class TestFptasScaling:
+    @pytest.mark.parametrize("eps", [0.5, 0.1, 0.02])
+    def test_fptas_n60(self, benchmark, eps):
+        problem = float_problem(60)
+        sol = benchmark.pedantic(
+            fptas, (problem,), {"eps": eps}, rounds=1, iterations=1
+        )
+        assert problem.is_feasible(sol.accepted)

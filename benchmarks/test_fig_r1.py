@@ -1,0 +1,14 @@
+"""Benchmark: Fig R1 — normalized cost vs task count.
+
+Regenerates the series of fig_r1 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r1
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r1(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r1.run, results_dir)
+    assert all(v >= 1.0 - 1e-9 for col in table.columns[1:] for v in table.column(col))

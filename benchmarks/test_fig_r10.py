@@ -1,0 +1,14 @@
+"""Benchmark: Fig R10 — two-PE rejection.
+
+Regenerates the series of fig_r10 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r10
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r10(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r10.run, results_dir)
+    assert all(r >= 1.0 - 1e-9 for r in table.column("greedy_ratio"))

@@ -1,0 +1,16 @@
+"""Benchmark: Fig R11 — slack reclamation under rejection.
+
+Regenerates the series of fig_r11 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r11
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r11(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r11.run, results_dir)
+    savings = table.column("saving")
+    assert all(m == 0 for m in table.column("misses"))
+    assert savings[-1] >= savings[0] - 1e-9  # earlier completion, more saving

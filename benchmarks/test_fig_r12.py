@@ -1,0 +1,15 @@
+"""Benchmark: Fig R12 — aperiodic rejection vs window overlap.
+
+Regenerates the series of fig_r12 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r12
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r12(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r12.run, results_dir)
+    acceptance = table.column("opt_acceptance")
+    assert acceptance[-1] <= acceptance[0] + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: Fig R13 — heterogeneous power coefficients.
+
+Regenerates the series of fig_r13 (see DESIGN.md §3) and archives it
+under ``results/``.
+"""
+
+from repro.experiments import fig_r13
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r13(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r13.run, results_dir)
+    blind = table.column("blind")
+    assert blind[-1] >= blind[0] - 1e-9  # heterogeneity hurts the blind policy

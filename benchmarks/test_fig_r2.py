@@ -1,0 +1,14 @@
+"""Benchmark: Fig R2 — normalized cost vs system load.
+
+Regenerates the series of fig_r2 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r2
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r2(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r2.run, results_dir)
+    assert len(table.rows) >= 3

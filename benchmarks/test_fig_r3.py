@@ -1,0 +1,15 @@
+"""Benchmark: Fig R3 — normalized cost vs penalty scale.
+
+Regenerates the series of fig_r3 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r3
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r3(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r3.run, results_dir)
+    accept_all = table.column("accept_all")
+    assert accept_all[-1] <= accept_all[0] + 1e-9

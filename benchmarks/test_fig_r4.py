@@ -1,0 +1,15 @@
+"""Benchmark: Fig R4 — optimal-policy acceptance and energy share vs load.
+
+Regenerates the series of fig_r4 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r4
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r4(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r4.run, results_dir)
+    acc = table.column("opt_acceptance")
+    assert acc[-1] <= acc[0] + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: Fig R5 — discrete-speed processors vs the ideal.
+
+Regenerates the series of fig_r5 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r5
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r5(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r5.run, results_dir)
+    opt = table.column("optimal")
+    assert opt == sorted(opt, reverse=True)

@@ -1,0 +1,15 @@
+"""Benchmark: Fig R6 — leakage-aware vs leakage-blind rejection.
+
+Regenerates the series of fig_r6 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r6
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r6(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r6.run, results_dir)
+    aware, blind = table.column("aware"), table.column("blind")
+    assert all(b >= a - 1e-9 for a, b in zip(aware, blind))

@@ -1,0 +1,14 @@
+"""Benchmark: Fig R7 — multiprocessor rejection vs pooled lower bound.
+
+Regenerates the series of fig_r7 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r7
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r7(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r7.run, results_dir)
+    assert sum(table.column("ltf_reject")) <= sum(table.column("rand_reject")) + 1e-9

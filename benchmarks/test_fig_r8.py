@@ -1,0 +1,14 @@
+"""Benchmark: Fig R8 — greedy rejection-order ablation.
+
+Regenerates the series of fig_r8 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r8
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r8(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r8.run, results_dir)
+    assert sum(table.column("rho/c")) <= sum(table.column("-c")) + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: Fig R9 — online admission competitiveness.
+
+Regenerates the series of fig_r9 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import fig_r9
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_fig_r9(benchmark, results_dir):
+    table = run_and_archive(benchmark, fig_r9.run, results_dir)
+    theta1 = table.column("threshold(1)")
+    assert sum(theta1) <= sum(table.column("reject_all")) + 1e-9

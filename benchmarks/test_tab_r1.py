@@ -1,0 +1,15 @@
+"""Benchmark: Tab R1 — FPTAS epsilon sweep.
+
+Regenerates the series of tab_r1 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import tab_r1
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_tab_r1(benchmark, results_dir):
+    table = run_and_archive(benchmark, tab_r1.run, results_dir)
+    ratios = table.column("mean_ratio")
+    assert ratios[-1] <= ratios[0] + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: Tab R2 — EDF simulation vs analytic energy.
+
+Regenerates the series of tab_r2 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import tab_r2
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_tab_r2(benchmark, results_dir):
+    table = run_and_archive(benchmark, tab_r2.run, results_dir)
+    assert all(m == 0 for m in table.column("misses"))
+    assert all(e <= 1e-6 for e in table.column("rel_err"))

@@ -1,0 +1,15 @@
+"""Benchmark: Tab R3 — DP quantum ablation.
+
+Regenerates the series of tab_r3 (see DESIGN.md §3 for the sweep and the
+expected shape) and archives it under ``results/``.
+"""
+
+from repro.experiments import tab_r3
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_tab_r3(benchmark, results_dir):
+    table = run_and_archive(benchmark, tab_r3.run, results_dir)
+    ratios = table.column("mean_ratio")
+    assert all(r >= 1.0 - 1e-9 for r in ratios)

@@ -1,0 +1,14 @@
+"""Benchmark: Tab R4 — algorithm runtime scaling.
+
+Regenerates the series of tab_r4 (see DESIGN.md §3) and archives it
+under ``results/``.
+"""
+
+from repro.experiments import tab_r4
+
+from benchmarks.conftest import run_and_archive
+
+
+def test_tab_r4(benchmark, results_dir):
+    table = run_and_archive(benchmark, tab_r4.run, results_dir)
+    assert len(table.rows) >= 2

@@ -1,0 +1,70 @@
+"""Scenario: live admission control at a base-station task queue.
+
+Requests stream into a DVS baseband processor; each must be admitted or
+refused on arrival (callers are answered immediately), and the frame's
+energy is paid at the end.  We compare admission policies over many
+random arrival orders, then zoom into one frame: the chosen schedule is
+drawn as an ASCII speed profile next to the offline-optimal one.
+
+Run:  python examples/online_admission.py
+"""
+
+import numpy as np
+
+from repro import RejectionProblem
+from repro.core.rejection import (
+    AcceptIfFeasible,
+    ThresholdPolicy,
+    pareto_exact,
+    run_online,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import xscale_power_model
+from repro.sched import render_speed_plan
+from repro.tasks import frame_instance
+
+
+def main() -> None:
+    processor = xscale_power_model()
+    energy_fn = ContinuousEnergyFunction(processor, deadline=1.0)
+    rng = np.random.default_rng(7)
+
+    policies = [
+        ThresholdPolicy(0.5),
+        ThresholdPolicy(1.0),
+        ThresholdPolicy(2.0),
+        AcceptIfFeasible(),
+    ]
+
+    print("mean cost / offline optimal over 200 random frames "
+          "(load 1.6, shuffled arrivals):\n")
+    totals = {p.name: 0.0 for p in policies}
+    trials = 200
+    for _ in range(trials):
+        tasks = frame_instance(rng, n_tasks=12, load=1.6)
+        problem = RejectionProblem(tasks=tasks, energy_fn=energy_fn)
+        offline = pareto_exact(problem).cost
+        arrival = list(rng.permutation(problem.n))
+        for policy in policies:
+            sol = run_online(problem, policy, order=arrival)
+            totals[policy.name] += sol.cost / offline
+    for name, total in totals.items():
+        print(f"  {name:<22} {total / trials:6.4f}")
+
+    # One concrete frame, side by side.
+    tasks = frame_instance(rng, n_tasks=10, load=1.6)
+    problem = RejectionProblem(tasks=tasks, energy_fn=energy_fn)
+    offline = pareto_exact(problem)
+    online = run_online(problem, ThresholdPolicy(1.0), rng=rng)
+    print(f"\none frame: offline cost {offline.cost:.4f} "
+          f"(accepts {sorted(offline.accepted)}), "
+          f"online cost {online.cost:.4f} "
+          f"(accepts {sorted(online.accepted)})")
+    print("\noffline speed profile:")
+    print(render_speed_plan(offline.speed_plan(), width=60, height=5))
+    print("\nonline speed profile:")
+    print(render_speed_plan(online.speed_plan(), width=60, height=5))
+
+
+if __name__ == "__main__":
+    main()

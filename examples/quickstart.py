@@ -1,0 +1,99 @@
+"""Quickstart: solve one task-rejection instance end to end.
+
+A DVS processor (normalised Intel XScale, ``P(s) = 0.08 + 1.52 s³`` W,
+top speed 1.0) faces six frame-based tasks that together need 1.4× its
+capacity before the common deadline.  Some tasks must be rejected; each
+rejection has a penalty.  We solve the instance with the whole algorithm
+roster and show the winner's schedule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RejectionProblem
+from repro.core.rejection import (
+    accept_all_repair,
+    exhaustive,
+    fptas,
+    fractional_lower_bound,
+    greedy_marginal,
+    lp_rounding,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet
+
+
+def main() -> None:
+    # --- the platform -------------------------------------------------
+    processor = xscale_power_model()  # s_max = 1.0
+    deadline = 1.0  # one frame
+    energy_fn = ContinuousEnergyFunction(processor, deadline)
+
+    # --- the workload: Σ cycles = 1.4 > capacity 1.0 -------------------
+    tasks = FrameTaskSet(
+        [
+            FrameTask(name="sensor_fusion", cycles=0.35, penalty=2.00),
+            FrameTask(name="control_loop", cycles=0.25, penalty=3.00),
+            FrameTask(name="telemetry", cycles=0.20, penalty=0.15),
+            FrameTask(name="logging", cycles=0.25, penalty=0.05),
+            FrameTask(name="diagnostics", cycles=0.15, penalty=0.10),
+            FrameTask(name="ui_refresh", cycles=0.20, penalty=0.40),
+        ]
+    )
+    problem = RejectionProblem(tasks=tasks, energy_fn=energy_fn)
+    print(f"load = {problem.overload:.2f}x capacity "
+          f"(rejection is mandatory)\n")
+
+    # --- solve with the full roster ------------------------------------
+    solutions = [
+        exhaustive(problem),
+        fptas(problem, eps=0.1),
+        greedy_marginal(problem),
+        lp_rounding(problem),
+        accept_all_repair(problem),
+    ]
+    bound = fractional_lower_bound(problem)
+
+    print(f"{'algorithm':<18} {'cost':>8} {'energy':>8} {'penalty':>8} "
+          f"{'rejected':<30}")
+    for sol in solutions:
+        rejected = ", ".join(t.name for t in sol.rejected_tasks) or "-"
+        print(
+            f"{sol.algorithm:<18} {sol.cost:>8.4f} {sol.energy:>8.4f} "
+            f"{sol.penalty:>8.4f} {rejected:<30}"
+        )
+    print(f"{'fractional bound':<18} {bound:>8.4f}\n")
+
+    # --- the winning schedule ------------------------------------------
+    best = solutions[0]
+    plan = best.speed_plan()
+    print("optimal speed plan:")
+    for seg in plan.segments:
+        state = "sleep" if seg.is_sleep else (
+            "idle" if seg.speed == 0 else f"run @ s={seg.speed:.3f}"
+        )
+        print(f"  [{seg.start:5.3f}, {seg.end:5.3f}]  {state}")
+    print(f"plan energy = {plan.energy:.4f} J over deadline {deadline}\n")
+
+    # --- how robust is the decision? ------------------------------------
+    from repro.core.rejection import acceptance_price, rejection_price
+
+    print("sensitivity (exact decision flip points):")
+    for i in sorted(best.rejected):
+        task = tasks[i]
+        price = acceptance_price(problem, i)
+        print(
+            f"  {task.name:<12} rejected at rho={task.penalty:.3f}; "
+            f"would be accepted from rho >= {price:.3f}"
+        )
+    for i in sorted(best.accepted):
+        task = tasks[i]
+        price = rejection_price(problem, i)
+        print(
+            f"  {task.name:<12} accepted at rho={task.penalty:.3f}; "
+            f"would be dropped below rho <= {price:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

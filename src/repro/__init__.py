@@ -1,0 +1,82 @@
+"""repro — reproduction of "Energy-Efficient Real-Time Task Scheduling with
+Task Rejection" (Chen, Kuo, Yang, King; DATE 2007).
+
+The package is organised bottom-up:
+
+* :mod:`repro.power`     — DVS processor power/speed models.
+* :mod:`repro.energy`    — convex workload→energy functions ``g(W)``.
+* :mod:`repro.tasks`     — frame-based and periodic task models + generators.
+* :mod:`repro.sched`     — EDF / frame schedulers and energy-accounting
+  simulator (incl. procrastination).
+* :mod:`repro.speedopt`  — optimal speed-assignment substrate (incl. YDS).
+* :mod:`repro.multiproc` — partitioned multiprocessor substrate (LTF et al.).
+* :mod:`repro.core`      — the paper's contribution: task-rejection
+  scheduling algorithms (exact, FPTAS, heuristics, bounds).
+* :mod:`repro.analysis`  — metrics and experiment aggregation.
+* :mod:`repro.experiments` — reconstruction of every evaluation figure/table.
+
+See ``DESIGN.md`` at the repository root for the system inventory and the
+paper-text-mismatch note, and ``EXPERIMENTS.md`` for measured results.
+"""
+
+from repro.power import (
+    CMOSPowerModel,
+    DormantMode,
+    PolynomialPowerModel,
+    PowerModel,
+    xscale_power_model,
+)
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+    EnergyFunction,
+)
+from repro.tasks import FrameTask, FrameTaskSet, PeriodicTask, PeriodicTaskSet
+from repro.core.rejection import (
+    RejectionProblem,
+    RejectionSolution,
+    accept_all_repair,
+    branch_and_bound,
+    dp_cycles,
+    dp_penalty,
+    exhaustive,
+    fptas,
+    fractional_lower_bound,
+    greedy_density,
+    greedy_marginal,
+    lp_rounding,
+    reject_random,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PowerModel",
+    "PolynomialPowerModel",
+    "CMOSPowerModel",
+    "DormantMode",
+    "xscale_power_model",
+    "EnergyFunction",
+    "ContinuousEnergyFunction",
+    "CriticalSpeedEnergyFunction",
+    "DiscreteEnergyFunction",
+    "FrameTask",
+    "FrameTaskSet",
+    "PeriodicTask",
+    "PeriodicTaskSet",
+    "RejectionProblem",
+    "RejectionSolution",
+    "exhaustive",
+    "dp_cycles",
+    "dp_penalty",
+    "branch_and_bound",
+    "fptas",
+    "greedy_density",
+    "greedy_marginal",
+    "lp_rounding",
+    "accept_all_repair",
+    "reject_random",
+    "fractional_lower_bound",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Metrics and tabulation for the experiment harness."""
+
+from repro.analysis.metrics import Aggregate, normalized_ratio, summarize
+from repro.analysis.tables import ExperimentTable
+
+__all__ = ["Aggregate", "normalized_ratio", "summarize", "ExperimentTable"]

@@ -1,0 +1,68 @@
+"""Ratio metrics and trial aggregation.
+
+The evaluation methodology normalises every algorithm's cost against a
+reference — the exhaustive optimum where tractable, a relaxation lower
+bound otherwise ("relative" vs "relaxed relative" ratios in the companion
+text).  These helpers keep that arithmetic in one place, including the
+annoying edge case of a zero-cost reference.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+def normalized_ratio(cost: float, reference: float, *, tol: float = 1e-12) -> float:
+    """``cost / reference`` with the zero-reference edge handled.
+
+    When the reference is (numerically) zero the ratio is defined as 1.0
+    if the cost is also zero — both schedules are free — and +inf
+    otherwise.  A cost below the reference by more than *tol* (an
+    impossible "better than optimal") raises, catching broken oracles
+    early.
+    """
+    if reference < -tol or cost < -tol:
+        raise ValueError(f"negative costs are impossible: {cost}, {reference}")
+    if reference <= tol:
+        return 1.0 if cost <= tol else math.inf
+    ratio = cost / reference
+    if ratio < 1.0 - 1e-6:
+        raise ValueError(
+            f"cost {cost} beats its reference {reference}; the reference "
+            "is supposed to be optimal or a lower bound"
+        )
+    return max(ratio, 1.0)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / std / extremes of a sample of ratios or costs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".4f"
+        return format(self.mean, spec)
+
+
+def summarize(samples: Iterable[float]) -> Aggregate:
+    """Aggregate *samples* (at least one required)."""
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return Aggregate(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        count=n,
+    )

@@ -1,0 +1,96 @@
+"""Plain-text experiment tables (the harness's "figures").
+
+The box has no plotting stack, so every reconstructed figure/table is a
+numeric series rendered as an aligned ASCII table (and, on request, a CSV
+file).  EXPERIMENTS.md archives the rendered outputs next to the shapes
+the paper leads us to expect.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of experiment results.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``fig_r1``).
+    title:
+        Human-readable description, printed above the table.
+    columns:
+        Column headers.
+    rows:
+        Data rows; cells are numbers or strings.
+    notes:
+        Free-form annotations (expected shape, parameters, ...).
+    """
+
+    name: str
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table {self.name!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def _formatted(self) -> list[list[str]]:
+        out = [list(self.columns)]
+        for row in self.rows:
+            out.append(
+                [
+                    f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+                    for cell in row
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        """The aligned ASCII rendering."""
+        cells = self._formatted()
+        widths = [
+            max(len(r[i]) for r in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        header, *data = cells
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in data:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the table as CSV and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,207 @@
+"""Command-line entry point: ``python -m repro`` / ``repro``.
+
+Usage::
+
+    repro list                     # enumerate experiments
+    repro run fig_r1               # run one experiment at paper scale
+    repro run all --quick          # smoke-run every experiment
+    repro run fig_r2 --csv out/    # also write the table as CSV
+
+    repro generate inst.json --n 12 --load 1.5 --seed 7   # random instance
+    repro solve inst.json --algorithm fptas --eps 0.05    # solve it
+    repro solve inst.json --algorithm pareto_exact -o sol.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Algorithms reachable from ``repro solve``; fptas additionally honours
+#: ``--eps``.
+SOLVERS = {
+    "exhaustive": "exhaustive",
+    "branch_and_bound": "branch_and_bound",
+    "pareto_exact": "pareto_exact",
+    "fptas": "fptas",
+    "greedy_marginal": "greedy_marginal",
+    "greedy_density": "greedy_density",
+    "lp_rounding": "lp_rounding",
+    "accept_all_repair": "accept_all_repair",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Energy-efficient real-time task "
+            "scheduling with task rejection' (DATE 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"one of {', '.join(ALL_EXPERIMENTS)} or 'all'",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced trial counts for a fast smoke run",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    run.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each table as DIR/<name>.csv",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="write a random rejection instance as JSON"
+    )
+    generate.add_argument("output", type=Path, help="destination .json path")
+    generate.add_argument("--n", type=int, default=12, help="number of tasks")
+    generate.add_argument(
+        "--load", type=float, default=1.5, help="system load Σc/(s_max·D)"
+    )
+    generate.add_argument("--seed", type=int, default=0, help="RNG seed")
+    generate.add_argument(
+        "--penalty-model",
+        default="energy",
+        choices=("uniform", "proportional", "inverse", "energy"),
+    )
+    generate.add_argument(
+        "--penalty-scale", type=float, default=2.0, help="penalty multiplier"
+    )
+
+    solve = sub.add_parser("solve", help="solve a JSON instance")
+    solve.add_argument("instance", type=Path, help="instance .json path")
+    solve.add_argument(
+        "--algorithm",
+        default="fptas",
+        choices=sorted(SOLVERS),
+        help="which algorithm to run",
+    )
+    solve.add_argument(
+        "--eps", type=float, default=0.1, help="FPTAS accuracy parameter"
+    )
+    solve.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the solution as JSON here (default: print summary)",
+    )
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    import numpy as np
+
+    from repro.core.rejection import RejectionProblem
+    from repro.energy import ContinuousEnergyFunction
+    from repro.io import save_instance
+    from repro.power import xscale_power_model
+    from repro.tasks import frame_instance
+
+    rng = np.random.default_rng(args.seed)
+    tasks = frame_instance(
+        rng,
+        n_tasks=args.n,
+        load=args.load,
+        penalty_model=args.penalty_model,
+        penalty_scale=args.penalty_scale,
+    )
+    problem = RejectionProblem(
+        tasks=tasks,
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline=1.0),
+    )
+    path = save_instance(problem, args.output)
+    print(
+        f"wrote {path}: n={problem.n} load={problem.overload:.2f} "
+        f"total_penalty={problem.tasks.total_penalty:.4f}"
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    import json
+
+    from repro.core import rejection
+    from repro.io import load_instance, solution_to_dict
+
+    problem = load_instance(args.instance)
+    solver = getattr(rejection, SOLVERS[args.algorithm])
+    if args.algorithm == "fptas":
+        solution = solver(problem, eps=args.eps)
+    else:
+        solution = solver(problem)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(solution_to_dict(solution), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    rejected = ", ".join(t.name for t in solution.rejected_tasks) or "-"
+    print(
+        f"{solution.algorithm}: cost={solution.cost:.6g} "
+        f"(energy={solution.energy:.6g}, penalty={solution.penalty:.6g}); "
+        f"rejected: {rejected}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.command == "generate":
+        return _cmd_generate(args)
+
+    if args.command == "solve":
+        return _cmd_solve(args)
+
+    if args.experiment == "all":
+        selected = list(ALL_EXPERIMENTS.items())
+    elif args.experiment in ALL_EXPERIMENTS:
+        selected = [(args.experiment, ALL_EXPERIMENTS[args.experiment])]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name, runner in selected:
+        kwargs = {}
+        if args.quick:
+            kwargs["quick"] = True
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        table = runner(**kwargs)
+        print(table.render())
+        print()
+        if args.csv is not None:
+            path = table.to_csv(args.csv / f"{name}.csv")
+            print(f"(csv written to {path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""The paper's primary contribution lives here.
+
+:mod:`repro.core.rejection` implements energy-efficient real-time task
+scheduling *with task rejection*: exact algorithms, an FPTAS, polynomial
+heuristics, and lower bounds, for frame-based, periodic, and partitioned
+multiprocessor systems.
+"""
+
+from repro.core import rejection
+
+__all__ = ["rejection"]

@@ -1,0 +1,161 @@
+"""Energy-efficient real-time task scheduling with task rejection.
+
+The reconstruction of the DATE 2007 paper's contribution (see DESIGN.md
+for the problem statement and the paper-text-mismatch note):
+
+Problem objects
+    :class:`RejectionProblem` / :class:`RejectionSolution` (frame-based,
+    uniprocessor), :func:`periodic_problem` (periodic → frame reduction),
+    :class:`MultiprocRejectionProblem` (partitioned multiprocessor).
+
+Exact algorithms
+    :func:`exhaustive`, :func:`branch_and_bound`, :func:`dp_cycles`,
+    :func:`dp_penalty`, :func:`exhaustive_multiproc`.
+
+Approximation
+    :func:`fptas` (penalty-scaled DP with an additive ``ε·UB`` bound).
+
+Heuristics
+    :func:`greedy_density`, :func:`greedy_marginal`, :func:`lp_rounding`,
+    :func:`accept_all_repair`, :func:`reject_random`; multiprocessor
+    :func:`ltf_reject`, :func:`rand_reject`, :func:`global_greedy_reject`.
+
+Bounds & hardness
+    :func:`fractional_lower_bound`, :func:`pooled_lower_bound`,
+    :func:`subset_sum_reduction` (executable NP-hardness reduction).
+"""
+
+from repro.core.rejection.problem import (
+    CostBreakdown,
+    RejectionProblem,
+    RejectionSolution,
+    best_solution,
+)
+from repro.core.rejection.exact import branch_and_bound, exhaustive
+from repro.core.rejection.pareto import pareto_exact, pareto_frontier
+from repro.core.rejection.sensitivity import acceptance_price, rejection_price
+from repro.core.rejection.dp import dp_cycles, dp_penalty
+from repro.core.rejection.fptas import fptas
+from repro.core.rejection.greedy import (
+    accept_all_repair,
+    greedy_density,
+    greedy_marginal,
+    greedy_ordered,
+    reject_random,
+)
+from repro.core.rejection.relaxation import (
+    FractionalRelaxation,
+    fractional_lower_bound,
+    fractional_relaxation,
+    lp_rounding,
+)
+from repro.core.rejection.hardness import SubsetSumReduction, subset_sum_reduction
+from repro.core.rejection.periodic import (
+    accepted_periodic_tasks,
+    continuous_energy,
+    edf_speed,
+    leakage_aware_energy,
+    periodic_problem,
+)
+from repro.core.rejection.aperiodic import (
+    AperiodicJob,
+    AperiodicProblem,
+    AperiodicSolution,
+    exhaustive_aperiodic,
+    greedy_aperiodic,
+)
+from repro.core.rejection.heterogeneous import (
+    HeterogeneousTask,
+    accepted_heterogeneous_tasks,
+    heterogeneous_energy,
+    heterogeneous_problem,
+)
+from repro.core.rejection.online import (
+    AcceptIfFeasible,
+    OnlinePolicy,
+    RejectAll,
+    ThresholdPolicy,
+    run_online,
+)
+from repro.core.rejection.twope import (
+    TwoPeProblem,
+    TwoPeSolution,
+    TwoPeTask,
+    exhaustive_twope,
+    greedy_twope,
+    tasks_from_frame,
+)
+from repro.core.rejection.periodic_multiproc import (
+    periodic_multiproc_problem,
+    simulate_partitioned_solution,
+)
+from repro.core.rejection.multiproc import (
+    MultiprocRejectionProblem,
+    MultiprocRejectionSolution,
+    exhaustive_multiproc,
+    global_greedy_reject,
+    ltf_reject,
+    pooled_lower_bound,
+    rand_reject,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "RejectionProblem",
+    "RejectionSolution",
+    "best_solution",
+    "exhaustive",
+    "branch_and_bound",
+    "pareto_exact",
+    "pareto_frontier",
+    "acceptance_price",
+    "rejection_price",
+    "dp_cycles",
+    "dp_penalty",
+    "fptas",
+    "greedy_density",
+    "greedy_marginal",
+    "greedy_ordered",
+    "accept_all_repair",
+    "reject_random",
+    "lp_rounding",
+    "FractionalRelaxation",
+    "fractional_relaxation",
+    "fractional_lower_bound",
+    "SubsetSumReduction",
+    "subset_sum_reduction",
+    "periodic_problem",
+    "continuous_energy",
+    "leakage_aware_energy",
+    "edf_speed",
+    "accepted_periodic_tasks",
+    "MultiprocRejectionProblem",
+    "MultiprocRejectionSolution",
+    "ltf_reject",
+    "rand_reject",
+    "global_greedy_reject",
+    "exhaustive_multiproc",
+    "pooled_lower_bound",
+    "periodic_multiproc_problem",
+    "simulate_partitioned_solution",
+    "OnlinePolicy",
+    "ThresholdPolicy",
+    "AcceptIfFeasible",
+    "RejectAll",
+    "run_online",
+    "TwoPeProblem",
+    "TwoPeSolution",
+    "TwoPeTask",
+    "exhaustive_twope",
+    "greedy_twope",
+    "tasks_from_frame",
+    "AperiodicJob",
+    "AperiodicProblem",
+    "AperiodicSolution",
+    "exhaustive_aperiodic",
+    "greedy_aperiodic",
+    "HeterogeneousTask",
+    "heterogeneous_problem",
+    "heterogeneous_energy",
+    "accepted_heterogeneous_tasks",
+]

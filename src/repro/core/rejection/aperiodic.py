@@ -1,0 +1,240 @@
+"""Task rejection for aperiodic jobs with individual windows.
+
+The frame-based model gives every task the same ``[0, D]`` window; real
+aperiodic workloads (Yao et al.'s model, the setting of Irani et al.'s
+leakage work cited by the companion text) give each job its own arrival
+and deadline.  The rejection problem generalises naturally:
+
+    choose accepted A ⊆ jobs, minimise  E_YDS(A) + Σ_{j∉A} ρj
+
+where ``E_YDS(A)`` is the energy of the *optimal* (YDS) speed schedule
+for the accepted jobs — computable exactly with the substrate in
+:mod:`repro.speedopt.yds`.  A speed cap makes feasibility non-trivial:
+a subset is admissible iff its YDS peak speed fits under ``s_max``.
+
+The frame-based machinery does not transfer (the energy now depends on
+*which* jobs are accepted, not just their total cycles), so this module
+provides:
+
+* :func:`exhaustive_aperiodic` — 2ⁿ oracle over YDS evaluations;
+* :func:`greedy_aperiodic` — density-ordered greedy with exact YDS
+  marginals and a feasibility-repair phase (drop jobs from the critical
+  interval while the peak speed exceeds the cap).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro._validation import require_nonnegative
+from repro.core.rejection.problem import CostBreakdown
+from repro.power.base import PowerModel
+from repro.speedopt.yds import Job, YdsSchedule, yds_schedule
+
+#: Enumeration guard for the 2^n YDS oracle.
+MAX_ENUM_SUBSETS = 1 << 18
+
+
+@dataclass(frozen=True)
+class AperiodicJob:
+    """An aperiodic job with a rejection penalty."""
+
+    name: str
+    arrival: float
+    deadline: float
+    cycles: float
+    penalty: float
+
+    def __post_init__(self) -> None:
+        require_nonnegative("penalty", self.penalty)
+        # Window/cycles validation is delegated to the YDS Job.
+        Job(
+            name=self.name,
+            arrival=self.arrival,
+            deadline=self.deadline,
+            cycles=self.cycles,
+        )
+
+    def as_yds_job(self) -> Job:
+        """The YDS view of this job."""
+        return Job(
+            name=self.name,
+            arrival=self.arrival,
+            deadline=self.deadline,
+            cycles=self.cycles,
+        )
+
+    @property
+    def density(self) -> float:
+        """Window-filling speed ``c / (d − a)``."""
+        return self.cycles / (self.deadline - self.arrival)
+
+
+@dataclass(frozen=True)
+class AperiodicProblem:
+    """An aperiodic rejection instance.
+
+    Attributes
+    ----------
+    jobs:
+        The jobs (order defines indices; names must be unique).
+    power_model:
+        Convex processor; its ``s_max`` caps the YDS peak speed.
+    """
+
+    jobs: tuple[AperiodicJob, ...]
+    power_model: PowerModel
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("an aperiodic problem needs at least one job")
+        names = [j.name for j in self.jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return len(self.jobs)
+
+    def schedule_of(self, accepted: Sequence[int]) -> YdsSchedule:
+        """The YDS-optimal schedule of the accepted subset."""
+        return yds_schedule(self.jobs[i].as_yds_job() for i in sorted(set(accepted)))
+
+    def is_feasible(self, accepted: Sequence[int]) -> bool:
+        """True when the accepted subset's peak YDS speed fits ``s_max``."""
+        subset = sorted(set(accepted))
+        if not subset:
+            return True
+        peak = self.schedule_of(subset).max_speed
+        return peak <= self.power_model.s_max * (1 + 1e-9)
+
+    def cost_of(self, accepted: Sequence[int]) -> CostBreakdown:
+        """Cost (YDS energy + penalties); raises when infeasible."""
+        accepted_set = sorted(set(accepted))
+        schedule = self.schedule_of(accepted_set)
+        if schedule.max_speed > self.power_model.s_max * (1 + 1e-9):
+            raise ValueError(
+                f"accepted subset needs peak speed {schedule.max_speed} "
+                f"> s_max {self.power_model.s_max}"
+            )
+        energy = schedule.energy(self.power_model)
+        rejected = set(range(self.n)) - set(accepted_set)
+        penalty = sum(self.jobs[i].penalty for i in rejected)
+        return CostBreakdown(energy=energy, penalty=penalty)
+
+
+@dataclass(frozen=True, eq=False)
+class AperiodicSolution:
+    """A validated accepted subset with its cost and schedule."""
+
+    problem: AperiodicProblem
+    accepted: frozenset[int]
+    breakdown: CostBreakdown
+    algorithm: str
+
+    @property
+    def cost(self) -> float:
+        """Total cost."""
+        return self.breakdown.total
+
+    @property
+    def rejected(self) -> frozenset[int]:
+        """Rejected indices."""
+        return frozenset(range(self.problem.n)) - self.accepted
+
+    def schedule(self) -> YdsSchedule:
+        """The accepted subset's optimal schedule."""
+        return self.problem.schedule_of(sorted(self.accepted))
+
+
+def _solution(problem, accepted, algorithm) -> AperiodicSolution:
+    accepted = frozenset(accepted)
+    return AperiodicSolution(
+        problem=problem,
+        accepted=accepted,
+        breakdown=problem.cost_of(sorted(accepted)),
+        algorithm=algorithm,
+    )
+
+
+def exhaustive_aperiodic(problem: AperiodicProblem) -> AperiodicSolution:
+    """Optimal by subset enumeration with YDS evaluation (n ≤ 18)."""
+    if (1 << problem.n) > MAX_ENUM_SUBSETS:
+        raise ValueError(
+            f"2^{problem.n} subsets exceed the enumeration guard; "
+            "use greedy_aperiodic"
+        )
+    total_penalty = sum(j.penalty for j in problem.jobs)
+    s_max = problem.power_model.s_max
+    best_cost = math.inf
+    best: tuple[int, ...] = ()
+    for r in range(problem.n + 1):
+        for combo in itertools.combinations(range(problem.n), r):
+            schedule = problem.schedule_of(combo)
+            if schedule.max_speed > s_max * (1 + 1e-9):
+                continue
+            penalty = total_penalty - sum(problem.jobs[i].penalty for i in combo)
+            cost = schedule.energy(problem.power_model) + penalty
+            if cost < best_cost:
+                best_cost, best = cost, combo
+    return _solution(problem, best, "exhaustive_aperiodic")
+
+
+def greedy_aperiodic(problem: AperiodicProblem) -> AperiodicSolution:
+    """Density-ordered greedy with exact YDS marginals.
+
+    Phase 1 (repair): while the accepted set's peak speed exceeds
+    ``s_max``, drop the cheapest-penalty-per-cycle job among those whose
+    windows intersect the current critical (peak-intensity) interval —
+    only they can lower the peak.
+
+    Phase 2 (improve): in ascending penalty-per-cycle order, reject any
+    job whose penalty is below its exact marginal YDS energy
+    (``E(A) − E(A∖{j})``), recomputing the schedule after each change.
+    """
+    s_max = problem.power_model.s_max
+    accepted = set(range(problem.n))
+
+    # Phase 1 — feasibility repair at the critical interval.
+    while accepted:
+        schedule = problem.schedule_of(sorted(accepted))
+        if schedule.max_speed <= s_max * (1 + 1e-9):
+            break
+        peak = schedule.max_speed
+        window_slices = [s for s in schedule.slices if s.speed >= peak * (1 - 1e-9)]
+        lo = min(s.start for s in window_slices)
+        hi = max(s.end for s in window_slices)
+        culprits = [
+            i
+            for i in accepted
+            if problem.jobs[i].arrival < hi - 1e-12
+            and problem.jobs[i].deadline > lo + 1e-12
+        ]
+        victim = min(
+            culprits,
+            key=lambda i: problem.jobs[i].penalty / problem.jobs[i].cycles,
+        )
+        accepted.discard(victim)
+
+    # Phase 2 — economic rejection with exact marginals.
+    energy_of = lambda subset: problem.schedule_of(sorted(subset)).energy(
+        problem.power_model
+    )
+    current_energy = energy_of(accepted) if accepted else 0.0
+    order = sorted(
+        accepted, key=lambda i: problem.jobs[i].penalty / problem.jobs[i].cycles
+    )
+    for i in order:
+        if i not in accepted:
+            continue
+        without = accepted - {i}
+        reduced = energy_of(without) if without else 0.0
+        saving = current_energy - reduced
+        if saving > problem.jobs[i].penalty + 1e-12:
+            accepted = without
+            current_energy = reduced
+    return _solution(problem, accepted, "greedy_aperiodic")

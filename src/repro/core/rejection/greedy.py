@@ -1,0 +1,188 @@
+"""Polynomial-time heuristics for REJECT-MIN.
+
+The paper (per its citation in the companion text) contributes "hardness
+analysis and heuristic algorithms"; these are the reconstruction's
+heuristic family:
+
+* :func:`greedy_density`   — reject in non-decreasing penalty-per-cycle
+  (``ρ/c``) order while the cost keeps improving.  Cheap tasks per cycle
+  shed the most workload (= the most convex energy) per unit of penalty.
+* :func:`greedy_marginal`  — reject, repeatedly, the single task whose
+  rejection improves the cost the most (``ρi`` vs the *marginal* energy
+  ``g(W) − g(W − ci)``); strictly stronger than density ordering on
+  heterogeneous instances, at O(n²) energy evaluations.
+* :func:`accept_all_repair` — naive admission control: accept everything,
+  restore feasibility by dropping the largest tasks.  The baseline a
+  rejection-aware scheduler must beat.
+* :func:`reject_random`    — arrival-order (or shuffled) first-fit
+  admission, the RAND-style reference of the companion text's
+  experiments.
+
+All of them begin by excluding tasks that can never be accepted
+(``ci > s_max·D``) and by restoring feasibility, so the returned
+solutions are always valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+
+#: Relative tolerance for "strict" cost improvements; guards fp jitter.
+_IMPROVE_RTOL = 1e-12
+
+
+def _acceptable_indices(problem: RejectionProblem) -> list[int]:
+    """Indices of tasks that individually fit the capacity."""
+    cap = problem.capacity
+    return [i for i, t in enumerate(problem.tasks) if t.cycles <= cap]
+
+
+def _restore_feasibility(
+    problem: RejectionProblem, accepted: set[int], order: list[int]
+) -> None:
+    """Reject tasks from *accepted* in *order* until the workload fits."""
+    workload = problem.workload(accepted)
+    cap = problem.capacity
+    for i in order:
+        if workload <= cap * (1 + 1e-12):
+            return
+        if i in accepted:
+            accepted.discard(i)
+            workload -= problem.tasks[i].cycles
+    if workload > cap * (1 + 1e-12):  # pragma: no cover - order covers all
+        raise AssertionError("feasibility restoration exhausted the order")
+
+
+def _improves(saving: float, penalty: float) -> bool:
+    """True when rejecting (saving energy *saving* at *penalty*) helps."""
+    return saving - penalty > _IMPROVE_RTOL * max(abs(saving), abs(penalty), 1.0)
+
+
+def greedy_density(problem: RejectionProblem) -> RejectionSolution:
+    """Reject in non-decreasing ``ρ/c`` order while the cost improves.
+
+    Two phases: (1) reject in density order until the workload is
+    feasible — mandatory in overload; (2) keep scanning the same order,
+    rejecting every task whose penalty is below the marginal energy it
+    releases, stopping at the first non-improving candidate (the marginal
+    energy only shrinks as more work is shed, so later, denser candidates
+    rarely help).
+    """
+    accepted = set(_acceptable_indices(problem))
+    order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
+    _restore_feasibility(problem, accepted, order)
+    g = problem.energy_fn
+    workload = problem.workload(accepted)
+    for i in order:
+        if i not in accepted:
+            continue
+        task = problem.tasks[i]
+        saving = g.energy(workload) - g.energy(max(workload - task.cycles, 0.0))
+        if not _improves(saving, task.penalty):
+            break
+        accepted.discard(i)
+        workload -= task.cycles
+    return problem.solution(accepted, algorithm="greedy_density")
+
+
+def greedy_marginal(problem: RejectionProblem) -> RejectionSolution:
+    """Repeatedly reject the task with the best marginal cost delta.
+
+    Each round prices every accepted task at
+    ``Δi = ρi − (g(W) − g(W − ci))`` and rejects the minimiser while it is
+    negative.  Terminates after at most ``n`` rounds (each rejection is
+    permanent).
+    """
+    accepted = set(_acceptable_indices(problem))
+    density_order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
+    _restore_feasibility(problem, accepted, density_order)
+    g = problem.energy_fn
+    workload = problem.workload(accepted)
+    while accepted:
+        current = g.energy(workload)
+        best_index = None
+        best_delta = 0.0
+        for i in accepted:
+            task = problem.tasks[i]
+            saving = current - g.energy(max(workload - task.cycles, 0.0))
+            delta = task.penalty - saving
+            if _improves(saving, task.penalty) and (
+                best_index is None or delta < best_delta
+            ):
+                best_index, best_delta = i, delta
+        if best_index is None:
+            break
+        accepted.discard(best_index)
+        workload -= problem.tasks[best_index].cycles
+    return problem.solution(accepted, algorithm="greedy_marginal")
+
+
+def greedy_ordered(
+    problem: RejectionProblem,
+    order_key,
+    *,
+    name: str = "greedy_ordered",
+) -> RejectionSolution:
+    """The greedy-density machinery under an arbitrary rejection order.
+
+    *order_key* maps a :class:`repro.tasks.FrameTask` to its sort key;
+    tasks are considered for rejection in ascending key order.  Used by
+    the Fig R8 ordering ablation (``ρ/c`` vs ``ρ`` vs ``−c`` vs ...);
+    ``greedy_density`` is exactly ``greedy_ordered(p, t -> ρ/c)``.
+    """
+    accepted = set(_acceptable_indices(problem))
+    order = sorted(accepted, key=lambda i: order_key(problem.tasks[i]))
+    _restore_feasibility(problem, accepted, order)
+    g = problem.energy_fn
+    workload = problem.workload(accepted)
+    for i in order:
+        if i not in accepted:
+            continue
+        task = problem.tasks[i]
+        saving = g.energy(workload) - g.energy(max(workload - task.cycles, 0.0))
+        if not _improves(saving, task.penalty):
+            break
+        accepted.discard(i)
+        workload -= task.cycles
+    return problem.solution(accepted, algorithm=name)
+
+
+def accept_all_repair(problem: RejectionProblem) -> RejectionSolution:
+    """Accept everything; drop largest-cycle tasks until feasible.
+
+    The classic overload repair of admission control without any energy
+    awareness — the baseline the rejection-aware algorithms are measured
+    against.
+    """
+    accepted = set(_acceptable_indices(problem))
+    largest_first = sorted(
+        accepted, key=lambda i: problem.tasks[i].cycles, reverse=True
+    )
+    _restore_feasibility(problem, accepted, largest_first)
+    return problem.solution(accepted, algorithm="accept_all_repair")
+
+
+def reject_random(
+    problem: RejectionProblem,
+    rng: np.random.Generator | None = None,
+) -> RejectionSolution:
+    """First-fit admission in task order (shuffled when *rng* is given).
+
+    Walks the tasks once and accepts each one that still fits the
+    remaining capacity; everything else is rejected.  No energy
+    awareness, no sorting — the RAND reference point.
+    """
+    order = list(range(problem.n))
+    if rng is not None:
+        order = list(rng.permutation(problem.n))
+    cap = problem.capacity
+    accepted: set[int] = set()
+    workload = 0.0
+    for i in order:
+        cycles = problem.tasks[i].cycles
+        if workload + cycles <= cap * (1 + 1e-12):
+            accepted.add(i)
+            workload += cycles
+    return problem.solution(accepted, algorithm="reject_random")

@@ -1,0 +1,132 @@
+"""Executable NP-hardness reduction for REJECT-MIN.
+
+The paper's contribution (per the companion text) includes "hardness
+analysis"; this module makes the reconstruction's reduction concrete and
+testable.
+
+Reduction (SUBSET-SUM ≤p REJECT-MIN).  Given positive integers
+``a1..an`` and a target ``B`` (with ``0 < B < Σai``), build a rejection
+instance with
+
+* ``ci = ai``;
+* ``ρi = θ·ai`` where ``θ = g'(B)`` (the marginal energy at workload B) —
+  evaluated numerically as a centred difference;
+* unbounded capacity.
+
+Every subset's cost depends only on its accepted workload ``W``:
+``f(W) = g(W) + θ·(Σai − W)``.  Since ``g`` is strictly convex, ``f`` is
+strictly convex with minimiser exactly ``B``; over the integers the
+runner-up value is ``min(f(B−1), f(B+1))``.  Hence a subset summing to
+exactly ``B`` exists **iff** the REJECT-MIN optimum is ``f(B)`` — i.e. at
+most the midpoint threshold ``(f(B) + min(f(B±1)))/2``.
+
+A polynomial-time REJECT-MIN solver would therefore decide SUBSET-SUM,
+so REJECT-MIN is NP-hard (and, with cycles encoded in binary, the exact
+DPs being pseudo-polynomial is the expected complementary fact).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.rejection.problem import RejectionProblem
+from repro.energy.base import EnergyFunction
+from repro.energy.continuous import ContinuousEnergyFunction
+from repro.power.polynomial import PolynomialPowerModel
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+
+@dataclass(frozen=True)
+class SubsetSumReduction:
+    """A REJECT-MIN instance encoding a SUBSET-SUM question.
+
+    Attributes
+    ----------
+    problem:
+        The constructed rejection instance.
+    target_cost:
+        ``f(B)`` — the optimum when the SUBSET-SUM answer is YES.
+    threshold:
+        Decision threshold: the answer is YES iff OPT <= threshold.
+    """
+
+    problem: RejectionProblem
+    target_cost: float
+    threshold: float
+
+    def decide(self, optimum_cost: float) -> bool:
+        """Interpret a REJECT-MIN optimum as the SUBSET-SUM answer."""
+        return optimum_cost <= self.threshold
+
+
+def _marginal(energy_fn: EnergyFunction, workload: float, step: float) -> float:
+    """Centred-difference derivative of ``g`` at *workload*."""
+    lo = max(workload - step, 0.0)
+    hi = workload + step
+    return (energy_fn.energy(hi) - energy_fn.energy(lo)) / (hi - lo)
+
+
+def subset_sum_reduction(
+    values: Sequence[int],
+    target: int,
+    *,
+    energy_fn: EnergyFunction | None = None,
+) -> SubsetSumReduction:
+    """Build the REJECT-MIN instance for SUBSET-SUM(values, target).
+
+    Parameters
+    ----------
+    values:
+        Positive integers of the SUBSET-SUM instance.
+    target:
+        The target ``B`` with ``0 < B < sum(values)``.
+    energy_fn:
+        A *strictly convex* energy function covering workloads up to
+        ``sum(values) + 1``; defaults to a cubic ideal processor wide
+        enough for the instance.
+    """
+    if not values:
+        raise ValueError("SUBSET-SUM needs at least one value")
+    if any(v <= 0 or v != int(v) for v in values):
+        raise ValueError(f"values must be positive integers, got {values!r}")
+    total = int(sum(values))
+    if not 0 < target < total:
+        raise ValueError(
+            f"target must satisfy 0 < target < sum(values) = {total}, "
+            f"got {target!r}"
+        )
+
+    if energy_fn is None:
+        # Deadline 1, speed cap above the total workload: capacity never
+        # binds, exactly as the reduction requires.
+        model = PolynomialPowerModel(beta1=1.0, alpha=3.0, s_max=float(total + 1))
+        energy_fn = ContinuousEnergyFunction(model, deadline=1.0)
+    if energy_fn.max_workload < total:
+        raise ValueError(
+            "energy_fn capacity must cover the full workload "
+            f"({energy_fn.max_workload} < {total})"
+        )
+
+    theta = _marginal(energy_fn, float(target), 0.5)
+
+    def f(workload: int) -> float:
+        return energy_fn.energy(float(workload)) + theta * (total - workload)
+
+    target_cost = f(target)
+    runner_up = min(f(target - 1), f(target + 1))
+    if runner_up <= target_cost:
+        raise ValueError(
+            "energy function is not strictly convex around the target; "
+            "the reduction needs a strict gap"
+        )
+    threshold = (target_cost + runner_up) / 2.0
+
+    tasks = FrameTaskSet(
+        FrameTask(name=f"a{i}", cycles=float(v), penalty=theta * float(v))
+        for i, v in enumerate(values)
+    )
+    problem = RejectionProblem(tasks=tasks, energy_fn=energy_fn)
+    return SubsetSumReduction(
+        problem=problem, target_cost=target_cost, threshold=threshold
+    )

@@ -1,0 +1,132 @@
+"""Rejection with per-task power coefficients (LEET/LEUF model).
+
+The companion text's "different power consumption characteristics" model
+gives task ``τi`` its own dynamic power ``Pi(s) = ρi·s^α``.  For an
+accepted set ``A`` sharing the frame ``[0, D]`` on an ideal unbounded
+processor, the KKT-optimal per-task times (see
+:mod:`repro.speedopt.heterogeneous`) yield the closed-form energy
+
+    E(A) = ( Σ_{i∈A} ci · ρi^{1/α} )^α / D^{α-1}.
+
+Defining *effective cycles* ``ĉi = ci · ρi^{1/α}``, the energy depends
+only on ``Σ ĉi`` — so heterogeneous rejection reduces **exactly** to the
+homogeneous problem on transformed cycles, and every algorithm in this
+package (exhaustive, pareto_exact, FPTAS, greedy, bounds) applies
+unchanged.  :func:`heterogeneous_problem` performs the reduction;
+:func:`heterogeneous_energy` evaluates the closed form directly (used to
+cross-validate the reduction in the tests).
+
+Scope note: the reduction needs an *unbounded* speed range — a finite
+``s_max`` caps individual speeds, which breaks the sum-only structure.
+Capped instances should use :func:`repro.speedopt.heterogeneous_assignment`
+per subset (exponential, oracle-only) or treat the cap as a separate
+feasibility filter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro._validation import require_nonnegative, require_positive
+from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.energy.continuous import ContinuousEnergyFunction
+from repro.power.polynomial import PolynomialPowerModel
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+
+@dataclass(frozen=True)
+class HeterogeneousTask:
+    """A frame task with its own dynamic-power coefficient.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier.
+    cycles:
+        Worst-case execution cycles.
+    power_coeff:
+        The task's ``ρi`` in ``Pi(s) = ρi · s^α`` (> 0).
+    penalty:
+        Rejection penalty.
+    """
+
+    name: str
+    cycles: float
+    power_coeff: float
+    penalty: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        require_positive("cycles", self.cycles)
+        require_positive("power_coeff", self.power_coeff)
+        require_nonnegative("penalty", self.penalty)
+
+    def effective_cycles(self, alpha: float) -> float:
+        """``ĉ = c · ρ^(1/α)`` — the reduction's transformed size."""
+        return self.cycles * self.power_coeff ** (1.0 / alpha)
+
+
+def heterogeneous_energy(
+    tasks: Sequence[HeterogeneousTask],
+    accepted: Sequence[int],
+    *,
+    deadline: float,
+    alpha: float = 3.0,
+) -> float:
+    """Closed-form optimal energy of the accepted subset (unbounded s)."""
+    require_positive("deadline", deadline)
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha!r}")
+    total = sum(tasks[i].effective_cycles(alpha) for i in set(accepted))
+    return total**alpha / deadline ** (alpha - 1.0)
+
+
+def heterogeneous_problem(
+    tasks: Sequence[HeterogeneousTask],
+    *,
+    deadline: float,
+    alpha: float = 3.0,
+) -> RejectionProblem:
+    """Reduce heterogeneous rejection to a homogeneous instance.
+
+    The returned problem's task *cycles* are the effective cycles
+    ``ĉi``; its energy function is the ideal continuous ``g`` with unit
+    coefficient, so ``g(Σĉ) = (Σĉ)^α / D^(α-1)`` matches
+    :func:`heterogeneous_energy` exactly.  Solutions map back by index
+    (task order is preserved).
+    """
+    if not tasks:
+        raise ValueError("need at least one task")
+    require_positive("deadline", deadline)
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha!r}")
+    frame = FrameTaskSet(
+        FrameTask(
+            name=t.name,
+            cycles=t.effective_cycles(alpha),
+            penalty=t.penalty,
+        )
+        for t in tasks
+    )
+    model = PolynomialPowerModel(beta1=1.0, alpha=alpha, s_max=math.inf)
+    return RejectionProblem(
+        tasks=frame, energy_fn=ContinuousEnergyFunction(model, deadline)
+    )
+
+
+def accepted_heterogeneous_tasks(
+    solution: RejectionSolution, tasks: Sequence[HeterogeneousTask]
+) -> list[HeterogeneousTask]:
+    """Map a reduced-problem solution back to the heterogeneous tasks."""
+    if solution.problem.n != len(tasks):
+        raise ValueError(
+            "solution and task list disagree on size "
+            f"({solution.problem.n} != {len(tasks)})"
+        )
+    for i, t in enumerate(tasks):
+        if solution.problem.tasks[i].name != t.name:
+            raise ValueError(f"task order mismatch at index {i}")
+    return [tasks[i] for i in sorted(solution.accepted)]

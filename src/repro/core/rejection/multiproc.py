@@ -1,0 +1,325 @@
+"""Task rejection on homogeneous partitioned multiprocessors.
+
+The companion text places the rejection paper precisely here: with a
+finite ``s_max``, even *deciding feasibility* of a frame task set on ``M``
+processors is NP-complete, so overloaded systems must reject.  The
+reconstruction's multiprocessor problem:
+
+    choose accepted A and a partition of A over M identical processors
+    with per-processor workload ≤ cap, minimising
+    Σj g(Wj) + Σ_{i∉A} ρi.
+
+Algorithms:
+
+* :func:`ltf_reject`     — LTF partition with capacity (overflow tasks
+  rejected), then a marginal-improvement pass that rejects any accepted
+  task whose penalty is below the energy its processor saves.
+* :func:`rand_reject`    — unsorted least-loaded first-fit (the RAND
+  baseline), no improvement pass.
+* :func:`global_greedy_reject` — LTF seed plus a *global* improvement
+  loop picking the single best rejection anywhere in the system.
+* :func:`exhaustive_multiproc` — optimal by enumerating all
+  ``(M+1)^n`` assignments (tiny instances; the oracle for Fig R7's
+  normalisation at small n and for the property tests).
+* :func:`pooled_lower_bound` — Jensen-pooled fractional relaxation, the
+  scalable normaliser.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rejection.problem import CostBreakdown
+from repro.core.rejection.relaxation import fractional_lower_bound
+from repro.energy.base import EnergyFunction
+from repro.multiproc.partition import (
+    Partition,
+    greedy_partition,
+    ltf_partition,
+)
+from repro.multiproc.pooled import PooledEnergyFunction
+from repro.core.rejection.problem import RejectionProblem
+from repro.tasks.model import FrameTaskSet
+
+#: Enumeration guard for the exhaustive oracle.
+MAX_ENUM_ASSIGNMENTS = 3_000_000
+
+
+@dataclass(frozen=True)
+class MultiprocRejectionProblem:
+    """An M-processor rejection instance (identical processors).
+
+    Attributes
+    ----------
+    tasks:
+        Frame task set (cycles + penalties).
+    energy_fn:
+        Per-processor workload→energy function; its ``max_workload`` is
+        the per-processor capacity.
+    m:
+        Number of processors.
+    """
+
+    tasks: FrameTaskSet
+    energy_fn: EnergyFunction
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"need at least one processor, got m={self.m!r}")
+        if len(self.tasks) == 0:
+            raise ValueError("a rejection problem needs at least one task")
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return len(self.tasks)
+
+    @property
+    def capacity(self) -> float:
+        """Per-processor capacity ``s_max · D``."""
+        return self.energy_fn.max_workload
+
+    def cost_of(self, partition: Partition) -> CostBreakdown:
+        """Cost of a partition (unassigned items are the rejected set)."""
+        sizes = [t.cycles for t in self.tasks]
+        energy = sum(self.energy_fn.energy(w) for w in partition.loads(sizes))
+        penalty = sum(self.tasks[i].penalty for i in partition.unassigned)
+        return CostBreakdown(energy=energy, penalty=penalty)
+
+    def solution(
+        self, partition: Partition, *, algorithm: str
+    ) -> "MultiprocRejectionSolution":
+        """Validate *partition* and wrap it with its cost."""
+        partition.validate(self.n)
+        sizes = [t.cycles for t in self.tasks]
+        for j, load in enumerate(partition.loads(sizes)):
+            if load > self.capacity * (1 + 1e-12):
+                raise ValueError(
+                    f"processor {j} overloaded: {load} > {self.capacity}"
+                )
+        return MultiprocRejectionSolution(
+            problem=self,
+            partition=partition,
+            breakdown=self.cost_of(partition),
+            algorithm=algorithm,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class MultiprocRejectionSolution:
+    """A validated partition + rejection decision with its cost."""
+
+    problem: MultiprocRejectionProblem
+    partition: Partition
+    breakdown: CostBreakdown
+    algorithm: str
+
+    @property
+    def cost(self) -> float:
+        """Total cost ``energy + penalty``."""
+        return self.breakdown.total
+
+    @property
+    def rejected(self) -> frozenset[int]:
+        """Indices of rejected tasks."""
+        return frozenset(self.partition.unassigned)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of tasks accepted."""
+        return 1.0 - len(self.partition.unassigned) / self.problem.n
+
+
+def _improvement_pass(
+    problem: MultiprocRejectionProblem,
+    buckets: list[list[int]],
+    rejected: list[int],
+    *,
+    single_best: bool,
+) -> None:
+    """Local search over reject / re-admit moves.
+
+    A *reject* move drops an accepted task whose penalty is below the
+    marginal energy its processor saves; a *re-admit* move brings a
+    rejected task back onto the least-marginal-cost processor with room
+    when its penalty exceeds the marginal energy there.  Re-admission
+    matters: after heavy rejection the per-core loads (and hence marginal
+    energies, convex in load) drop, and tasks rejected early can become
+    profitable again.  Every accepted move strictly decreases the total
+    cost, so the loop terminates.
+
+    ``single_best=True`` applies only the single best move per round (the
+    global-greedy variant); otherwise every improving move in a sweep is
+    taken.
+    """
+    g = problem.energy_fn
+    cap = problem.capacity
+    sizes = [t.cycles for t in problem.tasks]
+    loads = [sum(sizes[i] for i in bucket) for bucket in buckets]
+    # Strict-improvement local search terminates; the guard is belt and
+    # braces against fp-jitter cycling.
+    for _ in range(10 * problem.n + 10):
+        # (delta, kind, processor, task); delta < 0 improves.
+        best: tuple[float, str, int, int] | None = None
+        improved_any = False
+        for j, bucket in enumerate(buckets):
+            base = g.energy(loads[j])
+            for i in list(bucket):
+                task = problem.tasks[i]
+                saving = base - g.energy(max(loads[j] - task.cycles, 0.0))
+                delta = task.penalty - saving
+                if delta < -1e-12:
+                    if single_best:
+                        if best is None or delta < best[0]:
+                            best = (delta, "reject", j, i)
+                    else:
+                        bucket.remove(i)
+                        rejected.append(i)
+                        loads[j] = max(loads[j] - task.cycles, 0.0)
+                        base = g.energy(loads[j])
+                        improved_any = True
+        for i in list(rejected):
+            task = problem.tasks[i]
+            target = None
+            target_delta = 0.0
+            for j in range(problem.m):
+                if loads[j] + task.cycles > cap * (1 + 1e-12):
+                    continue
+                marginal = g.energy(loads[j] + task.cycles) - g.energy(loads[j])
+                delta = marginal - task.penalty
+                if delta < -1e-12 and (target is None or delta < target_delta):
+                    target, target_delta = j, delta
+            if target is None:
+                continue
+            if single_best:
+                if best is None or target_delta < best[0]:
+                    best = (target_delta, "admit", target, i)
+            else:
+                rejected.remove(i)
+                buckets[target].append(i)
+                loads[target] += task.cycles
+                improved_any = True
+        if single_best:
+            if best is None:
+                break
+            _, kind, j, i = best
+            if kind == "reject":
+                buckets[j].remove(i)
+                rejected.append(i)
+                loads[j] = max(loads[j] - sizes[i], 0.0)
+            else:
+                rejected.remove(i)
+                buckets[j].append(i)
+                loads[j] += sizes[i]
+        elif not improved_any:
+            break
+
+
+def _finish(
+    problem: MultiprocRejectionProblem,
+    buckets: list[list[int]],
+    rejected: list[int],
+    algorithm: str,
+) -> MultiprocRejectionSolution:
+    partition = Partition(
+        assignments=tuple(tuple(b) for b in buckets),
+        unassigned=tuple(sorted(rejected)),
+    )
+    return problem.solution(partition, algorithm=algorithm)
+
+
+def ltf_reject(problem: MultiprocRejectionProblem) -> MultiprocRejectionSolution:
+    """LTF with capacity, overflow rejected, per-processor improvement."""
+    sizes = [t.cycles for t in problem.tasks]
+    seed = ltf_partition(sizes, problem.m, capacity=problem.capacity)
+    buckets = [list(b) for b in seed.assignments]
+    rejected = list(seed.unassigned)
+    _improvement_pass(problem, buckets, rejected, single_best=False)
+    return _finish(problem, buckets, rejected, "ltf_reject")
+
+
+def rand_reject(
+    problem: MultiprocRejectionProblem,
+    rng: np.random.Generator | None = None,
+) -> MultiprocRejectionSolution:
+    """Unsorted least-loaded admission (RAND), no energy awareness."""
+    sizes = [t.cycles for t in problem.tasks]
+    seed = greedy_partition(sizes, problem.m, capacity=problem.capacity, rng=rng)
+    buckets = [list(b) for b in seed.assignments]
+    rejected = list(seed.unassigned)
+    return _finish(problem, buckets, rejected, "rand_reject")
+
+
+def global_greedy_reject(
+    problem: MultiprocRejectionProblem,
+) -> MultiprocRejectionSolution:
+    """LTF seed plus globally-best marginal rejection loop."""
+    sizes = [t.cycles for t in problem.tasks]
+    seed = ltf_partition(sizes, problem.m, capacity=problem.capacity)
+    buckets = [list(b) for b in seed.assignments]
+    rejected = list(seed.unassigned)
+    _improvement_pass(problem, buckets, rejected, single_best=True)
+    return _finish(problem, buckets, rejected, "global_greedy_reject")
+
+
+def exhaustive_multiproc(
+    problem: MultiprocRejectionProblem,
+) -> MultiprocRejectionSolution:
+    """Optimal assignment by enumeration over ``(M+1)^n`` choices.
+
+    Identical processors make most assignments symmetric, but the guard
+    is on the raw count; use only for oracle-sized instances.
+    """
+    count = (problem.m + 1) ** problem.n
+    if count > MAX_ENUM_ASSIGNMENTS:
+        raise ValueError(
+            f"{count} assignments exceed the enumeration guard "
+            f"({MAX_ENUM_ASSIGNMENTS}); use the heuristics or shrink n"
+        )
+    sizes = [t.cycles for t in problem.tasks]
+    g = problem.energy_fn
+    cap = problem.capacity
+    best_cost = math.inf
+    best_choice: tuple[int, ...] | None = None
+    for choice in itertools.product(range(problem.m + 1), repeat=problem.n):
+        loads = [0.0] * problem.m
+        penalty = 0.0
+        feasible = True
+        for i, c in enumerate(choice):
+            if c == 0:
+                penalty += problem.tasks[i].penalty
+            else:
+                loads[c - 1] += sizes[i]
+                if loads[c - 1] > cap * (1 + 1e-12):
+                    feasible = False
+                    break
+        if not feasible:
+            continue
+        cost = penalty + sum(g.energy(w) for w in loads)
+        if cost < best_cost:
+            best_cost = cost
+            best_choice = choice
+    if best_choice is None:  # pragma: no cover - all-reject always feasible
+        raise AssertionError("no feasible assignment found")
+    buckets: list[list[int]] = [[] for _ in range(problem.m)]
+    rejected: list[int] = []
+    for i, c in enumerate(best_choice):
+        if c == 0:
+            rejected.append(i)
+        else:
+            buckets[c - 1].append(i)
+    return _finish(problem, buckets, rejected, "exhaustive_multiproc")
+
+
+def pooled_lower_bound(problem: MultiprocRejectionProblem) -> float:
+    """Valid lower bound: fractional relaxation on the Jensen pool."""
+    pooled = RejectionProblem(
+        tasks=problem.tasks,
+        energy_fn=PooledEnergyFunction(problem.energy_fn, problem.m),
+    )
+    return fractional_lower_bound(pooled)

@@ -1,0 +1,175 @@
+"""Online task rejection (admission control).
+
+The offline problem assumes the whole task set is known before any
+decision; real admission controllers see tasks one at a time and must
+accept or reject *irrevocably* on arrival.  This module is the
+reconstruction's online extension:
+
+* a policy sees tasks in arrival order, knows the energy function and
+  the remaining capacity, and must keep the accepted set feasible at all
+  times;
+* at the end the system pays the usual offline cost
+  ``g(W_accepted) + Σ rejected ρ``.
+
+Policies
+--------
+
+:class:`ThresholdPolicy`
+    Accept a feasible task iff its *marginal* energy at the current
+    accepted workload is at most ``θ·ρ``.  ``θ = 1`` is the myopic
+    break-even rule; ``θ < 1`` holds capacity back for later, more
+    valuable arrivals; ``θ > 1`` over-admits.  The marginal energy is
+    evaluated pessimistically at the *capacity-filling* speed when
+    ``reserve`` is set, modelling a controller that expects the frame to
+    fill up.
+
+:class:`AcceptIfFeasible`
+    First-fit: admit everything that fits (the online analogue of
+    accept-all).
+
+:class:`RejectAll`
+    Trivial baseline (pays every penalty, zero energy).
+
+Use :func:`run_online` to drive any policy over a problem's task order
+(or a permutation) and get a validated offline
+:class:`~repro.core.rejection.problem.RejectionSolution` back, directly
+comparable to the offline optimum — the basis of the empirical
+competitive-ratio experiment (Fig R9).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import require_positive
+from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.energy.base import EnergyFunction
+from repro.tasks.model import FrameTask
+
+
+class OnlinePolicy(ABC):
+    """An irrevocable accept/reject rule applied at each arrival."""
+
+    name: str = "online"
+
+    @abstractmethod
+    def admit(
+        self,
+        task: FrameTask,
+        accepted_workload: float,
+        energy_fn: EnergyFunction,
+    ) -> bool:
+        """Decide for *task* given the current accepted workload.
+
+        The caller guarantees the task *fits* (feasibility is enforced
+        outside the policy); the policy only expresses preference.
+        """
+
+
+class AcceptIfFeasible(OnlinePolicy):
+    """Admit everything that fits (first-fit admission)."""
+
+    name = "accept_if_feasible"
+
+    def admit(self, task, accepted_workload, energy_fn) -> bool:
+        return True
+
+
+class RejectAll(OnlinePolicy):
+    """Reject everything (trivial baseline)."""
+
+    name = "reject_all"
+
+    def admit(self, task, accepted_workload, energy_fn) -> bool:
+        return False
+
+
+class ThresholdPolicy(OnlinePolicy):
+    """Marginal-energy threshold rule (see module docstring).
+
+    Parameters
+    ----------
+    theta:
+        Acceptance threshold (> 0): admit iff
+        ``marginal_energy <= theta * penalty``.
+    reserve:
+        When set, the marginal energy is priced not at the current
+        workload but midway between it and the capacity
+        (``w' = (W + cap)/2``): the controller anticipates that later
+        arrivals will fill roughly half the remaining headroom, so early
+        cycles are priced closer to what they will eventually cost.
+        Pricing at the full capacity instead would reject everything
+        (the top-of-curve marginal exceeds any reasonable penalty);
+        pricing at the current workload (``reserve=False``) under-prices
+        early arrivals under overload.
+    """
+
+    def __init__(self, theta: float = 1.0, *, reserve: bool = False) -> None:
+        require_positive("theta", theta)
+        self._theta = float(theta)
+        self._reserve = bool(reserve)
+        suffix = "r" if reserve else ""
+        self.name = f"threshold({self._theta:g}{suffix})"
+
+    @property
+    def theta(self) -> float:
+        """The acceptance threshold."""
+        return self._theta
+
+    def admit(self, task, accepted_workload, energy_fn) -> bool:
+        if self._reserve:
+            cap = energy_fn.max_workload
+            anchor = (accepted_workload + cap) / 2.0
+            hi = min(anchor + task.cycles, cap)
+            lo = max(hi - task.cycles, 0.0)
+            marginal = energy_fn.energy(hi) - energy_fn.energy(lo)
+        else:
+            marginal = energy_fn.marginal(accepted_workload, task.cycles)
+        return marginal <= self._theta * task.penalty
+
+
+def run_online(
+    problem: RejectionProblem,
+    policy: OnlinePolicy,
+    *,
+    order: Sequence[int] | None = None,
+    rng: np.random.Generator | None = None,
+) -> RejectionSolution:
+    """Drive *policy* over the arrival sequence and score it offline.
+
+    Parameters
+    ----------
+    problem:
+        The (offline) instance; its task order is the arrival order
+        unless *order* or *rng* (shuffle) is given.
+    policy:
+        The admission rule.
+    order:
+        Explicit arrival order (a permutation of task indices).
+    rng:
+        Shuffle the arrival order (ignored when *order* is given).
+    """
+    if order is not None:
+        sequence = [int(i) for i in order]
+        if sorted(sequence) != list(range(problem.n)):
+            raise ValueError("order must be a permutation of task indices")
+    elif rng is not None:
+        sequence = [int(i) for i in rng.permutation(problem.n)]
+    else:
+        sequence = list(range(problem.n))
+
+    cap = problem.capacity
+    energy_fn = problem.energy_fn
+    accepted: list[int] = []
+    workload = 0.0
+    for i in sequence:
+        task = problem.tasks[i]
+        if workload + task.cycles > cap * (1 + 1e-12):
+            continue  # cannot admit: would break feasibility forever
+        if policy.admit(task, workload, energy_fn):
+            accepted.append(i)
+            workload += task.cycles
+    return problem.solution(accepted, algorithm=f"online:{policy.name}")

@@ -1,0 +1,164 @@
+"""Exact rejection by Pareto-frontier enumeration (Nemhauser–Ullmann).
+
+The cost of an accepted subset is ``g(w) + p`` with ``w`` the accepted
+cycles and ``p`` the rejected penalty; since ``g`` is non-decreasing, a
+partial solution with both smaller-or-equal ``w`` *and* ``p`` than
+another can never end up worse — it **dominates**.  Processing tasks one
+at a time and keeping only the non-dominated ``(w, p)`` states yields an
+exact algorithm that:
+
+* needs **no integrality** of cycles or penalties (unlike the DPs),
+* needs **no convexity** of ``g`` (unlike branch-and-bound's fractional
+  pruning — this is the exact method of choice for the kinked
+  dormant-enable model with ``e_sw > 0``),
+* runs in ``O(n · F)`` where ``F`` is the frontier size — worst-case
+  exponential (the problem is NP-hard), but typically far smaller; a
+  guard caps it explicitly rather than thrashing.
+
+This is the strongest general-purpose exact solver in the library and
+the recommended oracle beyond exhaustive range.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+
+#: Refuse to grow the frontier beyond this many states.
+MAX_FRONTIER = 2_000_000
+
+
+class _State:
+    """A non-dominated partial solution (linked for reconstruction)."""
+
+    __slots__ = ("workload", "penalty", "parent", "accepted_last")
+
+    def __init__(
+        self,
+        workload: float,
+        penalty: float,
+        parent: "_State | None",
+        accepted_last: bool,
+    ) -> None:
+        self.workload = workload
+        self.penalty = penalty
+        self.parent = parent
+        self.accepted_last = accepted_last
+
+
+def _merge_prune(
+    reject_branch: list[_State], accept_branch: list[_State]
+) -> list[_State]:
+    """Merge two frontiers (each sorted by workload) and drop dominance.
+
+    Both inputs are sorted by increasing workload with strictly
+    decreasing penalty (frontier invariant); the merged output restores
+    the invariant in one linear pass.
+    """
+    merged: list[_State] = []
+    i = j = 0
+    while i < len(reject_branch) or j < len(accept_branch):
+        if j >= len(accept_branch):
+            candidate = reject_branch[i]
+            i += 1
+        elif i >= len(reject_branch):
+            candidate = accept_branch[j]
+            j += 1
+        elif (
+            reject_branch[i].workload,
+            reject_branch[i].penalty,
+        ) <= (accept_branch[j].workload, accept_branch[j].penalty):
+            candidate = reject_branch[i]
+            i += 1
+        else:
+            candidate = accept_branch[j]
+            j += 1
+        # The merge emits states in non-decreasing (workload, penalty)
+        # order, so the candidate's workload is always >= the last kept
+        # state's; it survives only with a strictly smaller penalty.
+        if merged and candidate.penalty >= merged[-1].penalty:
+            continue
+        merged.append(candidate)
+    return merged
+
+
+def pareto_frontier(
+    problem: RejectionProblem,
+) -> list[tuple[float, float, float]]:
+    """The full accepted-workload/penalty trade-off curve.
+
+    Returns the non-dominated ``(workload, rejected_penalty, cost)``
+    triples in increasing-workload order — the design-space view behind
+    :func:`pareto_exact` (whose answer is the triple with minimum cost).
+    Useful for "what would accepting more work cost me" exploration.
+    """
+    cap = problem.capacity
+    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
+    for task in problem.tasks:
+        reject_branch = [
+            _State(s.workload, s.penalty + task.penalty, s, False)
+            for s in frontier
+        ]
+        accept_branch = [
+            _State(s.workload + task.cycles, s.penalty, s, True)
+            for s in frontier
+            if s.workload + task.cycles <= cap * (1 + 1e-12)
+        ]
+        frontier = _merge_prune(reject_branch, accept_branch)
+        if len(frontier) > MAX_FRONTIER:
+            raise ValueError(
+                f"Pareto frontier exceeded {MAX_FRONTIER} states"
+            )
+    g = problem.energy_fn
+    return [
+        (s.workload, s.penalty, g.energy(min(s.workload, cap)) + s.penalty)
+        for s in frontier
+    ]
+
+
+def pareto_exact(problem: RejectionProblem) -> RejectionSolution:
+    """Optimal solution by dominance-pruned state enumeration.
+
+    Exact for any non-decreasing energy function (convexity not
+    required) and arbitrary float cycles/penalties.  Raises when the
+    frontier exceeds :data:`MAX_FRONTIER` states (an adversarial
+    instance; fall back to the FPTAS).
+    """
+    cap = problem.capacity
+    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
+    for task in problem.tasks:
+        reject_branch = [
+            _State(s.workload, s.penalty + task.penalty, s, False)
+            for s in frontier
+        ]
+        accept_branch = [
+            _State(s.workload + task.cycles, s.penalty, s, True)
+            for s in frontier
+            if s.workload + task.cycles <= cap * (1 + 1e-12)
+        ]
+        frontier = _merge_prune(reject_branch, accept_branch)
+        if len(frontier) > MAX_FRONTIER:
+            raise ValueError(
+                f"Pareto frontier exceeded {MAX_FRONTIER} states; "
+                "use fptas() for this instance"
+            )
+
+    g = problem.energy_fn
+    best_state: _State | None = None
+    best_cost = math.inf
+    for state in frontier:
+        cost = g.energy(min(state.workload, cap)) + state.penalty
+        if cost < best_cost:
+            best_cost, best_state = cost, state
+
+    assert best_state is not None  # frontier always contains reject-all
+    accepted: list[int] = []
+    state = best_state
+    for i in range(problem.n - 1, -1, -1):
+        if state.accepted_last:
+            accepted.append(i)
+        state = state.parent  # type: ignore[assignment]
+    return problem.solution(
+        accepted, algorithm="pareto_exact", frontier=len(frontier)
+    )

@@ -1,0 +1,119 @@
+"""Task rejection for periodic task sets under EDF.
+
+On one processor, EDF is optimal for independent periodic tasks, and at a
+constant speed ``s`` a set with utilisation ``U = Σ ci/pi`` is schedulable
+iff ``U ≤ s``.  For convex power, the energy-optimal feasible speed for an
+accepted set is constant (Jensen), so over a hyper-period ``L`` the
+accepted set's energy is exactly the frame-based ``g`` evaluated at
+``W = U·L`` with deadline ``L`` — the frame machinery transfers verbatim:
+
+* accepted workload   ``W = Σ (ci/pi)·L`` cycles,
+* capacity            ``s_max·L``  (i.e. ``U ≤ s_max``),
+* cost                ``g(W) + Σ rejected ρi``.
+
+:func:`periodic_problem` performs that reduction; the EDF simulator in
+:mod:`repro.sched` independently validates both the feasibility and the
+energy prediction (Tab R2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.energy.base import EnergyFunction
+from repro.energy.continuous import ContinuousEnergyFunction
+from repro.energy.critical import CriticalSpeedEnergyFunction
+from repro.power.base import DormantMode, PowerModel
+from repro.tasks.model import FrameTask, FrameTaskSet, PeriodicTaskSet
+
+#: Signature of an energy-function factory: deadline -> EnergyFunction.
+EnergyFactory = Callable[[float], EnergyFunction]
+
+
+def continuous_energy(power_model: PowerModel) -> EnergyFactory:
+    """Factory for the negligible-leakage ideal-processor model."""
+    return lambda deadline: ContinuousEnergyFunction(power_model, deadline)
+
+
+def leakage_aware_energy(
+    power_model: PowerModel, *, dormant: DormantMode | None = None
+) -> EnergyFactory:
+    """Factory for the dormant-enable, leakage-aware model."""
+    return lambda deadline: CriticalSpeedEnergyFunction(
+        power_model, deadline, dormant=dormant
+    )
+
+
+def periodic_problem(
+    tasks: PeriodicTaskSet,
+    energy_factory: EnergyFactory,
+    *,
+    horizon: float | None = None,
+) -> RejectionProblem:
+    """Reduce a periodic rejection instance to a frame-based one.
+
+    Parameters
+    ----------
+    tasks:
+        The periodic task set (task order is preserved, so solution
+        indices refer to the same positions).
+    energy_factory:
+        Builds the workload→energy function for the hyper-period horizon
+        (e.g. :func:`continuous_energy` / :func:`leakage_aware_energy`).
+    horizon:
+        Override for the scheduling horizon; defaults to the exact
+        hyper-period.  Useful when task periods are irrational-ish floats
+        and the Fraction-LCM would explode.
+    """
+    if len(tasks) == 0:
+        raise ValueError("a rejection problem needs at least one task")
+    length = float(tasks.hyper_period) if horizon is None else float(horizon)
+    if length <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon!r}")
+    frame = FrameTaskSet(
+        FrameTask(
+            name=t.name,
+            cycles=t.utilization * length,
+            penalty=t.penalty,
+        )
+        for t in tasks
+    )
+    return RejectionProblem(tasks=frame, energy_fn=energy_factory(length))
+
+
+def accepted_periodic_tasks(
+    solution: RejectionSolution, tasks: PeriodicTaskSet
+) -> PeriodicTaskSet:
+    """Map a frame-problem solution back to the accepted periodic tasks."""
+    if solution.problem.n != len(tasks):
+        raise ValueError(
+            "solution and task set disagree on size "
+            f"({solution.problem.n} != {len(tasks)})"
+        )
+    for i in range(len(tasks)):
+        if solution.problem.tasks[i].name != tasks[i].name:
+            raise ValueError(
+                f"task order mismatch at index {i}: "
+                f"{solution.problem.tasks[i].name!r} != {tasks[i].name!r}"
+            )
+    return tasks.subset(solution.accepted)
+
+
+def edf_speed(accepted: PeriodicTaskSet, power_model: PowerModel) -> float:
+    """The constant execution speed for the accepted set under EDF.
+
+    The energy-optimal feasible speed: the utilisation, clamped into the
+    processor's range (and no lower than the critical speed when the
+    model carries leakage — running slower than ``s*`` never helps).
+    """
+    if len(accepted) == 0:
+        return 0.0
+    utilization = accepted.total_utilization
+    if utilization > power_model.s_max * (1 + 1e-12):
+        raise ValueError(
+            f"accepted utilisation {utilization} exceeds s_max "
+            f"{power_model.s_max}"
+        )
+    target = max(utilization, power_model.critical_speed())
+    return power_model.clamp_speed(target)

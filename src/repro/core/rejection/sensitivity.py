@@ -1,0 +1,106 @@
+"""Sensitivity analysis: what would it take to change a decision?
+
+Designers do not just want the optimal accepted set; they want to know
+how *robust* it is.  Two questions answered here, both exactly (the
+optimum is re-computed with :func:`~repro.core.rejection.pareto.pareto_exact`,
+so any non-decreasing energy function works):
+
+* :func:`acceptance_price` — for a *rejected* task, the smallest penalty
+  at which the optimum would start accepting it ("how much would this
+  task have to matter to make the cut?");
+* :func:`rejection_price` — for an *accepted* task, the largest penalty
+  at which the optimum would start rejecting it ("how cheap would this
+  task have to be before we'd drop it?").
+
+Both are monotone in the perturbed penalty — raising a task's penalty
+can only make accepting it more attractive — so a bisection over the
+penalty axis is exact up to the requested tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._validation import require_positive
+from repro.core.rejection.pareto import pareto_exact
+from repro.core.rejection.problem import RejectionProblem
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+
+def _with_penalty(
+    problem: RejectionProblem, index: int, penalty: float
+) -> RejectionProblem:
+    """A copy of *problem* with task *index*'s penalty replaced."""
+    tasks = FrameTaskSet(
+        FrameTask(name=t.name, cycles=t.cycles, penalty=penalty)
+        if i == index
+        else t
+        for i, t in enumerate(problem.tasks)
+    )
+    return RejectionProblem(tasks=tasks, energy_fn=problem.energy_fn)
+
+
+def _accepted_at(problem: RejectionProblem, index: int, penalty: float) -> bool:
+    return index in pareto_exact(_with_penalty(problem, index, penalty)).accepted
+
+
+def acceptance_price(
+    problem: RejectionProblem,
+    index: int,
+    *,
+    rel_tol: float = 1e-6,
+    ceiling: float | None = None,
+) -> float:
+    """Smallest penalty at which the optimum accepts task *index*.
+
+    Returns ``inf`` when the task can never be accepted (it exceeds the
+    capacity alone, or no penalty below *ceiling* flips the decision —
+    the latter cannot happen with a finite feasible task, since a large
+    enough penalty always forces acceptance when the task fits).
+    """
+    if not 0 <= index < problem.n:
+        raise IndexError(f"task index {index} out of range")
+    require_positive("rel_tol", rel_tol)
+    task = problem.tasks[index]
+    if task.cycles > problem.capacity:
+        return math.inf
+
+    # Upper bracket: the marginal energy of the task at full capacity is
+    # the most acceptance could ever save, so any penalty above it forces
+    # acceptance; double until the decision flips (guarded).
+    hi = ceiling if ceiling is not None else max(task.penalty, 1e-9)
+    for _ in range(200):
+        if _accepted_at(problem, index, hi):
+            break
+        hi *= 2.0
+    else:  # pragma: no cover - a feasible task always flips eventually
+        return math.inf
+    lo = 0.0
+    while hi - lo > rel_tol * max(hi, 1.0):
+        mid = (lo + hi) / 2.0
+        if _accepted_at(problem, index, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def rejection_price(
+    problem: RejectionProblem,
+    index: int,
+    *,
+    rel_tol: float = 1e-6,
+) -> float:
+    """Largest penalty at which the optimum rejects task *index*.
+
+    Returns 0.0 when the task is accepted even penalty-free (rejecting
+    it would save no energy worth having, e.g. under ample capacity and
+    tiny workload); by monotonicity this is ``acceptance_price`` viewed
+    from below, so the same bisection applies.
+    """
+    if not 0 <= index < problem.n:
+        raise IndexError(f"task index {index} out of range")
+    require_positive("rel_tol", rel_tol)
+    if _accepted_at(problem, index, 0.0):
+        return 0.0
+    return acceptance_price(problem, index, rel_tol=rel_tol)

@@ -1,0 +1,37 @@
+"""Convex workload→energy functions ``g(W)``.
+
+The combinatorial core of the task-rejection problem only ever needs one
+scalar question answered: *what is the minimum energy to execute an
+accepted workload of ``W`` cycles before the deadline ``D``?*  For every
+processor model in scope that answer is a convex, non-decreasing function
+``g(W)`` with a feasibility cap ``W <= s_max * D`` — so the rejection
+algorithms are written once against the :class:`EnergyFunction` interface
+and reused across:
+
+* :class:`ContinuousEnergyFunction` — ideal (continuous-speed) processor,
+  dormant-disable, ``g(W) = (W/s) * Pd(s)`` at ``s = max(W/D, s_min)``;
+* :class:`CriticalSpeedEnergyFunction` — dormant-enable processor with
+  leakage: never run below the critical speed ``s*``, sleep (or idle)
+  through the slack, accounting for the sleep transition overheads;
+* :class:`DiscreteEnergyFunction` — non-ideal processor with a finite
+  level set: optimal time-sharing of the two adjacent levels.
+
+Periodic task sets reuse the same functions with ``D = hyper-period`` and
+``W = utilisation * hyper-period`` (EDF is optimal on each processor, so a
+constant speed equal to the utilisation is both feasible and
+energy-optimal for convex power).
+"""
+
+from repro.energy.base import EnergyFunction, SpeedPlan, SpeedSegment
+from repro.energy.continuous import ContinuousEnergyFunction
+from repro.energy.critical import CriticalSpeedEnergyFunction
+from repro.energy.discrete import DiscreteEnergyFunction
+
+__all__ = [
+    "EnergyFunction",
+    "SpeedPlan",
+    "SpeedSegment",
+    "ContinuousEnergyFunction",
+    "CriticalSpeedEnergyFunction",
+    "DiscreteEnergyFunction",
+]

@@ -1,0 +1,51 @@
+"""Reconstruction of the paper's evaluation: one module per figure/table.
+
+Every module exposes ``run(**knobs) -> ExperimentTable`` with defaults at
+"paper scale" and a ``quick=True`` mode used by the benchmark harness.
+The registry below is what the CLI and the benches iterate over; see
+DESIGN.md §3 for the experiment index (sweep, algorithms, expected
+shape) and EXPERIMENTS.md for archived results.
+"""
+
+from repro.experiments import (
+    fig_r1,
+    fig_r2,
+    fig_r3,
+    fig_r4,
+    fig_r5,
+    fig_r6,
+    fig_r7,
+    fig_r8,
+    fig_r9,
+    fig_r10,
+    fig_r11,
+    fig_r12,
+    fig_r13,
+    tab_r1,
+    tab_r2,
+    tab_r3,
+    tab_r4,
+)
+
+#: name -> run callable, in presentation order.
+ALL_EXPERIMENTS = {
+    "fig_r1": fig_r1.run,
+    "fig_r2": fig_r2.run,
+    "fig_r3": fig_r3.run,
+    "fig_r4": fig_r4.run,
+    "fig_r5": fig_r5.run,
+    "fig_r6": fig_r6.run,
+    "fig_r7": fig_r7.run,
+    "fig_r8": fig_r8.run,
+    "fig_r9": fig_r9.run,
+    "fig_r10": fig_r10.run,
+    "fig_r11": fig_r11.run,
+    "fig_r12": fig_r12.run,
+    "fig_r13": fig_r13.run,
+    "tab_r1": tab_r1.run,
+    "tab_r2": tab_r2.run,
+    "tab_r3": tab_r3.run,
+    "tab_r4": tab_r4.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

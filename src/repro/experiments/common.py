@@ -1,0 +1,108 @@
+"""Shared infrastructure for the experiment modules.
+
+Centralises the simulated-platform choices so every figure uses the same
+processor unless it is explicitly sweeping it:
+
+* power model: the normalised Intel XScale, ``P(s) = 0.08 + 1.52 s³`` W,
+  ``s_max = 1`` (companion text, Section IV);
+* frame deadline 1.0 (so cycles and speeds share a scale);
+* instances from :func:`repro.tasks.frame_instance` with the ``energy``
+  penalty model, which puts penalties and energies on the same scale and
+  makes the accept/reject trade-off genuinely two-sided.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.rejection import (
+    RejectionProblem,
+    RejectionSolution,
+    accept_all_repair,
+    fptas,
+    greedy_density,
+    greedy_marginal,
+    lp_rounding,
+    reject_random,
+)
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+    EnergyFunction,
+)
+from repro.power import DormantMode, xscale_power_model
+from repro.power.discrete import quantize_speeds
+from repro.tasks import frame_instance
+
+#: Frame deadline shared by the uniprocessor experiments.
+DEADLINE = 1.0
+
+#: The heuristic roster of Figs R1–R3, in presentation order.
+HEURISTICS: dict[str, Callable[..., RejectionSolution]] = {
+    "greedy_marginal": lambda p, rng: greedy_marginal(p),
+    "greedy_density": lambda p, rng: greedy_density(p),
+    "lp_rounding": lambda p, rng: lp_rounding(p),
+    "fptas(0.1)": lambda p, rng: fptas(p, eps=0.1),
+    "accept_all": lambda p, rng: accept_all_repair(p),
+    "random": lambda p, rng: reject_random(p, rng),
+}
+
+
+def xscale_energy(
+    *,
+    deadline: float = DEADLINE,
+    kind: str = "continuous",
+    levels: int | None = None,
+    dormant: DormantMode | None = None,
+) -> EnergyFunction:
+    """The standard per-experiment energy function.
+
+    ``kind`` selects the model: ``continuous`` (ideal, dormant-disable),
+    ``critical`` (dormant-enable, leakage-aware), ``discrete`` (non-ideal
+    with *levels* evenly spaced speeds, dormant-enable when *dormant* is
+    given).
+    """
+    model = xscale_power_model()
+    if kind == "continuous":
+        return ContinuousEnergyFunction(model, deadline)
+    if kind == "critical":
+        return CriticalSpeedEnergyFunction(model, deadline, dormant=dormant)
+    if kind == "discrete":
+        if levels is None:
+            raise ValueError("kind='discrete' requires levels")
+        return DiscreteEnergyFunction(
+            model, quantize_speeds(model, levels), deadline, dormant=dormant
+        )
+    raise ValueError(f"unknown energy kind {kind!r}")
+
+
+def standard_instance(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    load: float,
+    penalty_scale: float = 2.0,
+    penalty_model: str = "energy",
+    energy_fn: EnergyFunction | None = None,
+) -> RejectionProblem:
+    """One random uniprocessor rejection instance on the XScale platform."""
+    tasks = frame_instance(
+        rng,
+        n_tasks=n_tasks,
+        load=load,
+        deadline=DEADLINE,
+        s_max=1.0,
+        penalty_model=penalty_model,
+        penalty_scale=penalty_scale,
+    )
+    if energy_fn is None:
+        energy_fn = xscale_energy()
+    return RejectionProblem(tasks=tasks, energy_fn=energy_fn)
+
+
+def trial_rngs(seed: int, trials: int) -> list[np.random.Generator]:
+    """Independent, reproducible generators — one per trial."""
+    return [np.random.default_rng([seed, t]) for t in range(trials)]

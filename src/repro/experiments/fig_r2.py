@@ -1,0 +1,53 @@
+"""Fig R2 — average normalized cost vs system load η = Σc/(s_max·D).
+
+Fixed task count, load swept through the feasibility knee: below η = 1
+rejection is optional (purely economic), above it rejection is mandatory.
+
+Expected shape: the heuristic/optimal gap peaks around η ≈ 1 (the subset
+choice is most constrained and most consequential there) and shrinks in
+deep overload, where most tasks must go and all sensible policies
+converge; accept_all degrades most visibly past the knee.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentTable, normalized_ratio, summarize
+from repro.core.rejection import exhaustive
+from repro.experiments.common import HEURISTICS, standard_instance, trial_rngs
+
+
+def run(
+    *,
+    trials: int = 40,
+    seed: int = 20070417,
+    n_tasks: int = 12,
+    loads: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0),
+    quick: bool = False,
+) -> ExperimentTable:
+    """Execute the sweep and return the result table."""
+    if quick:
+        trials, n_tasks, loads = 6, 8, (0.6, 1.0, 2.0)
+    table = ExperimentTable(
+        name="fig_r2",
+        title=f"Average cost / optimal vs load (n={n_tasks})",
+        columns=["load", *HEURISTICS.keys()],
+        notes=[
+            f"trials={trials} seed={seed}",
+            "expected: heuristic gap peaks near load~1, shrinks in deep "
+            "overload",
+        ],
+    )
+    for load in loads:
+        ratios: dict[str, list[float]] = {name: [] for name in HEURISTICS}
+        for rng in trial_rngs(seed + int(load * 100), trials):
+            problem = standard_instance(rng, n_tasks=n_tasks, load=load)
+            opt = exhaustive(problem)
+            for name, solver in HEURISTICS.items():
+                sol = solver(problem, rng)
+                ratios[name].append(normalized_ratio(sol.cost, opt.cost))
+        table.add_row(load, *(summarize(ratios[name]).mean for name in HEURISTICS))
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,74 @@
+"""Fig R5 — non-ideal (discrete-speed) processors vs the ideal continuous one.
+
+The same instances are solved on processors exposing 2, 4, 8, 16 evenly
+spaced speed levels and on the ideal continuous processor; every cost is
+normalized to the *ideal-processor optimal* cost, so the table shows the
+price of speed quantisation and how fast it vanishes with level count.
+
+Expected shape: optimal-on-discrete cost decreases monotonically toward
+1.0 as levels grow (2 levels pay the most); greedy_marginal stays within
+a small factor of the discrete optimum at every level count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentTable, normalized_ratio, summarize
+from repro.core.rejection import RejectionProblem, exhaustive, greedy_marginal
+from repro.experiments.common import standard_instance, trial_rngs, xscale_energy
+
+
+def run(
+    *,
+    trials: int = 40,
+    seed: int = 20070420,
+    n_tasks: int = 12,
+    load: float = 1.2,
+    level_counts: tuple[int, ...] = (2, 4, 8, 16),
+    quick: bool = False,
+) -> ExperimentTable:
+    """Execute the sweep and return the result table."""
+    if quick:
+        trials, n_tasks, level_counts = 6, 8, (2, 8)
+    table = ExperimentTable(
+        name="fig_r5",
+        title=f"Discrete-speed cost / ideal-optimal (n={n_tasks}, "
+        f"load={load})",
+        columns=["levels", "optimal", "greedy_marginal"],
+        notes=[
+            f"trials={trials} seed={seed}",
+            "expected: -> 1.0 as levels grow; 'inf' row levels means ideal",
+        ],
+    )
+    rows: dict[object, dict[str, list[float]]] = {
+        lv: {"opt": [], "gm": []} for lv in (*level_counts, "ideal")
+    }
+    for rng in trial_rngs(seed, trials):
+        ideal = standard_instance(rng, n_tasks=n_tasks, load=load)
+        ideal_opt = exhaustive(ideal)
+        reference = ideal_opt.cost
+        rows["ideal"]["opt"].append(normalized_ratio(ideal_opt.cost, reference))
+        rows["ideal"]["gm"].append(
+            normalized_ratio(greedy_marginal(ideal).cost, reference)
+        )
+        for lv in level_counts:
+            discrete = RejectionProblem(
+                tasks=ideal.tasks,
+                energy_fn=xscale_energy(kind="discrete", levels=lv),
+            )
+            rows[lv]["opt"].append(
+                normalized_ratio(exhaustive(discrete).cost, reference)
+            )
+            rows[lv]["gm"].append(
+                normalized_ratio(greedy_marginal(discrete).cost, reference)
+            )
+    for lv in (*level_counts, "ideal"):
+        table.add_row(
+            str(lv),
+            summarize(rows[lv]["opt"]).mean,
+            summarize(rows[lv]["gm"]).mean,
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,98 @@
+"""Tab R4 (engineering) — algorithm runtime scaling.
+
+Not a paper figure: the table an adopter reads to pick an algorithm.
+Mean wall-clock runtime (ms) per instance over the task-count sweep, and
+the exact/heuristic cost agreement where an exact reference is feasible.
+
+Expected shape: greedy/LP-rounding effectively flat (sub-millisecond);
+FPTAS grows ~n²; pareto_exact grows with the (instance-dependent)
+frontier and stays practical to n ≈ 100; branch-and-bound is
+exponential-tailed and only run to n = 20.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import ExperimentTable, summarize
+from repro.core.rejection import (
+    branch_and_bound,
+    fptas,
+    greedy_marginal,
+    lp_rounding,
+    pareto_exact,
+)
+from repro.experiments.common import standard_instance, trial_rngs
+
+#: Beyond this, branch-and-bound is skipped (exponential tail).
+BB_LIMIT = 20
+
+
+def run(
+    *,
+    trials: int = 10,
+    seed: int = 20070431,
+    sizes: tuple[int, ...] = (10, 20, 40, 80, 160),
+    load: float = 1.5,
+    quick: bool = False,
+) -> ExperimentTable:
+    """Execute the sweep and return the result table."""
+    if quick:
+        trials, sizes = 3, (10, 40)
+    table = ExperimentTable(
+        name="tab_r4",
+        title=f"Algorithm runtime scaling, ms/instance (load={load})",
+        columns=[
+            "n",
+            "greedy_marginal",
+            "lp_rounding",
+            "fptas(0.1)",
+            "pareto_exact",
+            "branch_and_bound",
+        ],
+        notes=[
+            f"trials={trials} seed={seed}",
+            f"branch_and_bound only run to n={BB_LIMIT}",
+            "expected: greedy/LP flat; fptas ~n^2; pareto practical to "
+            "n~100 (frontier-dependent); b&b exponential-tailed",
+        ],
+    )
+    solvers = [
+        ("greedy_marginal", greedy_marginal),
+        ("lp_rounding", lp_rounding),
+        ("fptas(0.1)", lambda p: fptas(p, eps=0.1)),
+        ("pareto_exact", pareto_exact),
+        ("branch_and_bound", branch_and_bound),
+    ]
+    for n in sizes:
+        runtimes: dict[str, list[float]] = {name: [] for name, _ in solvers}
+        for rng in trial_rngs(seed + n, trials):
+            problem = standard_instance(rng, n_tasks=n, load=load)
+            reference = None
+            for name, solver in solvers:
+                if name == "branch_and_bound" and n > BB_LIMIT:
+                    continue
+                start = time.perf_counter()
+                sol = solver(problem)
+                runtimes[name].append((time.perf_counter() - start) * 1e3)
+                if name == "pareto_exact":
+                    reference = sol.cost
+                elif name == "branch_and_bound" and reference is not None:
+                    # Exactness cross-check rides along for free.
+                    if abs(sol.cost - reference) > 1e-6 * max(reference, 1.0):
+                        raise AssertionError(
+                            f"exact solvers disagree at n={n}: "
+                            f"{sol.cost} vs {reference}"
+                        )
+        table.add_row(
+            n,
+            *(
+                summarize(runtimes[name]).mean if runtimes[name] else "-"
+                for name, _ in solvers
+            ),
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,181 @@
+"""JSON serialisation of task sets, problem specs, and solutions.
+
+Instances travel as plain JSON so they can be versioned, diffed, shared
+with other tools, and replayed bit-exactly:
+
+* :func:`save_instance` / :func:`load_instance` — a frame-based
+  rejection instance: tasks + platform (power model, deadline, energy
+  model kind, dormant parameters);
+* :func:`solution_to_dict` — a solved instance's decision + cost
+  breakdown + speed plan, ready for ``json.dump``.
+
+The schema is deliberately explicit (no pickling, no class names) so a
+non-Python consumer can read it; ``schema_version`` guards evolution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.rejection import RejectionProblem, RejectionSolution
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+    EnergyFunction,
+)
+from repro.power import DormantMode, PolynomialPowerModel
+from repro.power.discrete import SpeedLevels
+from repro.tasks import FrameTask, FrameTaskSet
+
+SCHEMA_VERSION = 1
+
+
+def _power_model_to_dict(model: PolynomialPowerModel) -> dict[str, Any]:
+    if not isinstance(model, PolynomialPowerModel):
+        raise TypeError(
+            "only PolynomialPowerModel instances are serialisable "
+            f"(got {type(model).__name__}); CMOS models can be fitted to "
+            "a polynomial for interchange"
+        )
+    return {
+        "kind": "polynomial",
+        "beta0": model.beta0,
+        "beta1": model.beta1,
+        "alpha": model.alpha,
+        "s_min": model.s_min,
+        "s_max": model.s_max,
+    }
+
+
+def _power_model_from_dict(data: dict[str, Any]) -> PolynomialPowerModel:
+    if data.get("kind") != "polynomial":
+        raise ValueError(f"unsupported power model kind {data.get('kind')!r}")
+    return PolynomialPowerModel(
+        beta0=data["beta0"],
+        beta1=data["beta1"],
+        alpha=data["alpha"],
+        s_min=data.get("s_min", 0.0),
+        s_max=data["s_max"],
+    )
+
+
+def _energy_fn_to_dict(fn: EnergyFunction) -> dict[str, Any]:
+    if isinstance(fn, ContinuousEnergyFunction):
+        return {
+            "kind": "continuous",
+            "deadline": fn.deadline,
+            "power_model": _power_model_to_dict(fn.power_model),
+        }
+    if isinstance(fn, CriticalSpeedEnergyFunction):
+        return {
+            "kind": "critical",
+            "deadline": fn.deadline,
+            "power_model": _power_model_to_dict(fn.power_model),
+            "dormant": {"t_sw": fn.dormant.t_sw, "e_sw": fn.dormant.e_sw},
+        }
+    if isinstance(fn, DiscreteEnergyFunction):
+        return {
+            "kind": "discrete",
+            "deadline": fn.deadline,
+            "power_model": _power_model_to_dict(fn.power_model),
+            "levels": list(fn.levels.speeds),
+            "dormant_enable": fn.dormant_enable,
+        }
+    raise TypeError(f"cannot serialise energy function {type(fn).__name__}")
+
+
+def _energy_fn_from_dict(data: dict[str, Any]) -> EnergyFunction:
+    kind = data.get("kind")
+    model = _power_model_from_dict(data["power_model"])
+    deadline = data["deadline"]
+    if kind == "continuous":
+        return ContinuousEnergyFunction(model, deadline)
+    if kind == "critical":
+        dormant = data.get("dormant", {})
+        return CriticalSpeedEnergyFunction(
+            model,
+            deadline,
+            dormant=DormantMode(
+                t_sw=dormant.get("t_sw", 0.0), e_sw=dormant.get("e_sw", 0.0)
+            ),
+        )
+    if kind == "discrete":
+        return DiscreteEnergyFunction(
+            model,
+            SpeedLevels(data["levels"]),
+            deadline,
+            dormant=DormantMode() if data.get("dormant_enable") else None,
+        )
+    raise ValueError(f"unsupported energy function kind {kind!r}")
+
+
+def instance_to_dict(problem: RejectionProblem) -> dict[str, Any]:
+    """The JSON-ready representation of a rejection instance."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tasks": [
+            {"name": t.name, "cycles": t.cycles, "penalty": t.penalty}
+            for t in problem.tasks
+        ],
+        "energy_fn": _energy_fn_to_dict(problem.energy_fn),
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> RejectionProblem:
+    """Rebuild a rejection instance from :func:`instance_to_dict` output."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {version!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    tasks = FrameTaskSet(
+        FrameTask(name=t["name"], cycles=t["cycles"], penalty=t["penalty"])
+        for t in data["tasks"]
+    )
+    return RejectionProblem(
+        tasks=tasks, energy_fn=_energy_fn_from_dict(data["energy_fn"])
+    )
+
+
+def save_instance(problem: RejectionProblem, path: str | Path) -> Path:
+    """Write *problem* to *path* as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(instance_to_dict(problem), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_instance(path: str | Path) -> RejectionProblem:
+    """Read a rejection instance written by :func:`save_instance`."""
+    with open(path) as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def solution_to_dict(solution: RejectionSolution) -> dict[str, Any]:
+    """JSON-ready dump of a solution (decision, costs, speed plan)."""
+    plan = solution.speed_plan()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "algorithm": solution.algorithm,
+        "cost": solution.cost,
+        "energy": solution.energy,
+        "penalty": solution.penalty,
+        "accepted": sorted(t.name for t in solution.accepted_tasks),
+        "rejected": sorted(t.name for t in solution.rejected_tasks),
+        "acceptance_ratio": solution.acceptance_ratio,
+        "speed_plan": [
+            {
+                "start": seg.start,
+                "end": seg.end,
+                "speed": seg.speed,
+            }
+            for seg in plan.segments
+        ],
+        "meta": {k: v for k, v in solution.meta.items()},
+    }

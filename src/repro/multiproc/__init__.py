@@ -1,0 +1,32 @@
+"""Partitioned homogeneous multiprocessor substrate.
+
+Partition schedules (every task pinned to one processor, EDF per
+processor) are the setting of the whole DATE'07 line of work.  This
+package supplies the partitioning strategies the rejection variant
+builds on:
+
+* Largest-Task-First (LTF) — the companion text's approximation
+  workhorse: sort by size, assign to the least-loaded processor;
+* unsorted greedy (RAND) — the reference baseline;
+* first-fit with a capacity — classic bin-packing admission;
+
+plus partition-level energy evaluation and the pooled convex lower bound
+``Σ g(Wj) ≥ M · g(W/M)``.
+"""
+
+from repro.multiproc.partition import (
+    Partition,
+    first_fit_partition,
+    greedy_partition,
+    ltf_partition,
+)
+from repro.multiproc.pooled import PooledEnergyFunction, partition_energy
+
+__all__ = [
+    "Partition",
+    "ltf_partition",
+    "greedy_partition",
+    "first_fit_partition",
+    "PooledEnergyFunction",
+    "partition_energy",
+]

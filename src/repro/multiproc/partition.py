@@ -1,0 +1,163 @@
+"""Task-partitioning strategies for homogeneous multiprocessors.
+
+All strategies work on an abstract "size" (``key``): worst-case cycles
+for frame-based tasks, utilisation for periodic tasks — mirroring how the
+companion text re-uses LTF for both by swapping ``ci`` for ``ci/pi``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of item indices to ``m`` processors.
+
+    Attributes
+    ----------
+    assignments:
+        ``assignments[j]`` is the tuple of item indices on processor j.
+    unassigned:
+        Items no processor could host (capacity-constrained strategies
+        only; empty for unconstrained ones).
+    """
+
+    assignments: tuple[tuple[int, ...], ...]
+    unassigned: tuple[int, ...] = ()
+
+    @property
+    def m(self) -> int:
+        """Number of processors."""
+        return len(self.assignments)
+
+    def loads(self, sizes: Sequence[float]) -> list[float]:
+        """Per-processor total size under *sizes*."""
+        return [sum(sizes[i] for i in bucket) for bucket in self.assignments]
+
+    def processor_of(self, item: int) -> int | None:
+        """The processor hosting *item*, or None when unassigned."""
+        for j, bucket in enumerate(self.assignments):
+            if item in bucket:
+                return j
+        return None
+
+    def validate(self, n_items: int) -> None:
+        """Check the partition is a disjoint cover of ``range(n_items)``."""
+        seen: set[int] = set()
+        for bucket in self.assignments:
+            for i in bucket:
+                if i in seen:
+                    raise ValueError(f"item {i} assigned twice")
+                seen.add(i)
+        for i in self.unassigned:
+            if i in seen:
+                raise ValueError(f"item {i} both assigned and unassigned")
+            seen.add(i)
+        if seen != set(range(n_items)):
+            raise ValueError("partition does not cover all items exactly once")
+
+
+def _assign_min_load(
+    order: Sequence[int],
+    sizes: Sequence[float],
+    m: int,
+    capacity: float | None,
+) -> Partition:
+    """Assign items in *order* to the least-loaded processor that fits."""
+    if m < 1:
+        raise ValueError(f"need at least one processor, got m={m!r}")
+    heap: list[tuple[float, int]] = [(0.0, j) for j in range(m)]
+    heapq.heapify(heap)
+    buckets: list[list[int]] = [[] for _ in range(m)]
+    rejected: list[int] = []
+    for i in order:
+        load, j = heap[0]
+        if capacity is not None and load + sizes[i] > capacity * (1 + 1e-12):
+            rejected.append(i)
+            continue
+        heapq.heapreplace(heap, (load + sizes[i], j))
+        buckets[j].append(i)
+    return Partition(
+        assignments=tuple(tuple(b) for b in buckets),
+        unassigned=tuple(rejected),
+    )
+
+
+def ltf_partition(
+    sizes: Sequence[float],
+    m: int,
+    *,
+    capacity: float | None = None,
+) -> Partition:
+    """Largest-Task-First: sort by size (desc), least-loaded-first.
+
+    The companion text's Algorithm LTF; with a finite *capacity* items
+    that fit nowhere land in ``unassigned`` (the rejection hook).
+    """
+    order = sorted(range(len(sizes)), key=lambda i: sizes[i], reverse=True)
+    return _assign_min_load(order, sizes, m, capacity)
+
+
+def greedy_partition(
+    sizes: Sequence[float],
+    m: int,
+    *,
+    capacity: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> Partition:
+    """Unsorted least-loaded-first (Algorithm RAND of the experiments).
+
+    Items are taken in given order, or shuffled when *rng* is supplied.
+    """
+    order = list(range(len(sizes)))
+    if rng is not None:
+        order = list(rng.permutation(len(sizes)))
+    return _assign_min_load(order, sizes, m, capacity)
+
+
+def first_fit_partition(
+    sizes: Sequence[float],
+    capacity: float,
+    *,
+    m: int | None = None,
+    order: Sequence[int] | None = None,
+) -> Partition:
+    """First-fit bin packing with per-processor *capacity*.
+
+    With *m* given, at most ``m`` processors are used and overflow items
+    become ``unassigned``; without it, processors are opened as needed
+    (the classic FF of the allocation-cost algorithms).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be > 0, got {capacity!r}")
+    sequence = list(order) if order is not None else list(range(len(sizes)))
+    buckets: list[list[int]] = []
+    loads: list[float] = []
+    rejected: list[int] = []
+    for i in sequence:
+        placed = False
+        for j, load in enumerate(loads):
+            if load + sizes[i] <= capacity * (1 + 1e-12):
+                buckets[j].append(i)
+                loads[j] += sizes[i]
+                placed = True
+                break
+        if placed:
+            continue
+        if (m is None or len(buckets) < m) and sizes[i] <= capacity * (1 + 1e-12):
+            buckets.append([i])
+            loads.append(sizes[i])
+        else:
+            rejected.append(i)
+    if m is not None:
+        while len(buckets) < m:
+            buckets.append([])
+    return Partition(
+        assignments=tuple(tuple(b) for b in buckets),
+        unassigned=tuple(rejected),
+    )

@@ -1,0 +1,31 @@
+"""DVS processor power models.
+
+This package is the lowest-level substrate: it answers "what does it cost,
+in watts, to run at speed ``s``", and derived questions ("what speed
+minimises energy per cycle?", "what discrete levels are available?",
+"when is entering the dormant mode worthwhile?").
+
+Conventions (used consistently across the whole library):
+
+* **speed** ``s`` is in cycles per time unit, normalised so the reference
+  processor's maximum speed is 1.0 (the companion DATE'07 text normalises
+  the Intel XScale this way, yielding ``P(s) = 0.08 + 1.52 s**3`` W);
+* **power** is in watts, **time** in seconds, **energy** in joules;
+* running ``c`` cycles at speed ``s`` takes ``c / s`` seconds and consumes
+  ``(c / s) * P(s)`` joules.
+"""
+
+from repro.power.base import PowerModel, DormantMode
+from repro.power.polynomial import PolynomialPowerModel, xscale_power_model
+from repro.power.cmos import CMOSPowerModel
+from repro.power.discrete import SpeedLevels, quantize_speeds
+
+__all__ = [
+    "PowerModel",
+    "DormantMode",
+    "PolynomialPowerModel",
+    "xscale_power_model",
+    "CMOSPowerModel",
+    "SpeedLevels",
+    "quantize_speeds",
+]

@@ -1,0 +1,120 @@
+"""Discrete speed levels for non-ideal processors.
+
+"Ideal" processors in the system model offer a continuous speed spectrum;
+real parts (XScale, StrongARM) expose a handful of frequency/voltage
+operating points.  :class:`SpeedLevels` captures an ordered level set and
+the standard adjacent-level machinery: given a desired average speed, the
+energy-optimal policy on a convex power curve time-shares the two adjacent
+available levels (Ishihara & Yasuura, ISLPED'98) — that split is computed
+in :mod:`repro.energy.discrete`; this module only owns the level algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro._validation import require_positive
+from repro.power.base import PowerModel
+
+
+class SpeedLevels:
+    """An immutable, strictly increasing set of available speeds.
+
+    Parameters
+    ----------
+    speeds:
+        Positive speed values; duplicates are rejected rather than
+        silently collapsed so that generator bugs surface early.
+    """
+
+    def __init__(self, speeds: Iterable[float]) -> None:
+        values = [float(s) for s in speeds]
+        if not values:
+            raise ValueError("at least one speed level is required")
+        for s in values:
+            require_positive("speed level", s)
+        ordered = sorted(values)
+        for a, b in zip(ordered, ordered[1:]):
+            if b - a <= 0:
+                raise ValueError(f"duplicate speed level {a!r}")
+        self._speeds: tuple[float, ...] = tuple(ordered)
+
+    @property
+    def speeds(self) -> tuple[float, ...]:
+        """The levels in increasing order."""
+        return self._speeds
+
+    @property
+    def s_min(self) -> float:
+        """Slowest available level."""
+        return self._speeds[0]
+
+    @property
+    def s_max(self) -> float:
+        """Fastest available level."""
+        return self._speeds[-1]
+
+    def __len__(self) -> int:
+        return len(self._speeds)
+
+    def __iter__(self):
+        return iter(self._speeds)
+
+    def __contains__(self, speed: float) -> bool:
+        return any(math.isclose(speed, s, rel_tol=1e-12) for s in self._speeds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpeedLevels):
+            return NotImplemented
+        return self._speeds == other._speeds
+
+    def __hash__(self) -> int:
+        return hash(self._speeds)
+
+    def ceil(self, speed: float) -> float:
+        """Smallest available level >= *speed* (raises above ``s_max``)."""
+        for s in self._speeds:
+            if s >= speed - 1e-15:
+                return s
+        raise ValueError(f"no available speed >= {speed!r} (s_max={self.s_max})")
+
+    def floor(self, speed: float) -> float:
+        """Largest available level <= *speed* (raises below ``s_min``)."""
+        for s in reversed(self._speeds):
+            if s <= speed + 1e-15:
+                return s
+        raise ValueError(f"no available speed <= {speed!r} (s_min={self.s_min})")
+
+    def bracket(self, speed: float) -> tuple[float, float]:
+        """The adjacent pair ``(lo, hi)`` with ``lo <= speed <= hi``.
+
+        At an exact level (or outside the range after clamping) both
+        entries coincide.
+        """
+        if speed <= self.s_min:
+            return (self.s_min, self.s_min)
+        if speed >= self.s_max:
+            return (self.s_max, self.s_max)
+        return (self.floor(speed), self.ceil(speed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpeedLevels({list(self._speeds)!r})"
+
+
+def quantize_speeds(
+    model: PowerModel, n_levels: int, *, s_max: float | None = None
+) -> SpeedLevels:
+    """Evenly spaced level set ``s_max/n, 2*s_max/n, ..., s_max`` for *model*.
+
+    A convenience used by the non-ideal-processor experiments (Fig R5):
+    the coarsest setting ``n_levels=2`` gives {s_max/2, s_max}, and
+    ``n_levels -> inf`` converges to the ideal continuous processor.
+    """
+    if n_levels < 1:
+        raise ValueError(f"n_levels must be >= 1, got {n_levels!r}")
+    top = model.s_max if s_max is None else s_max
+    if not math.isfinite(top):
+        raise ValueError("cannot quantize an unbounded speed range; pass s_max")
+    require_positive("s_max", top)
+    return SpeedLevels(top * (k + 1) / n_levels for k in range(n_levels))

@@ -1,0 +1,31 @@
+"""Scheduling substrate: EDF simulation, frame execution, procrastination.
+
+The rejection algorithms reason analytically (through ``g(W)``); this
+package is the ground truth they are checked against:
+
+* :mod:`repro.sched.edf` — an event-driven, preemptive, speed-aware EDF
+  simulator for periodic tasks on one processor, with full energy
+  accounting (dynamic, static, sleep transitions) and deadline-miss
+  detection;
+* :mod:`repro.sched.frame` — executes a :class:`repro.energy.SpeedPlan`
+  against a frame task set and verifies every accepted task completes by
+  the deadline;
+* :mod:`repro.sched.proc` — the procrastination (PROC) wake-up policy for
+  dormant-enable processors.
+"""
+
+from repro.sched.edf import EdfSimulator, SimulationResult, simulate_edf
+from repro.sched.frame import FrameExecution, execute_frame_plan
+from repro.sched.gantt import render_gantt, render_speed_plan
+from repro.sched.proc import procrastination_interval
+
+__all__ = [
+    "EdfSimulator",
+    "SimulationResult",
+    "simulate_edf",
+    "FrameExecution",
+    "execute_frame_plan",
+    "procrastination_interval",
+    "render_gantt",
+    "render_speed_plan",
+]

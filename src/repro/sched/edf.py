@@ -1,0 +1,384 @@
+"""Event-driven, speed-aware, preemptive EDF simulator with energy accounting.
+
+One processor, a set of accepted periodic tasks, a constant execution
+speed, optionally a dormant mode and the procrastination policy.  The
+simulator is the library's ground truth: the analytic energy claims of
+the rejection algorithms (``g(U·L)`` per hyper-period) and the safety of
+the procrastination interval are both validated against it in the test
+suite and in Tab R2.
+
+Semantics:
+
+* jobs are released periodically (``ai + k·pi``) and queued EDF (earliest
+  absolute deadline first, FIFO tie-break);
+* execution runs at the configured constant speed; preemption happens
+  only at release instants (sufficient for EDF with a constant speed);
+* a deadline miss is *recorded* when a deadline passes with work pending,
+  and the job keeps running (overrun semantics) — feasible inputs must
+  produce zero misses, which is exactly what the tests assert;
+* idle gaps cost static power, unless the dormant mode is present and
+  the gap is known to reach the break-even time, in which case the
+  processor sleeps (one ``e_sw`` per sleep episode);
+* with ``procrastinate=True`` a sleeping processor stays asleep for the
+  :func:`repro.sched.proc.procrastination_interval` beyond the next
+  release, batching work to lengthen sleep episodes;
+* with ``actual_cycles`` jobs may complete under their WCEC, and with
+  ``reclaim=True`` the simulator applies cycle-conserving EDF (Pillai &
+  Shin, SOSP'01): each task is budgeted at its worst-case utilisation
+  from release until its job completes, then at its *actual* utilisation
+  until the next release; the speed tracks the budget sum, so early
+  completions immediately slow the processor without risking deadlines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro._validation import require_positive
+from repro.power.base import DormantMode, PowerModel
+from repro.sched.proc import procrastination_interval
+from repro.tasks.model import PeriodicTask, PeriodicTaskSet
+
+#: Guard against accidentally simulating billions of jobs.
+MAX_JOBS = 2_000_000
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A recorded deadline miss."""
+
+    task: str
+    release: float
+    deadline: float
+    remaining_cycles: float
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One interval of the execution trace.
+
+    ``what`` is the task name, ``"idle"``, or ``"sleep"``.
+    """
+
+    start: float
+    end: float
+    what: str
+    speed: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one EDF simulation."""
+
+    horizon: float
+    energy_active: float
+    energy_idle: float
+    energy_sleep: float
+    busy_time: float
+    idle_time: float
+    sleep_time: float
+    sleep_episodes: int
+    jobs_released: int
+    jobs_completed: int
+    misses: tuple[DeadlineMiss, ...]
+    trace: tuple[TraceInterval, ...] = ()
+
+    @property
+    def total_energy(self) -> float:
+        """Active + idle + sleep-transition energy (J)."""
+        return self.energy_active + self.energy_idle + self.energy_sleep
+
+    @property
+    def missed(self) -> bool:
+        """True when any deadline was missed."""
+        return bool(self.misses)
+
+
+class _Job:
+    __slots__ = ("task", "release", "deadline", "remaining", "actual", "seq", "miss_logged")
+
+    def __init__(
+        self, task: PeriodicTask, release: float, seq: int, actual: float
+    ) -> None:
+        self.task = task
+        self.release = release
+        self.deadline = release + task.period
+        self.actual = actual
+        self.remaining = actual
+        self.seq = seq
+        self.miss_logged = False
+
+    def key(self) -> tuple[float, int]:
+        return (self.deadline, self.seq)
+
+
+class EdfSimulator:
+    """Configurable EDF simulation of one processor.
+
+    Parameters
+    ----------
+    tasks:
+        The accepted periodic tasks (must be non-empty).
+    power_model:
+        Supplies ``P(s)`` and the static (idle) power.
+    speed:
+        Constant execution speed; defaults to the utilisation clamped to
+        the processor range (and to the critical speed when a dormant
+        mode is present).
+    dormant:
+        Enables the dormant mode with the given overheads.
+    procrastinate:
+        Apply the procrastination wake-up policy (needs ``dormant``).
+    horizon:
+        Simulation length; defaults to one exact hyper-period.
+    record_trace:
+        Keep the full interval trace (memory-heavy for long horizons).
+    actual_cycles:
+        Optional ``(task, job_sequence) -> cycles`` callable giving each
+        job's actual requirement; values are clamped into ``(0, wcec]``.
+        Defaults to WCEC for every job.
+    reclaim:
+        Apply cycle-conserving EDF speed scaling (requires jobs that can
+        finish early to be useful; safe regardless).  The configured
+        ``speed`` stays the worst-case ceiling; the running speed is
+        ``speed · (budget utilisation / worst-case utilisation)``.
+    """
+
+    def __init__(
+        self,
+        tasks: PeriodicTaskSet,
+        power_model: PowerModel,
+        *,
+        speed: float | None = None,
+        dormant: DormantMode | None = None,
+        procrastinate: bool = False,
+        horizon: float | None = None,
+        record_trace: bool = False,
+        actual_cycles: Callable[[PeriodicTask, int], float] | None = None,
+        reclaim: bool = False,
+    ) -> None:
+        if len(tasks) == 0:
+            raise ValueError("cannot simulate an empty task set")
+        if procrastinate and dormant is None:
+            raise ValueError("procrastinate=True requires a dormant mode")
+        self._actual_cycles = actual_cycles
+        self._reclaim = bool(reclaim)
+        self._tasks = tasks
+        self._model = power_model
+        self._dormant = dormant
+        self._procrastinate = procrastinate
+        self._record = record_trace
+
+        if speed is None:
+            target = tasks.total_utilization
+            if dormant is not None:
+                target = max(target, power_model.critical_speed())
+            speed = power_model.clamp_speed(target)
+        require_positive("speed", speed)
+        power_model.power(speed)  # validates the speed is in range
+        self._speed = speed
+
+        if horizon is None:
+            horizon = float(tasks.hyper_period)
+        require_positive("horizon", horizon)
+        self._horizon = horizon
+
+        expected_jobs = sum(
+            max(0, math.ceil((horizon - t.arrival) / t.period)) for t in tasks
+        )
+        if expected_jobs > MAX_JOBS:
+            raise ValueError(
+                f"simulation would release {expected_jobs} jobs (> {MAX_JOBS}); "
+                "shorten the horizon"
+            )
+
+    @property
+    def speed(self) -> float:
+        """The constant execution speed in use."""
+        return self._speed
+
+    @property
+    def horizon(self) -> float:
+        """The simulation length."""
+        return self._horizon
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Simulate ``[0, horizon)`` and return the aggregates."""
+        releases: list[tuple[float, int, PeriodicTask]] = []
+        seq = 0
+        for task in self._tasks:
+            t = task.arrival
+            while t < self._horizon - 1e-12:
+                releases.append((t, seq, task))
+                seq += 1
+                t += task.period
+        heapq.heapify(releases)
+
+        ready: list[tuple[float, int, _Job]] = []
+        trace: list[TraceInterval] = []
+        misses: list[DeadlineMiss] = []
+
+        energy_active = energy_idle = energy_sleep = 0.0
+        busy = idle = asleep = 0.0
+        sleep_episodes = 0
+        jobs_released = len(releases)
+        jobs_completed = 0
+
+        break_even = (
+            self._dormant.break_even_time(self._model.static_power)
+            if self._dormant is not None
+            else math.inf
+        )
+        proc_interval = (
+            procrastination_interval(self._tasks, self._speed)
+            if self._procrastinate
+            else 0.0
+        )
+
+        # Cycle-conserving budget: worst-case utilisation from release to
+        # completion, actual utilisation from completion to next release.
+        budget = {t.name: t.utilization for t in self._tasks}
+        worst_case_u = self._tasks.total_utilization
+
+        def _current_speed() -> float:
+            if not self._reclaim:
+                return self._speed
+            share = sum(budget.values()) / worst_case_u
+            return self._model.clamp_speed(max(self._speed * share, 1e-12))
+
+        def _drain_releases(now: float) -> None:
+            while releases and releases[0][0] <= now + 1e-12:
+                rel_time, s, task = heapq.heappop(releases)
+                actual = task.wcec
+                if self._actual_cycles is not None:
+                    drawn = float(self._actual_cycles(task, s))
+                    actual = min(max(drawn, 1e-12), task.wcec)
+                job = _Job(task, rel_time, s, actual)
+                heapq.heappush(ready, (job.deadline, job.seq, job))
+                budget[task.name] = task.utilization
+
+        def _log_miss_if_due(now: float) -> None:
+            for _, _, job in ready:
+                if not job.miss_logged and job.deadline < now - 1e-9:
+                    job.miss_logged = True
+                    misses.append(
+                        DeadlineMiss(
+                            task=job.task.name,
+                            release=job.release,
+                            deadline=job.deadline,
+                            remaining_cycles=job.remaining,
+                        )
+                    )
+
+        now = 0.0
+        _drain_releases(now)
+        while now < self._horizon - 1e-12:
+            if not ready:
+                next_release = releases[0][0] if releases else self._horizon
+                gap_end = min(next_release, self._horizon)
+                gap = gap_end - now
+                # With procrastination the processor may stay asleep for
+                # the procrastination interval past the next release, so
+                # the achievable sleep length — and hence the sleep/idle
+                # decision — includes that extension.
+                wake = gap_end
+                if self._procrastinate and releases:
+                    wake = min(gap_end + proc_interval, self._horizon)
+                sleep_len = wake - now
+                sleeping = (
+                    self._dormant is not None
+                    and sleep_len >= break_even - 1e-12
+                    and sleep_len > 0
+                )
+                if sleeping:
+                    energy_sleep += self._dormant.e_sw
+                    sleep_episodes += 1
+                    asleep += wake - now
+                    if self._record:
+                        trace.append(TraceInterval(now, wake, "sleep", 0.0))
+                    now = wake
+                else:
+                    if gap > 0:
+                        energy_idle += self._model.static_power * gap
+                        idle += gap
+                        if self._record:
+                            trace.append(TraceInterval(now, gap_end, "idle", 0.0))
+                    now = gap_end
+                _drain_releases(now)
+                _log_miss_if_due(now)
+                continue
+
+            deadline, _, job = ready[0]
+            speed_now = _current_speed()
+            finish = now + job.remaining / speed_now
+            next_release = releases[0][0] if releases else math.inf
+            run_until = min(finish, next_release, self._horizon)
+            dt = run_until - now
+            if dt > 0:
+                executed = dt * speed_now
+                job.remaining = max(job.remaining - executed, 0.0)
+                energy_active += self._model.power(speed_now) * dt
+                busy += dt
+                if self._record:
+                    trace.append(
+                        TraceInterval(now, run_until, job.task.name, speed_now)
+                    )
+            now = run_until
+            if job.remaining <= 1e-9:
+                heapq.heappop(ready)
+                jobs_completed += 1
+                budget[job.task.name] = job.actual / job.task.period
+                if not job.miss_logged and job.deadline < now - 1e-9:
+                    misses.append(
+                        DeadlineMiss(
+                            task=job.task.name,
+                            release=job.release,
+                            deadline=job.deadline,
+                            remaining_cycles=0.0,
+                        )
+                    )
+                    job.miss_logged = True
+            _drain_releases(now)
+            _log_miss_if_due(now)
+
+        # Jobs still pending at the horizon missed their deadline only if
+        # the deadline itself is inside the horizon.
+        for _, _, job in ready:
+            if not job.miss_logged and job.deadline <= self._horizon + 1e-9:
+                misses.append(
+                    DeadlineMiss(
+                        task=job.task.name,
+                        release=job.release,
+                        deadline=job.deadline,
+                        remaining_cycles=job.remaining,
+                    )
+                )
+
+        return SimulationResult(
+            horizon=self._horizon,
+            energy_active=energy_active,
+            energy_idle=energy_idle,
+            energy_sleep=energy_sleep,
+            busy_time=busy,
+            idle_time=idle,
+            sleep_time=asleep,
+            sleep_episodes=sleep_episodes,
+            jobs_released=jobs_released,
+            jobs_completed=jobs_completed,
+            misses=tuple(misses),
+            trace=tuple(trace),
+        )
+
+
+def simulate_edf(
+    tasks: PeriodicTaskSet,
+    power_model: PowerModel,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build an :class:`EdfSimulator` and run it."""
+    return EdfSimulator(tasks, power_model, **kwargs).run()

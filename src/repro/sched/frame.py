@@ -1,0 +1,123 @@
+"""Frame execution: run accepted frame tasks against a speed plan.
+
+Frame-based tasks all arrive at 0 and share the deadline, so any
+work-conserving order is fine; this executor runs them back-to-back over
+the :class:`repro.energy.SpeedPlan` produced by the energy function and
+verifies that (a) every accepted task finishes by the deadline and
+(b) the plan's energy matches the integral of the executed power — the
+end-to-end check that the analytic ``g(W)`` is actually achievable on
+the modelled processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.base import SpeedPlan
+from repro.power.base import DormantMode, PowerModel
+from repro.tasks.model import FrameTaskSet
+
+
+@dataclass(frozen=True)
+class TaskCompletion:
+    """When one task started and finished within the frame."""
+
+    task: str
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class FrameExecution:
+    """Outcome of executing a frame against a speed plan."""
+
+    completions: tuple[TaskCompletion, ...]
+    energy: float
+    makespan: float
+    deadline: float
+
+    @property
+    def all_met(self) -> bool:
+        """True when every task finished by the deadline."""
+        return self.makespan <= self.deadline * (1 + 1e-9)
+
+
+def execute_frame_plan(
+    tasks: FrameTaskSet,
+    plan: SpeedPlan,
+    power_model: PowerModel,
+    *,
+    deadline: float | None = None,
+    dormant: DormantMode | None = None,
+) -> FrameExecution:
+    """Execute *tasks* sequentially over *plan* and account the energy.
+
+    Raises ValueError when the plan does not carry enough cycles for the
+    task set (a bug in the caller's plan construction, not a scheduling
+    outcome).
+    """
+    horizon = plan.horizon
+    deadline = horizon if deadline is None else deadline
+    total_needed = tasks.total_cycles
+    if plan.total_cycles < total_needed * (1 - 1e-9):
+        raise ValueError(
+            f"speed plan supplies {plan.total_cycles} cycles but the task "
+            f"set needs {total_needed}"
+        )
+
+    completions: list[TaskCompletion] = []
+    energy = 0.0
+    makespan = 0.0
+
+    task_iter = iter(tasks)
+    current = next(task_iter, None)
+    remaining = current.cycles if current is not None else 0.0
+    start_time = 0.0
+
+    for seg in plan.segments:
+        seg_time = seg.start
+        seg_speed = max(seg.speed, 0.0)
+        seg_left = seg.duration
+        # Energy for idle/sleep portions of the plan.
+        if current is None or seg_speed == 0.0:
+            if seg.is_sleep:
+                energy += dormant.e_sw if dormant is not None else 0.0
+            else:
+                energy += power_model.static_power * seg.duration
+            continue
+        while current is not None and seg_left > 1e-15:
+            time_needed = remaining / seg_speed
+            slice_len = min(time_needed, seg_left)
+            executed = slice_len * seg_speed
+            energy += power_model.power(seg_speed) * slice_len
+            seg_time += slice_len
+            seg_left -= slice_len
+            remaining -= executed
+            if remaining <= 1e-9:
+                completions.append(
+                    TaskCompletion(task=current.name, start=start_time, finish=seg_time)
+                )
+                makespan = seg_time
+                start_time = seg_time
+                current = next(task_iter, None)
+                remaining = current.cycles if current is not None else 0.0
+        if current is None and seg_left > 1e-15 and not seg.is_sleep:
+            # Tail of the segment after the last task completed: idle-ish
+            # at the segment's static cost only if it was an idle segment;
+            # an executing segment that outlives the workload means the
+            # plan over-provisioned, which total-cycles checking prevents
+            # up to fp noise — account it as idle.
+            energy += power_model.static_power * seg_left
+
+    if current is not None:
+        raise ValueError(
+            f"plan exhausted with task {current.name!r} incomplete "
+            f"({remaining} cycles left)"
+        )
+
+    return FrameExecution(
+        completions=tuple(completions),
+        energy=energy,
+        makespan=makespan,
+        deadline=deadline,
+    )

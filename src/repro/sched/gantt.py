@@ -1,0 +1,125 @@
+"""ASCII Gantt rendering of simulation traces and speed plans.
+
+The box has no plotting stack, so schedule inspection happens in the
+terminal: one row per task (plus idle/sleep), time quantised to a fixed
+number of columns, execution marked with ``#`` against the row's scale.
+Used by the examples and handy in the REPL:
+
+>>> from repro.sched import simulate_edf, render_gantt  # doctest: +SKIP
+>>> result = simulate_edf(tasks, model, record_trace=True)  # doctest: +SKIP
+>>> print(render_gantt(result.trace, result.horizon))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._validation import require_positive
+from repro.energy.base import SpeedPlan
+from repro.sched.edf import TraceInterval
+
+#: Row labels for the non-task rows.
+IDLE_ROW = "idle"
+SLEEP_ROW = "sleep"
+
+
+def render_gantt(
+    trace: Sequence[TraceInterval],
+    horizon: float,
+    *,
+    width: int = 72,
+    fill: str = "#",
+) -> str:
+    """Render an EDF trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    trace:
+        Intervals from :class:`repro.sched.SimulationResult` (requires
+        the simulation to have run with ``record_trace=True``).
+    horizon:
+        Total time span mapped onto the chart width.
+    width:
+        Number of time columns.
+    fill:
+        Mark used for occupancy.
+    """
+    require_positive("horizon", horizon)
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width!r}")
+    if not trace:
+        return "(empty trace)"
+
+    rows: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    def row_for(name: str) -> list[str]:
+        if name not in rows:
+            rows[name] = [" "] * width
+            order.append(name)
+        return rows[name]
+
+    for interval in trace:
+        name = interval.what
+        if name == "idle":
+            name = IDLE_ROW
+        elif name == "sleep":
+            name = SLEEP_ROW
+        row = row_for(name)
+        start = int(round(interval.start / horizon * width))
+        end = int(round(interval.end / horizon * width))
+        end = max(end, start + 1)  # even instant-ish slices show one cell
+        for col in range(start, min(end, width)):
+            row[col] = fill
+
+    label_width = max(len(name) for name in order)
+    lines = []
+    for name in order:
+        lines.append(f"{name:>{label_width}} |{''.join(rows[name])}|")
+    axis = f"{'':>{label_width}}  0{'':{width - 2}}{horizon:g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_speed_plan(
+    plan: SpeedPlan,
+    *,
+    width: int = 72,
+    height: int = 8,
+) -> str:
+    """Render a :class:`~repro.energy.SpeedPlan` as an ASCII speed profile.
+
+    Rows are speed levels (top = fastest used speed); columns are time.
+    Sleep segments are marked ``z`` on the bottom row.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    horizon = plan.horizon
+    if horizon <= 0 or not plan.segments:
+        return "(empty plan)"
+    top = max((seg.speed for seg in plan.segments), default=0.0)
+    if top <= 0:
+        return "(all idle)"
+
+    grid = [[" "] * width for _ in range(height)]
+    for seg in plan.segments:
+        start = int(round(seg.start / horizon * width))
+        end = max(int(round(seg.end / horizon * width)), start + 1)
+        if seg.is_sleep:
+            for col in range(start, min(end, width)):
+                grid[height - 1][col] = "z"
+            continue
+        if seg.speed <= 0:
+            continue
+        level = int(round(seg.speed / top * height))
+        level = min(max(level, 1), height)
+        for row in range(height - level, height):
+            for col in range(start, min(end, width)):
+                grid[row][col] = "#"
+
+    lines = []
+    for r, row in enumerate(grid):
+        label = f"{top * (height - r) / height:5.2f}"
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(f"{'':>5}  0{'':{width - 2}}{horizon:g}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Optimal speed-assignment substrate.
+
+Beyond the single-speed results baked into :mod:`repro.energy`, two
+classic pieces of DVS machinery used across the experiments and tests:
+
+* :mod:`repro.speedopt.heterogeneous` — closed-form Lagrange (KKT) time
+  allocation for tasks with *different* power coefficients sharing one
+  deadline (the substrate behind the LEET/LEUF family);
+* :mod:`repro.speedopt.yds` — the Yao–Demers–Shenker optimal continuous
+  speed schedule for aperiodic jobs with individual arrivals/deadlines,
+  used for slack analysis and as an independent optimality oracle.
+"""
+
+from repro.speedopt.heterogeneous import (
+    HeterogeneousAssignment,
+    heterogeneous_assignment,
+)
+from repro.speedopt.yds import Job, YdsSchedule, yds_schedule
+
+__all__ = [
+    "HeterogeneousAssignment",
+    "heterogeneous_assignment",
+    "Job",
+    "YdsSchedule",
+    "yds_schedule",
+]

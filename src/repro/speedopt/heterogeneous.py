@@ -1,0 +1,120 @@
+"""Optimal speeds for tasks with different power coefficients.
+
+Setting: one processor, frame deadline ``D``, tasks with cycles ``ci``
+and per-task dynamic power ``Pi(s) = ρi · s**α`` (same exponent, different
+coefficients — the "different power characteristics" model behind the
+LEET/LEUF algorithms).  Choosing per-task execution times ``ti = ci/si``
+the energy is
+
+    E = Σ ρi · ci**α · ti**(1−α)        with  Σ ti = D.
+
+Lagrange/KKT gives the closed form ``ti ∝ ci · ρi**(1/α)``: tasks with a
+higher power coefficient get disproportionately more time (run slower).
+With equal coefficients this degenerates to the common-speed optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro._validation import require_positive
+
+
+@dataclass(frozen=True)
+class HeterogeneousAssignment:
+    """The optimal per-task time/speed allocation.
+
+    Attributes
+    ----------
+    times:
+        Execution time per task (sums to the deadline).
+    speeds:
+        Per-task constant speed ``ci / ti``.
+    energy:
+        Total dynamic energy of the allocation.
+    """
+
+    times: tuple[float, ...]
+    speeds: tuple[float, ...]
+    energy: float
+
+
+def heterogeneous_assignment(
+    cycles: Sequence[float],
+    coefficients: Sequence[float],
+    *,
+    deadline: float,
+    alpha: float = 3.0,
+    s_max: float = math.inf,
+) -> HeterogeneousAssignment:
+    """Closed-form optimal allocation (see module docstring).
+
+    Parameters
+    ----------
+    cycles, coefficients:
+        Per-task ``ci`` and ``ρi`` (all > 0, same length).
+    deadline:
+        The shared frame deadline ``D``.
+    alpha:
+        The common power exponent (> 1).
+    s_max:
+        Optional speed cap.  The unconstrained optimum is clamped by
+        iteratively pinning capped tasks at ``s_max`` and re-solving on
+        the remainder (the standard KKT active-set argument); raises when
+        even running everything at ``s_max`` misses the deadline.
+    """
+    if len(cycles) != len(coefficients):
+        raise ValueError(
+            f"cycles and coefficients disagree on length "
+            f"({len(cycles)} != {len(coefficients)})"
+        )
+    if not cycles:
+        raise ValueError("need at least one task")
+    for c in cycles:
+        require_positive("cycles", c)
+    for r in coefficients:
+        require_positive("coefficient", r)
+    require_positive("deadline", deadline)
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha!r}")
+
+    if sum(cycles) / s_max > deadline * (1 + 1e-12):
+        raise ValueError(
+            "infeasible: total cycles exceed s_max * deadline "
+            f"({sum(cycles)} > {s_max * deadline})"
+        )
+
+    n = len(cycles)
+    pinned = [False] * n
+    times = [0.0] * n
+    for _ in range(n + 1):
+        free = [i for i in range(n) if not pinned[i]]
+        budget = deadline - sum(cycles[i] / s_max for i in range(n) if pinned[i])
+        if not free:
+            break
+        weights = [cycles[i] * coefficients[i] ** (1.0 / alpha) for i in free]
+        total_weight = sum(weights)
+        for i, w in zip(free, weights):
+            times[i] = budget * w / total_weight
+        # Pin any task now exceeding the speed cap and re-solve.
+        newly_pinned = False
+        for i in free:
+            if cycles[i] / times[i] > s_max * (1 + 1e-12):
+                pinned[i] = True
+                newly_pinned = True
+        if not newly_pinned:
+            break
+    for i in range(n):
+        if pinned[i]:
+            times[i] = cycles[i] / s_max
+
+    speeds = tuple(c / t for c, t in zip(cycles, times))
+    energy = sum(
+        r * c**alpha * t ** (1.0 - alpha)
+        for r, c, t in zip(coefficients, cycles, times)
+    )
+    return HeterogeneousAssignment(
+        times=tuple(times), speeds=speeds, energy=energy
+    )

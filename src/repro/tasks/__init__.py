@@ -1,0 +1,41 @@
+"""Task models and synthetic workload generators.
+
+Two task models, matching the system model of the companion DATE'07 text:
+
+* **Frame-based** tasks (:class:`FrameTask`): all arrive at time 0 and
+  share a common deadline ``D`` — the model the rejection problem is
+  first stated in.
+* **Periodic** tasks (:class:`PeriodicTask`): task ``τi`` releases a job
+  every ``pi`` time units with relative deadline ``pi``; the workload
+  measure becomes the utilisation ``ci / pi`` and the horizon the
+  hyper-period.
+
+Both carry a *rejection penalty* ``ρi`` — the cost the system pays if the
+task is dropped instead of executed.
+"""
+
+from repro.tasks.model import (
+    FrameTask,
+    FrameTaskSet,
+    PeriodicTask,
+    PeriodicTaskSet,
+    hyper_period,
+)
+from repro.tasks.generators import (
+    PENALTY_MODELS,
+    frame_instance,
+    periodic_instance,
+    uunifast,
+)
+
+__all__ = [
+    "FrameTask",
+    "FrameTaskSet",
+    "PeriodicTask",
+    "PeriodicTaskSet",
+    "hyper_period",
+    "frame_instance",
+    "periodic_instance",
+    "uunifast",
+    "PENALTY_MODELS",
+]

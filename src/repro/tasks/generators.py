@@ -1,0 +1,252 @@
+"""Seeded synthetic workload generators.
+
+The evaluation methodology (companion text, Section IV) uses synthetic
+task sets with the power function ``β0 + β1 s³``; the generators here
+produce the corresponding rejection instances:
+
+* execution cycles drawn uniformly (optionally integer-valued, which the
+  exact DPs require), then rescaled so the *system load*
+  ``η = Σci / (s_max · D)`` hits a requested value — ``η > 1`` is the
+  overload regime where rejection is mandatory;
+* penalties drawn from one of four models (mirroring the companion text's
+  proportional/inverse settings for the heterogeneous-PE experiments):
+
+  - ``uniform``       — ρ ~ U[lo, hi] · scale, independent of the task;
+  - ``proportional``  — ρ ∝ cycles (big tasks hurt more to drop);
+  - ``inverse``       — ρ ∝ 1 / cycles (big tasks are cheap to drop —
+    the adversarial case for naive admission control);
+  - ``energy``        — ρ = scale × (energy of running the task alone at
+    ``ci / D``), tying the penalty scale to the energy scale so the
+    rejection trade-off is genuinely two-sided.
+
+All draws go through a caller-supplied :class:`numpy.random.Generator`,
+so every experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import require_positive
+from repro.tasks.model import FrameTask, FrameTaskSet, PeriodicTask, PeriodicTaskSet
+
+#: The penalty models accepted by the generators.
+PENALTY_MODELS = ("uniform", "proportional", "inverse", "energy")
+
+#: Default period menu for periodic instances (harmonic-ish, small LCM).
+DEFAULT_PERIODS = (10.0, 20.0, 25.0, 50.0, 100.0)
+
+
+def _draw_penalties(
+    rng: np.random.Generator,
+    cycles: np.ndarray,
+    *,
+    model: str,
+    scale: float,
+    deadline: float,
+    alpha: float,
+    s_ref: float | None = None,
+    noise: float = 0.25,
+) -> np.ndarray:
+    """Penalty vector for *cycles* under the requested *model*.
+
+    ``s_ref`` is the reference speed of the ``energy`` model: the
+    marginal energy of carrying one more cycle at system speed ``s`` is
+    ``Θ(s**(alpha-1))`` per cycle, so pricing penalties at the *system*
+    operating point (rather than each task's solo speed) keeps the
+    accept/reject trade-off genuinely two-sided across load levels.
+    """
+    if model not in PENALTY_MODELS:
+        raise ValueError(f"unknown penalty model {model!r}; pick from {PENALTY_MODELS}")
+    require_positive("scale", scale)
+    jitter = rng.uniform(1.0 - noise, 1.0 + noise, size=cycles.shape)
+    if model == "uniform":
+        base = np.full_like(cycles, float(np.mean(cycles)) / deadline)
+    elif model == "proportional":
+        base = cycles / deadline
+    elif model == "inverse":
+        base = (float(np.mean(cycles)) ** 2 / cycles) / deadline
+    else:  # "energy": per-cycle energy at the system reference speed
+        if s_ref is None:
+            s_ref = float(np.sum(cycles)) / deadline
+        base = cycles * s_ref ** (alpha - 1.0)
+    return scale * base * jitter
+
+
+def frame_instance(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    load: float,
+    deadline: float = 1.0,
+    s_max: float = 1.0,
+    penalty_model: str = "energy",
+    penalty_scale: float = 1.0,
+    alpha: float = 3.0,
+    cycle_spread: float = 4.0,
+    cycle_distribution: str = "uniform",
+    integer_cycles: int | None = None,
+) -> FrameTaskSet:
+    """A random frame-based rejection instance.
+
+    Parameters
+    ----------
+    rng:
+        Seeded NumPy generator.
+    n_tasks:
+        Number of tasks ``n``.
+    load:
+        System load ``η = Σci / (s_max · D)``; cycles are rescaled so the
+        instance hits it exactly (up to integer rounding).
+    deadline, s_max:
+        Frame deadline and processor speed cap.
+    penalty_model, penalty_scale:
+        See the module docstring.
+    alpha:
+        Power-function exponent used by the ``energy`` penalty model.
+    cycle_spread:
+        Max/min ratio of the raw uniform cycle draw (≥ 1), or the
+        log-space sigma proxy for the lognormal draw.
+    cycle_distribution:
+        ``"uniform"`` (default) or ``"lognormal"`` — heavier-tailed task
+        sizes, the common model for job mixes with rare giants.
+    integer_cycles:
+        When given, cycles are quantised to integers with total
+        ``round(load · s_max · D · integer_cycles)`` on a grid of
+        ``integer_cycles`` cycles per (s_max·D); required by the exact
+        DP algorithms.  The returned cycles are the *integer* values, so
+        pair the instance with ``deadline · integer_cycles`` worth of
+        capacity — use :func:`scaled_capacity` to get it right.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks!r}")
+    require_positive("load", load)
+    require_positive("deadline", deadline)
+    require_positive("s_max", s_max)
+    if cycle_spread < 1.0:
+        raise ValueError(f"cycle_spread must be >= 1, got {cycle_spread!r}")
+
+    if cycle_distribution == "uniform":
+        raw = rng.uniform(1.0, cycle_spread, size=n_tasks)
+    elif cycle_distribution == "lognormal":
+        sigma = max(np.log(cycle_spread) / 2.0, 1e-6)
+        raw = rng.lognormal(mean=0.0, sigma=sigma, size=n_tasks)
+    else:
+        raise ValueError(
+            f"unknown cycle_distribution {cycle_distribution!r}; "
+            "pick 'uniform' or 'lognormal'"
+        )
+    target_total = load * s_max * deadline
+    cycles = raw * (target_total / raw.sum())
+
+    if integer_cycles is not None:
+        if integer_cycles < n_tasks:
+            raise ValueError(
+                "integer_cycles grid too coarse: need at least one cycle "
+                f"per task ({integer_cycles} < {n_tasks})"
+            )
+        grid = cycles * integer_cycles / (s_max * deadline)
+        cycles = np.maximum(np.rint(grid), 1.0)
+
+    penalties = _draw_penalties(
+        rng,
+        cycles,
+        model=penalty_model,
+        scale=penalty_scale,
+        deadline=(
+            deadline if integer_cycles is None else float(integer_cycles) / s_max
+        ),
+        alpha=alpha,
+        s_ref=min(load, 1.0) * s_max,
+    )
+    tasks = [
+        FrameTask(name=f"t{i}", cycles=float(c), penalty=float(p))
+        for i, (c, p) in enumerate(zip(cycles, penalties))
+    ]
+    return FrameTaskSet(tasks)
+
+
+def scaled_capacity(
+    *, deadline: float, s_max: float, integer_cycles: int
+) -> tuple[float, float]:
+    """(deadline', s_max') matching a ``frame_instance(integer_cycles=...)``.
+
+    The integer grid puts ``integer_cycles`` cycles into ``s_max · D``
+    capacity; keeping ``s_max`` and stretching the deadline preserves the
+    load: ``deadline' = integer_cycles / s_max``.
+    """
+    require_positive("deadline", deadline)
+    require_positive("s_max", s_max)
+    if integer_cycles < 1:
+        raise ValueError(f"integer_cycles must be >= 1, got {integer_cycles!r}")
+    return (integer_cycles / s_max, s_max)
+
+
+def uunifast(
+    rng: np.random.Generator, n_tasks: int, total_utilization: float
+) -> list[float]:
+    """UUniFast (Bini & Buttazzo): n utilisations summing to the target.
+
+    Produces an unbiased uniform sample of the utilisation simplex, the
+    standard generator for schedulability experiments.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks!r}")
+    require_positive("total_utilization", total_utilization)
+    utilizations: list[float] = []
+    remaining = total_utilization
+    for i in range(n_tasks - 1):
+        next_remaining = remaining * rng.random() ** (1.0 / (n_tasks - i - 1))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def periodic_instance(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    total_utilization: float,
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    penalty_model: str = "energy",
+    penalty_scale: float = 1.0,
+    alpha: float = 3.0,
+) -> PeriodicTaskSet:
+    """A random periodic rejection instance via UUniFast.
+
+    ``total_utilization`` may exceed the schedulable bound (1.0 at
+    ``s_max = 1``): that is the overload regime the paper targets.
+    """
+    if not periods:
+        raise ValueError("periods menu must be non-empty")
+    utils = uunifast(rng, n_tasks, total_utilization)
+    chosen = rng.choice(np.asarray(periods, dtype=float), size=n_tasks)
+    utils_arr = np.asarray(utils)
+    # Penalties must live on the same scale as the cost they trade
+    # against — the energy over one hyper-period — so the per-unit-time
+    # draw is multiplied by the hyper-period length.
+    from repro.tasks.model import hyper_period
+
+    length = float(hyper_period(float(p) for p in chosen))
+    penalties = length * _draw_penalties(
+        rng,
+        utils_arr,  # utilisation plays the role of cycles
+        model=penalty_model,
+        scale=penalty_scale,
+        deadline=1.0,
+        alpha=alpha,
+        s_ref=min(total_utilization, 1.0),
+    )
+    tasks = [
+        PeriodicTask(
+            name=f"t{i}",
+            period=float(p),
+            wcec=float(u * p),
+            penalty=float(rho),
+        )
+        for i, (u, p, rho) in enumerate(zip(utils, chosen, penalties))
+    ]
+    return PeriodicTaskSet(tasks)

@@ -1,0 +1,220 @@
+"""Frame-based and periodic task models.
+
+Design notes
+------------
+* Tasks are frozen dataclasses: an experiment can hash, sort, and stick
+  them in sets without aliasing surprises.
+* Task sets are thin immutable sequences with the aggregate quantities the
+  algorithms keep asking for (total cycles, total penalty, utilisation)
+  precomputed, plus subset selection by index set — the natural currency
+  of the rejection algorithms.
+* Hyper-periods are computed exactly over :class:`fractions.Fraction`
+  (the LCM of rationals), so simulators can iterate an integral number of
+  periods without drift.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro._validation import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True, order=True)
+class FrameTask:
+    """A frame-based task: ``cycles`` of work due at the common deadline.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a task set.
+    cycles:
+        Worst-case execution cycles ``ci`` (> 0).
+    penalty:
+        Rejection penalty ``ρi`` (>= 0): the cost incurred when the task
+        is dropped.  Zero-penalty tasks are legal (best-effort work).
+    """
+
+    name: str
+    cycles: float
+    penalty: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        require_positive("cycles", self.cycles)
+        require_nonnegative("penalty", self.penalty)
+
+    @property
+    def penalty_density(self) -> float:
+        """``ρi / ci`` — penalty bought per cycle saved by rejecting."""
+        return self.penalty / self.cycles
+
+
+@dataclass(frozen=True, order=True)
+class PeriodicTask:
+    """A periodic task ``(period, wcec)`` with implicit deadline.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a task set.
+    period:
+        Period ``pi`` (> 0); also the relative deadline.
+    wcec:
+        Worst-case execution cycles ``ci`` per job (> 0).
+    penalty:
+        Rejection penalty ``ρi`` (>= 0) for dropping the *whole task* —
+        per the paper's partition model a task is accepted or rejected as
+        a unit, never job-by-job.
+    arrival:
+        Initial arrival (phase) ``ai`` (>= 0).
+    """
+
+    name: str
+    period: float
+    wcec: float
+    penalty: float
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        require_positive("period", self.period)
+        require_positive("wcec", self.wcec)
+        require_nonnegative("penalty", self.penalty)
+        require_nonnegative("arrival", self.arrival)
+
+    @property
+    def utilization(self) -> float:
+        """Cycle utilisation ``ci / pi`` (cycles per time unit)."""
+        return self.wcec / self.period
+
+    @property
+    def penalty_density(self) -> float:
+        """``ρi / (ci / pi)`` — penalty per unit of utilisation shed."""
+        return self.penalty / self.utilization
+
+
+def hyper_period(periods: Iterable[float]) -> Fraction:
+    """Exact LCM of the (rational) *periods*.
+
+    Periods are converted with ``Fraction(value).limit_denominator(10**6)``
+    when they are floats, so callers who care about exactness should pass
+    ``Fraction``/``int`` periods directly.
+    """
+    result = Fraction(0)
+    count = 0
+    for p in periods:
+        count += 1
+        frac = p if isinstance(p, Fraction) else Fraction(p).limit_denominator(10**6)
+        if frac <= 0:
+            raise ValueError(f"periods must be positive, got {p!r}")
+        if result == 0:
+            result = frac
+        else:
+            result = Fraction(
+                math.lcm(result.numerator, frac.numerator),
+                math.gcd(result.denominator, frac.denominator),
+            )
+    if count == 0:
+        raise ValueError("hyper_period of an empty collection is undefined")
+    return result
+
+
+class _TaskSetBase(Sequence):
+    """Shared machinery of the two task-set containers."""
+
+    _tasks: tuple
+
+    def __init__(self, tasks: Iterable) -> None:
+        items = tuple(tasks)
+        names = [t.name for t in items]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate task names: {duplicates}")
+        self._tasks = items
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._tasks)
+
+    def __getitem__(self, index):
+        picked = self._tasks[index]
+        if isinstance(index, slice):
+            return type(self)(picked)
+        return picked
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._tasks))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({list(self._tasks)!r})"
+
+    def by_name(self, name: str):
+        """Look a task up by name (raises KeyError when absent)."""
+        for task in self._tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    def subset(self, indices: Iterable[int]):
+        """A new task set containing the tasks at *indices* (order kept)."""
+        index_set = sorted(set(indices))
+        for i in index_set:
+            if not 0 <= i < len(self._tasks):
+                raise IndexError(f"task index {i} out of range")
+        return type(self)(self._tasks[i] for i in index_set)
+
+    def complement(self, indices: Iterable[int]):
+        """The tasks *not* at *indices*."""
+        keep = set(indices)
+        return type(self)(
+            task for i, task in enumerate(self._tasks) if i not in keep
+        )
+
+    @property
+    def total_penalty(self) -> float:
+        """Sum of all rejection penalties."""
+        return sum(t.penalty for t in self._tasks)
+
+
+class FrameTaskSet(_TaskSetBase):
+    """An immutable collection of :class:`FrameTask`."""
+
+    @property
+    def total_cycles(self) -> float:
+        """Total worst-case execution cycles."""
+        return sum(t.cycles for t in self._tasks)
+
+    def sorted_by(self, key, *, reverse: bool = False) -> "FrameTaskSet":
+        """A new set sorted by *key* (e.g. ``lambda t: t.penalty_density``)."""
+        return FrameTaskSet(sorted(self._tasks, key=key, reverse=reverse))
+
+
+class PeriodicTaskSet(_TaskSetBase):
+    """An immutable collection of :class:`PeriodicTask`."""
+
+    @property
+    def total_utilization(self) -> float:
+        """Sum of task utilisations ``Σ ci / pi``."""
+        return sum(t.utilization for t in self._tasks)
+
+    @property
+    def hyper_period(self) -> Fraction:
+        """Exact hyper-period of the task periods."""
+        return hyper_period(t.period for t in self._tasks)
+
+    def sorted_by(self, key, *, reverse: bool = False) -> "PeriodicTaskSet":
+        """A new set sorted by *key*."""
+        return PeriodicTaskSet(sorted(self._tasks, key=key, reverse=reverse))

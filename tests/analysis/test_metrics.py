@@ -1,0 +1,51 @@
+"""Tests for ratio metrics and aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis import Aggregate, normalized_ratio, summarize
+
+
+class TestNormalizedRatio:
+    def test_plain_ratio(self):
+        assert normalized_ratio(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_zero_over_zero_is_one(self):
+        assert normalized_ratio(0.0, 0.0) == 1.0
+
+    def test_positive_over_zero_is_inf(self):
+        assert normalized_ratio(1.0, 0.0) == math.inf
+
+    def test_cost_below_reference_raises(self):
+        with pytest.raises(ValueError, match="beats"):
+            normalized_ratio(0.5, 1.0)
+
+    def test_fp_noise_clamped_to_one(self):
+        assert normalized_ratio(1.0 - 1e-12, 1.0) == 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_ratio(-1.0, 1.0)
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        agg = summarize([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.count == 3
+        assert agg.std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_single_sample(self):
+        agg = summarize([5.0])
+        assert agg.mean == 5.0
+        assert agg.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format(self):
+        assert f"{summarize([1.23456]):.2f}" == "1.23"

@@ -1,0 +1,48 @@
+"""Tests for ExperimentTable rendering/CSV."""
+
+import pytest
+
+from repro.analysis import ExperimentTable
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable(
+        name="fig_x",
+        title="demo",
+        columns=["n", "ratio"],
+        notes=["note one"],
+    )
+    t.add_row(4, 1.2345)
+    t.add_row(8, 1.0)
+    return t
+
+
+class TestTable:
+    def test_add_row_arity_checked(self, table):
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_render_contains_everything(self, table):
+        text = table.render()
+        assert "fig_x" in text
+        assert "demo" in text
+        assert "1.2345" in text
+        assert "# note one" in text
+
+    def test_render_alignment(self, table):
+        lines = table.render().splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_column_extraction(self, table):
+        assert table.column("n") == [4, 8]
+        with pytest.raises(KeyError):
+            table.column("zz")
+
+    def test_csv_roundtrip(self, table, tmp_path):
+        path = table.to_csv(tmp_path / "out" / "fig_x.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "n,ratio"
+        assert content[1].startswith("4,")
+        assert len(content) == 3

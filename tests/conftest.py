@@ -1,0 +1,115 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.rejection import RejectionProblem
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.power import DormantMode, PolynomialPowerModel, xscale_power_model
+from repro.power.discrete import SpeedLevels
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+# Keep property tests snappy by default; CI boxes can override.
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def xscale():
+    """The normalised XScale power model."""
+    return xscale_power_model()
+
+
+# --------------------------------------------------------------------- #
+# Strategies                                                             #
+# --------------------------------------------------------------------- #
+
+#: Small positive floats that stay numerically friendly.
+pos_floats = st.floats(
+    min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def frame_task_sets(draw, min_tasks: int = 1, max_tasks: int = 8) -> FrameTaskSet:
+    """Random small frame task sets with float cycles/penalties."""
+    n = draw(st.integers(min_value=min_tasks, max_value=max_tasks))
+    cycles = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=2.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    penalties = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return FrameTaskSet(
+        FrameTask(name=f"t{i}", cycles=c, penalty=p)
+        for i, (c, p) in enumerate(zip(cycles, penalties))
+    )
+
+
+@st.composite
+def integer_frame_task_sets(
+    draw, min_tasks: int = 1, max_tasks: int = 8
+) -> FrameTaskSet:
+    """Random small frame task sets with integer cycles and penalties."""
+    n = draw(st.integers(min_value=min_tasks, max_value=max_tasks))
+    cycles = draw(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=n, max_size=n)
+    )
+    penalties = draw(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=n, max_size=n)
+    )
+    return FrameTaskSet(
+        FrameTask(name=f"t{i}", cycles=float(c), penalty=float(p))
+        for i, (c, p) in enumerate(zip(cycles, penalties))
+    )
+
+
+@st.composite
+def energy_functions(draw, deadline: float = 1.0):
+    """One of the three energy-function families, always convex."""
+    kind = draw(st.sampled_from(["continuous", "critical", "discrete"]))
+    beta0 = draw(st.sampled_from([0.0, 0.05, 0.2]))
+    s_max = draw(st.sampled_from([1.0, 2.0, 4.0]))
+    model = PolynomialPowerModel(beta0=beta0, beta1=1.52, alpha=3.0, s_max=s_max)
+    if kind == "continuous":
+        return ContinuousEnergyFunction(model, deadline)
+    if kind == "critical":
+        return CriticalSpeedEnergyFunction(model, deadline, dormant=DormantMode())
+    levels = draw(st.sampled_from([2, 3, 5]))
+    speeds = SpeedLevels(s_max * (k + 1) / levels for k in range(levels))
+    return DiscreteEnergyFunction(model, speeds, deadline, dormant=DormantMode())
+
+
+@st.composite
+def rejection_problems(draw, min_tasks: int = 1, max_tasks: int = 7):
+    """Random rejection problems across all energy-function families."""
+    tasks = draw(frame_task_sets(min_tasks=min_tasks, max_tasks=max_tasks))
+    energy_fn = draw(energy_functions())
+    return RejectionProblem(tasks=tasks, energy_fn=energy_fn)

@@ -1,0 +1,124 @@
+"""Tests for the aperiodic (individual-window) rejection variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import (
+    AperiodicJob,
+    AperiodicProblem,
+    exhaustive_aperiodic,
+    greedy_aperiodic,
+)
+from repro.power import PolynomialPowerModel, xscale_power_model
+
+
+def make_problem(entries, s_max=1.0):
+    jobs = tuple(
+        AperiodicJob(name=f"j{i}", arrival=a, deadline=d, cycles=c, penalty=rho)
+        for i, (a, d, c, rho) in enumerate(entries)
+    )
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return AperiodicProblem(jobs=jobs, power_model=model)
+
+
+@st.composite
+def aperiodic_problems(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    entries = []
+    for i in range(n):
+        a = draw(st.floats(min_value=0.0, max_value=4.0))
+        length = draw(st.floats(min_value=0.5, max_value=4.0))
+        c = draw(st.floats(min_value=0.05, max_value=1.0))
+        rho = draw(st.floats(min_value=0.0, max_value=1.5))
+        entries.append((a, a + length, c, rho))
+    return make_problem(entries)
+
+
+class TestProblem:
+    def test_frame_special_case_matches_uniform_speed(self):
+        # All windows equal [0, D]: YDS energy of the whole set equals the
+        # frame-based common-speed energy.
+        p = make_problem([(0.0, 2.0, 0.5, 1.0), (0.0, 2.0, 0.7, 1.0)])
+        cost = p.cost_of([0, 1])
+        speed = 1.2 / 2.0
+        assert cost.energy == pytest.approx(2.0 * 1.52 * speed**3)
+
+    def test_feasibility_via_peak_speed(self):
+        p = make_problem([(0.0, 1.0, 0.9, 1.0), (0.0, 1.0, 0.9, 1.0)])
+        assert p.is_feasible([0])
+        assert not p.is_feasible([0, 1])  # needs peak 1.8 > 1.0
+
+    def test_infeasible_cost_raises(self):
+        p = make_problem([(0.0, 1.0, 1.5, 1.0)])
+        with pytest.raises(ValueError, match="peak speed"):
+            p.cost_of([0])
+
+    def test_empty_acceptance_is_pure_penalty(self):
+        p = make_problem([(0.0, 1.0, 0.5, 2.0)])
+        assert p.cost_of([]).total == pytest.approx(2.0)
+
+    def test_duplicate_names_rejected(self):
+        jobs = (
+            AperiodicJob(name="a", arrival=0, deadline=1, cycles=0.1, penalty=0),
+            AperiodicJob(name="a", arrival=0, deadline=1, cycles=0.1, penalty=0),
+        )
+        with pytest.raises(ValueError, match="unique"):
+            AperiodicProblem(jobs=jobs, power_model=xscale_power_model())
+
+
+class TestAlgorithms:
+    @given(problem=aperiodic_problems())
+    @settings(max_examples=30)
+    def test_greedy_feasible_and_never_beats_exhaustive(self, problem):
+        opt = exhaustive_aperiodic(problem)
+        greedy = greedy_aperiodic(problem)
+        assert problem.is_feasible(sorted(greedy.accepted))
+        assert greedy.cost >= opt.cost - max(1e-9, 1e-9 * opt.cost)
+
+    def test_repair_drops_peak_interval_jobs(self):
+        # Two jobs saturating [0,1] beyond s_max plus one elsewhere: the
+        # repair must drop one of the clashing jobs, not the remote one.
+        p = make_problem(
+            [
+                (0.0, 1.0, 0.8, 0.5),
+                (0.0, 1.0, 0.8, 0.1),
+                (5.0, 6.0, 0.3, 0.1),
+            ]
+        )
+        sol = greedy_aperiodic(p)
+        assert 1 in sol.rejected or 0 in sol.rejected
+        assert p.is_feasible(sorted(sol.accepted))
+
+    def test_cheap_penalty_rejected_even_when_feasible(self):
+        p = make_problem([(0.0, 1.0, 0.9, 1e-9)])
+        sol = greedy_aperiodic(p)
+        assert sol.accepted == frozenset()
+
+    def test_high_penalty_kept(self):
+        p = make_problem([(0.0, 1.0, 0.5, 100.0)])
+        assert greedy_aperiodic(p).accepted == {0}
+
+    def test_enumeration_guard(self):
+        entries = [(0.0, 1.0, 0.01, 1.0)] * 20
+        with pytest.raises(ValueError, match="enumeration guard"):
+            exhaustive_aperiodic(make_problem(entries))
+
+    def test_schedule_of_solution_is_feasible(self):
+        rng = np.random.default_rng(1)
+        entries = [
+            (
+                float(rng.uniform(0, 4)),
+                0.0,
+                float(rng.uniform(0.1, 0.8)),
+                float(rng.uniform(0.1, 1.0)),
+            )
+            for _ in range(6)
+        ]
+        entries = [(a, a + 2.0, c, rho) for (a, _, c, rho) in entries]
+        p = make_problem(entries)
+        sol = greedy_aperiodic(p)
+        schedule = sol.schedule()
+        jobs = [p.jobs[i].as_yds_job() for i in sorted(sol.accepted)]
+        assert schedule.feasible(jobs)

@@ -1,0 +1,145 @@
+"""Tests for the pseudo-polynomial DPs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    dp_cycles,
+    dp_penalty,
+    exhaustive,
+)
+from repro.energy import ContinuousEnergyFunction, CriticalSpeedEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet
+
+from tests.conftest import integer_frame_task_sets
+
+
+def integer_problem(tasks, s_max=40.0, beta0=0.0):
+    model = PolynomialPowerModel(
+        beta0=beta0, beta1=0.001, alpha=3.0, s_max=s_max
+    )
+    g = ContinuousEnergyFunction(model, deadline=1.0)
+    return RejectionProblem(tasks=tasks, energy_fn=g)
+
+
+class TestDpCycles:
+    @given(tasks=integer_frame_task_sets(max_tasks=7))
+    @settings(max_examples=40)
+    def test_exact_on_integer_instances(self, tasks):
+        p = integer_problem(tasks)
+        assert dp_cycles(p).cost == pytest.approx(
+            exhaustive(p).cost, rel=1e-9, abs=1e-12
+        )
+
+    @given(tasks=integer_frame_task_sets(max_tasks=7))
+    @settings(max_examples=25)
+    def test_exact_under_tight_capacity(self, tasks):
+        # Force an overload: capacity = 60% of the total workload.
+        cap = max(tasks.total_cycles * 0.6, 1.0)
+        p = integer_problem(tasks, s_max=cap)
+        assert dp_cycles(p).cost == pytest.approx(exhaustive(p).cost, rel=1e-9)
+
+    def test_rejects_fractional_cycles_without_rounding(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=1.5, penalty=1.0)])
+        p = integer_problem(tasks)
+        with pytest.raises(ValueError, match="multiple of quantum"):
+            dp_cycles(p)
+
+    def test_rounding_mode_stays_feasible(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=3.7, penalty=1.0),
+                FrameTask(name="b", cycles=2.2, penalty=5.0),
+                FrameTask(name="c", cycles=4.9, penalty=0.2),
+            ]
+        )
+        p = integer_problem(tasks, s_max=8.0)
+        sol = dp_cycles(p, quantum=2.0, round_cycles=True)
+        assert p.is_feasible(sol.accepted)
+        assert sol.meta["rounded"] is True
+
+    def test_coarse_quantum_cost_never_below_exact(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=float(c), penalty=float(q))
+            for i, (c, q) in enumerate([(7, 3), (11, 9), (5, 1), (13, 20)])
+        )
+        p = integer_problem(tasks, s_max=25.0)
+        exact = dp_cycles(p, quantum=1.0).cost
+        coarse = dp_cycles(p, quantum=4.0, round_cycles=True).cost
+        assert coarse >= exact - 1e-12
+
+    def test_invalid_quantum(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=1.0, penalty=1.0)])
+        with pytest.raises(ValueError, match="quantum"):
+            dp_cycles(integer_problem(tasks), quantum=0.0)
+
+    def test_nonconvex_energy_still_exact(self):
+        """DPs do not need convexity — check against exhaustive with a
+        dormant-enable, sleep-energy (kinked) model."""
+        from repro.power import DormantMode
+
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=float(c), penalty=float(q))
+            for i, (c, q) in enumerate([(3, 2), (5, 1), (7, 9), (2, 3)])
+        )
+        model = PolynomialPowerModel(
+            beta0=0.01, beta1=0.001, alpha=3.0, s_max=12.0
+        )
+        g = CriticalSpeedEnergyFunction(
+            model, deadline=1.0, dormant=DormantMode(t_sw=0.0, e_sw=0.004)
+        )
+        p = RejectionProblem(tasks=tasks, energy_fn=g)
+        assert dp_cycles(p).cost == pytest.approx(exhaustive(p).cost, rel=1e-9)
+
+
+class TestDpPenalty:
+    @given(tasks=integer_frame_task_sets(max_tasks=7))
+    @settings(max_examples=40)
+    def test_exact_on_integer_penalties(self, tasks):
+        p = integer_problem(tasks)
+        assert dp_penalty(p).cost == pytest.approx(
+            exhaustive(p).cost, rel=1e-9, abs=1e-12
+        )
+
+    @given(tasks=integer_frame_task_sets(max_tasks=6))
+    @settings(max_examples=25)
+    def test_exact_under_tight_capacity(self, tasks):
+        cap = max(tasks.total_cycles * 0.5, 1.0)
+        p = integer_problem(tasks, s_max=cap)
+        assert dp_penalty(p).cost == pytest.approx(exhaustive(p).cost, rel=1e-9)
+
+    def test_zero_penalty_tasks_handled(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=3.0, penalty=0.0),
+                FrameTask(name="b", cycles=2.0, penalty=4.0),
+            ]
+        )
+        p = integer_problem(tasks)
+        assert dp_penalty(p).cost == pytest.approx(exhaustive(p).cost, rel=1e-9)
+
+    def test_rejects_fractional_penalties(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=1.0, penalty=0.5)])
+        with pytest.raises(ValueError, match="multiple of quantum"):
+            dp_penalty(integer_problem(tasks))
+
+    def test_penalty_quantum(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=3.0, penalty=1.5),
+                FrameTask(name="b", cycles=2.0, penalty=4.5),
+            ]
+        )
+        p = integer_problem(tasks)
+        assert dp_penalty(p, quantum=1.5).cost == pytest.approx(
+            exhaustive(p).cost, rel=1e-9
+        )
+
+    def test_table_guard(self):
+        tasks = FrameTaskSet(
+            [FrameTask(name="a", cycles=1.0, penalty=1e9)]
+        )
+        with pytest.raises(ValueError, match="DP cells"):
+            dp_penalty(integer_problem(tasks))

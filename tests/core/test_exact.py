@@ -1,0 +1,96 @@
+"""Tests for the exact algorithms (exhaustive, branch-and-bound)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    branch_and_bound,
+    exhaustive,
+    fractional_lower_bound,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet
+
+from tests.conftest import rejection_problems
+
+
+def brute_force(problem):
+    """Independent oracle: plain itertools subset scan."""
+    best = math.inf
+    best_set = ()
+    for r in range(problem.n + 1):
+        for combo in itertools.combinations(range(problem.n), r):
+            if not problem.is_feasible(combo):
+                continue
+            cost = problem.cost(combo).total
+            if cost < best:
+                best, best_set = cost, combo
+    return best, best_set
+
+
+class TestExhaustive:
+    def test_matches_independent_oracle_small(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=0.4, penalty=0.9),
+                FrameTask(name="b", cycles=0.5, penalty=0.1),
+                FrameTask(name="c", cycles=0.6, penalty=2.0),
+                FrameTask(name="d", cycles=0.2, penalty=0.05),
+            ]
+        )
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        p = RejectionProblem(tasks=tasks, energy_fn=g)
+        oracle_cost, _ = brute_force(p)
+        assert exhaustive(p).cost == pytest.approx(oracle_cost)
+
+    @given(problem=rejection_problems(max_tasks=6))
+    @settings(max_examples=40)
+    def test_matches_oracle_property(self, problem):
+        oracle_cost, _ = brute_force(problem)
+        assert exhaustive(problem).cost == pytest.approx(oracle_cost, rel=1e-9)
+
+    def test_guard_on_large_n(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.01, penalty=1.0) for i in range(25)
+        )
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        with pytest.raises(ValueError, match="limited"):
+            exhaustive(RejectionProblem(tasks=tasks, energy_fn=g))
+
+    def test_solution_is_validated_and_labelled(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=1.0)])
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        sol = exhaustive(RejectionProblem(tasks=tasks, energy_fn=g))
+        assert sol.algorithm == "exhaustive"
+
+
+class TestBranchAndBound:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=50)
+    def test_agrees_with_exhaustive(self, problem):
+        opt = exhaustive(problem)
+        bb = branch_and_bound(problem)
+        assert bb.cost == pytest.approx(opt.cost, rel=1e-6, abs=1e-9)
+
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=30)
+    def test_never_below_fractional_bound(self, problem):
+        assert branch_and_bound(problem).cost >= fractional_lower_bound(
+            problem
+        ) - 1e-9
+
+    def test_scales_past_exhaustive_range(self):
+        # 26 tasks: exhaustive would refuse; B&B should finish quickly.
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.05 + 0.01 * i, penalty=0.1 + 0.02 * i)
+            for i in range(26)
+        )
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        p = RejectionProblem(tasks=tasks, energy_fn=g)
+        sol = branch_and_bound(p)
+        assert sol.cost >= fractional_lower_bound(p) - 1e-9

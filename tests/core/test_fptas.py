@@ -1,0 +1,130 @@
+"""Tests for the FPTAS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import (
+    RejectionProblem,
+    accept_all_repair,
+    best_solution,
+    exhaustive,
+    fptas,
+    greedy_density,
+    greedy_marginal,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet, frame_instance
+
+from tests.conftest import rejection_problems
+
+
+def seed_cost(problem):
+    return best_solution(
+        greedy_marginal(problem),
+        greedy_density(problem),
+        accept_all_repair(problem),
+    ).cost
+
+
+class TestGuarantee:
+    @given(problem=rejection_problems(max_tasks=7), eps=st.sampled_from([0.5, 0.1]))
+    @settings(max_examples=40)
+    def test_additive_bound_holds(self, problem, eps):
+        """cost(FPTAS) <= OPT + eps * UB, the proven guarantee."""
+        opt = exhaustive(problem).cost
+        ub = seed_cost(problem)
+        sol = fptas(problem, eps=eps)
+        assert sol.cost <= opt + eps * ub + 1e-9
+
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=30)
+    def test_never_worse_than_seed(self, problem):
+        assert fptas(problem, eps=0.25).cost <= seed_cost(problem) + 1e-9
+
+    def test_tiny_eps_recovers_optimum(self):
+        rng = np.random.default_rng(123)
+        for _ in range(10):
+            tasks = frame_instance(rng, n_tasks=10, load=1.4)
+            model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=1.0)
+            p = RejectionProblem(
+                tasks=tasks,
+                energy_fn=ContinuousEnergyFunction(model, deadline=1.0),
+            )
+            opt = exhaustive(p).cost
+            sol = fptas(p, eps=0.01)
+            assert sol.cost <= opt * 1.02 + 1e-9
+
+    def test_eps_monotone_in_expectation(self):
+        """Across many instances, smaller eps never averages worse."""
+        rng = np.random.default_rng(7)
+        model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=1.0)
+        costs = {0.5: 0.0, 0.05: 0.0}
+        for _ in range(15):
+            tasks = frame_instance(rng, n_tasks=12, load=1.6)
+            p = RejectionProblem(
+                tasks=tasks,
+                energy_fn=ContinuousEnergyFunction(model, deadline=1.0),
+            )
+            for eps in costs:
+                costs[eps] += fptas(p, eps=eps).cost
+        assert costs[0.05] <= costs[0.5] + 1e-9
+
+
+class TestMechanics:
+    def test_invalid_eps(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=1.0)])
+        model = PolynomialPowerModel(s_max=1.0)
+        p = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        with pytest.raises(ValueError, match="eps"):
+            fptas(p, eps=0.0)
+
+    def test_zero_cost_seed_short_circuits(self):
+        # Penalty-free tasks, zero-energy rejection: cost 0 is optimal.
+        tasks = FrameTaskSet(
+            [FrameTask(name="a", cycles=0.5, penalty=0.0)]
+        )
+        model = PolynomialPowerModel(s_max=1.0)
+        p = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        sol = fptas(p, eps=0.1)
+        assert sol.cost == 0.0
+        assert sol.meta["scaled"] is False
+
+    def test_forced_accept_pruning_respected(self):
+        # One gigantic-penalty task must be accepted by every good
+        # solution; the DP should only juggle the others.
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="anchor", cycles=0.5, penalty=1e6),
+                FrameTask(name="x", cycles=0.4, penalty=0.01),
+                FrameTask(name="y", cycles=0.4, penalty=0.02),
+            ]
+        )
+        model = PolynomialPowerModel(beta1=1.52, s_max=1.0)
+        p = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        sol = fptas(p, eps=0.2)
+        assert 0 in sol.accepted
+
+    def test_seed_solution_passthrough(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=0.4, penalty=0.5),
+                FrameTask(name="b", cycles=0.5, penalty=0.7),
+            ]
+        )
+        model = PolynomialPowerModel(beta1=1.52, s_max=1.0)
+        p = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        seed = accept_all_repair(p)
+        sol = fptas(p, eps=0.1, seed_solution=seed)
+        assert sol.cost <= seed.cost + 1e-12
+        assert sol.algorithm == "fptas"

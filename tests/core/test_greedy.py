@@ -1,0 +1,143 @@
+"""Tests for the heuristic family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    accept_all_repair,
+    exhaustive,
+    greedy_density,
+    greedy_marginal,
+    greedy_ordered,
+    reject_random,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet
+
+from tests.conftest import rejection_problems
+
+
+def simple_problem(tasks, s_max=1.0):
+    from repro.power import PolynomialPowerModel
+
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return RejectionProblem(
+        tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+    )
+
+
+ALL_HEURISTICS = [
+    greedy_density,
+    greedy_marginal,
+    accept_all_repair,
+    reject_random,
+]
+
+
+class TestFeasibilityInvariant:
+    @pytest.mark.parametrize("solver", ALL_HEURISTICS)
+    @given(problem=rejection_problems(max_tasks=8))
+    @settings(max_examples=30)
+    def test_always_feasible(self, problem, solver):
+        sol = solver(problem)  # solution() validates feasibility
+        assert problem.is_feasible(sol.accepted)
+
+    @given(problem=rejection_problems(max_tasks=8))
+    @settings(max_examples=30)
+    def test_never_below_optimum(self, problem):
+        opt = exhaustive(problem).cost
+        for solver in ALL_HEURISTICS:
+            assert solver(problem).cost >= opt - max(1e-9, 1e-9 * opt)
+
+
+class TestGreedyQuality:
+    def test_rejects_cheap_penalty_in_overload(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="keep", cycles=0.6, penalty=100.0),
+                FrameTask(name="drop", cycles=0.6, penalty=0.01),
+            ]
+        )
+        p = simple_problem(tasks)
+        for solver in (greedy_density, greedy_marginal):
+            sol = solver(p)
+            assert sol.accepted == {0}
+
+    def test_keeps_everything_when_penalties_huge(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.2, penalty=50.0) for i in range(4)
+        )
+        p = simple_problem(tasks)
+        for solver in (greedy_density, greedy_marginal, accept_all_repair):
+            assert solver(p).acceptance_ratio == 1.0
+
+    def test_rejects_everything_when_penalties_negligible(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.3, penalty=1e-9) for i in range(3)
+        )
+        p = simple_problem(tasks)
+        assert greedy_marginal(p).accepted == set()
+
+    def test_marginal_at_least_as_good_as_its_seed_state(self):
+        # greedy_marginal only ever improves on the feasible seed, so it
+        # can never cost more than accept_all_repair.
+        rng = np.random.default_rng(3)
+        from repro.tasks import frame_instance
+
+        for _ in range(10):
+            tasks = frame_instance(rng, n_tasks=10, load=1.4)
+            p = simple_problem(tasks)
+            assert greedy_marginal(p).cost <= accept_all_repair(p).cost + 1e-12
+
+    def test_never_acceptable_tasks_always_rejected(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="huge", cycles=3.0, penalty=1000.0),
+                FrameTask(name="ok", cycles=0.4, penalty=1.0),
+            ]
+        )
+        p = simple_problem(tasks)
+        for solver in ALL_HEURISTICS:
+            assert 0 not in solver(p).accepted
+
+
+class TestRejectRandom:
+    def test_deterministic_without_rng(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.4, penalty=1.0) for i in range(4)
+        )
+        p = simple_problem(tasks)
+        # Arrival order: first two fit (0.8), rest rejected.
+        assert reject_random(p).accepted == {0, 1}
+
+    def test_shuffles_with_rng(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.4, penalty=1.0) for i in range(6)
+        )
+        p = simple_problem(tasks)
+        outcomes = {
+            frozenset(reject_random(p, np.random.default_rng(s)).accepted)
+            for s in range(12)
+        }
+        assert len(outcomes) > 1
+
+
+class TestGreedyOrdered:
+    def test_density_order_matches_greedy_density(self):
+        rng = np.random.default_rng(8)
+        from repro.tasks import frame_instance
+
+        for _ in range(8):
+            tasks = frame_instance(rng, n_tasks=9, load=1.3)
+            p = simple_problem(tasks)
+            a = greedy_density(p)
+            b = greedy_ordered(p, lambda t: t.penalty_density)
+            assert a.accepted == b.accepted
+
+    def test_custom_name_recorded(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=1.0)])
+        sol = greedy_ordered(simple_problem(tasks), lambda t: t.penalty, name="x")
+        assert sol.algorithm == "x"

@@ -1,0 +1,62 @@
+"""Tests for the executable SUBSET-SUM reduction."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import dp_cycles, exhaustive, subset_sum_reduction
+
+
+def subset_sum_bruteforce(values, target):
+    return any(
+        sum(combo) == target
+        for r in range(len(values) + 1)
+        for combo in itertools.combinations(values, r)
+    )
+
+
+class TestReduction:
+    def test_yes_instance(self):
+        red = subset_sum_reduction([3, 5, 7, 11], 12)  # 5 + 7
+        assert red.decide(exhaustive(red.problem).cost)
+
+    def test_no_instance(self):
+        red = subset_sum_reduction([4, 8, 16], 13)
+        assert not red.decide(exhaustive(red.problem).cost)
+
+    def test_target_cost_is_optimum_on_yes(self):
+        red = subset_sum_reduction([2, 3, 5], 5)
+        assert exhaustive(red.problem).cost == pytest.approx(red.target_cost)
+
+    @settings(max_examples=30)
+    @given(
+        values=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=2, max_size=6
+        ),
+        data=st.data(),
+    )
+    def test_matches_bruteforce(self, values, data):
+        total = sum(values)
+        target = data.draw(st.integers(min_value=1, max_value=total - 1))
+        red = subset_sum_reduction(values, target)
+        expected = subset_sum_bruteforce(values, target)
+        assert red.decide(exhaustive(red.problem).cost) == expected
+
+    def test_dp_solver_also_decides(self):
+        red = subset_sum_reduction([3, 6, 9, 2], 11)
+        assert red.decide(dp_cycles(red.problem).cost) == subset_sum_bruteforce(
+            [3, 6, 9, 2], 11
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            subset_sum_reduction([], 1)
+        with pytest.raises(ValueError, match="positive integers"):
+            subset_sum_reduction([1, -2], 1)
+        with pytest.raises(ValueError, match="target"):
+            subset_sum_reduction([2, 3], 5)
+        with pytest.raises(ValueError, match="target"):
+            subset_sum_reduction([2, 3], 0)

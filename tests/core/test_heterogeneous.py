@@ -1,0 +1,125 @@
+"""Tests for the heterogeneous-power rejection reduction."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import (
+    HeterogeneousTask,
+    accepted_heterogeneous_tasks,
+    exhaustive,
+    heterogeneous_energy,
+    heterogeneous_problem,
+    pareto_exact,
+)
+from repro.speedopt import heterogeneous_assignment
+
+
+@st.composite
+def het_tasks(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [
+        HeterogeneousTask(
+            name=f"t{i}",
+            cycles=draw(st.floats(min_value=0.1, max_value=2.0)),
+            power_coeff=draw(st.floats(min_value=0.2, max_value=5.0)),
+            penalty=draw(st.floats(min_value=0.0, max_value=3.0)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestClosedForm:
+    @given(tasks=het_tasks(), alpha=st.sampled_from([2.0, 2.5, 3.0]))
+    @settings(max_examples=30)
+    def test_matches_kkt_assignment(self, tasks, alpha):
+        """Closed form == the KKT optimiser's energy on the full set."""
+        closed = heterogeneous_energy(
+            tasks, range(len(tasks)), deadline=2.0, alpha=alpha
+        )
+        kkt = heterogeneous_assignment(
+            [t.cycles for t in tasks],
+            [t.power_coeff for t in tasks],
+            deadline=2.0,
+            alpha=alpha,
+        )
+        assert closed == pytest.approx(kkt.energy, rel=1e-9)
+
+    def test_empty_subset_is_free(self):
+        tasks = [
+            HeterogeneousTask(name="a", cycles=1.0, power_coeff=1.0, penalty=0.0)
+        ]
+        assert heterogeneous_energy(tasks, [], deadline=1.0) == 0.0
+
+    def test_unit_coefficients_match_homogeneous_cubic(self):
+        tasks = [
+            HeterogeneousTask(name="a", cycles=0.6, power_coeff=1.0, penalty=0.0),
+            HeterogeneousTask(name="b", cycles=0.4, power_coeff=1.0, penalty=0.0),
+        ]
+        # E = W^3 / D^2 with unit coefficient.
+        assert heterogeneous_energy(tasks, [0, 1], deadline=2.0) == pytest.approx(
+            1.0 / 4.0
+        )
+
+
+class TestReduction:
+    @given(tasks=het_tasks())
+    @settings(max_examples=25)
+    def test_reduced_optimum_is_true_optimum(self, tasks):
+        problem = heterogeneous_problem(tasks, deadline=1.5)
+        opt = exhaustive(problem)
+        n = len(tasks)
+        brute = min(
+            heterogeneous_energy(tasks, combo, deadline=1.5)
+            + sum(t.penalty for i, t in enumerate(tasks) if i not in combo)
+            for r in range(n + 1)
+            for combo in itertools.combinations(range(n), r)
+        )
+        assert opt.cost == pytest.approx(brute, rel=1e-9, abs=1e-12)
+
+    def test_power_hungry_tasks_rejected_first(self):
+        # Same cycles and penalties, wildly different coefficients: the
+        # optimum keeps the efficient task.
+        tasks = [
+            HeterogeneousTask(name="hot", cycles=0.8, power_coeff=50.0, penalty=0.3),
+            HeterogeneousTask(name="cool", cycles=0.8, power_coeff=0.1, penalty=0.3),
+        ]
+        sol = pareto_exact(heterogeneous_problem(tasks, deadline=1.0))
+        names = {tasks[i].name for i in sol.accepted}
+        assert "hot" not in names
+        assert "cool" in names
+
+    def test_mapping_back(self):
+        tasks = [
+            HeterogeneousTask(name="a", cycles=0.5, power_coeff=1.0, penalty=9.0),
+            HeterogeneousTask(name="b", cycles=0.5, power_coeff=9.0, penalty=1e-6),
+        ]
+        problem = heterogeneous_problem(tasks, deadline=1.0)
+        sol = pareto_exact(problem)
+        accepted = accepted_heterogeneous_tasks(sol, tasks)
+        assert [t.name for t in accepted] == ["a"]
+
+    def test_mapping_rejects_mismatched_lists(self):
+        tasks = [
+            HeterogeneousTask(name="a", cycles=0.5, power_coeff=1.0, penalty=1.0)
+        ]
+        problem = heterogeneous_problem(tasks, deadline=1.0)
+        sol = pareto_exact(problem)
+        with pytest.raises(ValueError, match="size"):
+            accepted_heterogeneous_tasks(sol, tasks * 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            heterogeneous_problem([], deadline=1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            heterogeneous_problem(
+                [HeterogeneousTask(name="a", cycles=1.0, power_coeff=1.0, penalty=0.0)],
+                deadline=1.0,
+                alpha=1.0,
+            )
+        with pytest.raises(ValueError, match="power_coeff"):
+            HeterogeneousTask(name="a", cycles=1.0, power_coeff=0.0, penalty=0.0)

@@ -1,0 +1,80 @@
+"""Targeted tests for the local-search move sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import (
+    MultiprocRejectionProblem,
+    RejectionProblem,
+    TwoPeProblem,
+    TwoPeTask,
+    dp_cycles,
+    dp_penalty,
+    exhaustive,
+    greedy_twope,
+    ltf_reject,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet
+
+
+def energy_fn(s_max=1.0):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return ContinuousEnergyFunction(model, deadline=1.0)
+
+
+class TestMultiprocReadmission:
+    def test_overflow_task_readmitted_when_profitable(self):
+        """LTF admits everything, the improvement pass rejects the junk,
+        and the freed capacity lets a previously-overflowing valuable
+        task back in — only possible with the re-admit move."""
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="bulk1", cycles=0.9, penalty=1e-6),
+                FrameTask(name="bulk2", cycles=0.9, penalty=1e-6),
+                FrameTask(name="gem", cycles=0.8, penalty=10.0),
+            ]
+        )
+        problem = MultiprocRejectionProblem(
+            tasks=tasks, energy_fn=energy_fn(), m=1
+        )
+        sol = ltf_reject(problem)
+        # The gem is worth carrying; the bulk is not.
+        assert 2 not in sol.rejected
+        assert {0, 1} <= set(sol.rejected)
+
+
+class TestTwoPeSwaps:
+    def test_swap_unblocks_a_full_pe(self):
+        # PE holds a mediocre task; a strictly better PE candidate is
+        # stuck off-PE. A single move cannot fix it (PE full), a swap can.
+        tasks = (
+            TwoPeTask(name="meh", cycles=0.9, pe_utilization=0.9, penalty=0.05),
+            TwoPeTask(name="star", cycles=0.9, pe_utilization=0.85, penalty=5.0),
+        )
+        problem = TwoPeProblem(
+            tasks=tasks, energy_fn=energy_fn(), pe_power=0.05
+        )
+        sol = greedy_twope(problem)
+        assert 1 in sol.on_pe or 1 in sol.on_dvs  # the star survives
+        assert sol.cost <= 0.05 * 1 * 0.9 + 0.05 + 1e-6 + energy_fn().energy(0.9)
+
+
+class TestDpOversizedTasks:
+    def test_dp_cycles_never_accepts_oversized(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="huge", cycles=5.0, penalty=100.0),
+                FrameTask(name="ok", cycles=1.0, penalty=1.0),
+            ]
+        )
+        model = PolynomialPowerModel(beta1=0.01, alpha=3.0, s_max=2.0)
+        problem = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        assert 0 not in dp_cycles(problem).accepted
+        assert 0 not in dp_penalty(problem).accepted
+        assert dp_cycles(problem).cost == pytest.approx(
+            exhaustive(problem).cost
+        )

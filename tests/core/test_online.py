@@ -1,0 +1,121 @@
+"""Tests for the online admission-control extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import (
+    AcceptIfFeasible,
+    RejectAll,
+    RejectionProblem,
+    ThresholdPolicy,
+    exhaustive,
+    run_online,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet, frame_instance
+
+from tests.conftest import rejection_problems
+
+
+def simple_problem(tasks):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=1.0)
+    return RejectionProblem(
+        tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+    )
+
+
+class TestPolicies:
+    def test_accept_if_feasible_fills_in_order(self):
+        tasks = FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=0.4, penalty=1.0) for i in range(4)
+        )
+        sol = run_online(simple_problem(tasks), AcceptIfFeasible())
+        assert sol.accepted == {0, 1}
+
+    def test_reject_all(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.4, penalty=1.0)])
+        sol = run_online(simple_problem(tasks), RejectAll())
+        assert sol.accepted == set()
+        assert sol.cost == pytest.approx(1.0)
+
+    def test_threshold_accepts_valuable_tasks(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="cheap", cycles=0.5, penalty=1e-6),
+                FrameTask(name="dear", cycles=0.4, penalty=100.0),
+            ]
+        )
+        sol = run_online(simple_problem(tasks), ThresholdPolicy(1.0))
+        assert 1 in sol.accepted
+        assert 0 not in sol.accepted
+
+    def test_theta_monotone_acceptance(self):
+        rng = np.random.default_rng(0)
+        tasks = frame_instance(rng, n_tasks=10, load=0.9)
+        problem = simple_problem(tasks)
+        sizes = []
+        for theta in (0.25, 1.0, 4.0):
+            sol = run_online(problem, ThresholdPolicy(theta))
+            sizes.append(len(sol.accepted))
+        assert sizes == sorted(sizes)
+
+    def test_reserve_pricing_is_more_conservative(self):
+        rng = np.random.default_rng(1)
+        tasks = frame_instance(rng, n_tasks=10, load=1.8)
+        problem = simple_problem(tasks)
+        plain = run_online(problem, ThresholdPolicy(1.0))
+        reserved = run_online(problem, ThresholdPolicy(1.0, reserve=True))
+        assert len(reserved.accepted) <= len(plain.accepted)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError, match="theta"):
+            ThresholdPolicy(0.0)
+
+
+class TestRunOnline:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=30)
+    def test_always_feasible_and_never_beats_offline(self, problem):
+        opt = exhaustive(problem).cost
+        for policy in (
+            ThresholdPolicy(1.0),
+            ThresholdPolicy(0.5),
+            AcceptIfFeasible(),
+            RejectAll(),
+        ):
+            sol = run_online(problem, policy)
+            assert problem.is_feasible(sol.accepted)
+            assert sol.cost >= opt - max(1e-9, 1e-9 * opt)
+
+    def test_order_matters(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="big", cycles=0.9, penalty=5.0),
+                FrameTask(name="small", cycles=0.3, penalty=5.0),
+            ]
+        )
+        problem = simple_problem(tasks)
+        forward = run_online(problem, AcceptIfFeasible(), order=[0, 1])
+        backward = run_online(problem, AcceptIfFeasible(), order=[1, 0])
+        assert forward.accepted != backward.accepted
+
+    def test_invalid_order_rejected(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.4, penalty=1.0)])
+        with pytest.raises(ValueError, match="permutation"):
+            run_online(simple_problem(tasks), AcceptIfFeasible(), order=[0, 0])
+
+    def test_rng_shuffle_reproducible(self):
+        rng_tasks = np.random.default_rng(2)
+        tasks = frame_instance(rng_tasks, n_tasks=8, load=1.5)
+        problem = simple_problem(tasks)
+        a = run_online(problem, ThresholdPolicy(1.0), rng=np.random.default_rng(3))
+        b = run_online(problem, ThresholdPolicy(1.0), rng=np.random.default_rng(3))
+        assert a.accepted == b.accepted
+
+    def test_algorithm_label(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.4, penalty=1.0)])
+        sol = run_online(simple_problem(tasks), ThresholdPolicy(0.5))
+        assert sol.algorithm == "online:threshold(0.5)"

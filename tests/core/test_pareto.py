@@ -1,0 +1,105 @@
+"""Tests for the Pareto-frontier exact algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    branch_and_bound,
+    dp_cycles,
+    exhaustive,
+    pareto_exact,
+)
+from repro.energy import ContinuousEnergyFunction, CriticalSpeedEnergyFunction
+from repro.power import DormantMode, PolynomialPowerModel, xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet, frame_instance
+
+from tests.conftest import integer_frame_task_sets, rejection_problems
+
+
+class TestExactness:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=50)
+    def test_matches_exhaustive(self, problem):
+        assert pareto_exact(problem).cost == pytest.approx(
+            exhaustive(problem).cost, rel=1e-9, abs=1e-12
+        )
+
+    @given(tasks=integer_frame_task_sets(max_tasks=7))
+    @settings(max_examples=30)
+    def test_matches_dp_on_integer_instances(self, tasks):
+        model = PolynomialPowerModel(beta1=0.001, alpha=3.0, s_max=40.0)
+        problem = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+        )
+        assert pareto_exact(problem).cost == pytest.approx(
+            dp_cycles(problem).cost, rel=1e-9, abs=1e-12
+        )
+
+    def test_exact_on_nonconvex_energy(self):
+        """The headline advantage: exact where B&B's bound machinery
+        needs the convex stand-in — cross-check against exhaustive."""
+        model = PolynomialPowerModel(beta0=0.1, beta1=1.52, alpha=3.0)
+        g = CriticalSpeedEnergyFunction(
+            model, deadline=1.0, dormant=DormantMode(t_sw=0.05, e_sw=0.03)
+        )
+        assert not g.is_convex
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            tasks = frame_instance(rng, n_tasks=9, load=1.1)
+            problem = RejectionProblem(tasks=tasks, energy_fn=g)
+            assert pareto_exact(problem).cost == pytest.approx(
+                exhaustive(problem).cost, rel=1e-9
+            )
+
+    def test_agrees_with_branch_and_bound_beyond_exhaustive(self):
+        rng = np.random.default_rng(4)
+        tasks = frame_instance(rng, n_tasks=25, load=1.6)
+        problem = RejectionProblem(
+            tasks=tasks,
+            energy_fn=ContinuousEnergyFunction(xscale_power_model(), 1.0),
+        )
+        assert pareto_exact(problem).cost == pytest.approx(
+            branch_and_bound(problem).cost, rel=1e-6
+        )
+
+
+class TestMechanics:
+    def test_frontier_size_reported(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=0.4, penalty=1.0),
+                FrameTask(name="b", cycles=0.3, penalty=0.5),
+            ]
+        )
+        problem = RejectionProblem(
+            tasks=tasks,
+            energy_fn=ContinuousEnergyFunction(xscale_power_model(), 1.0),
+        )
+        sol = pareto_exact(problem)
+        assert sol.meta["frontier"] >= 1
+        assert sol.algorithm == "pareto_exact"
+
+    def test_scales_to_moderate_n(self):
+        rng = np.random.default_rng(7)
+        tasks = frame_instance(rng, n_tasks=50, load=1.4)
+        problem = RejectionProblem(
+            tasks=tasks,
+            energy_fn=ContinuousEnergyFunction(xscale_power_model(), 1.0),
+        )
+        sol = pareto_exact(problem)  # must terminate quickly
+        assert problem.is_feasible(sol.accepted)
+
+    def test_oversized_tasks_never_accepted(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="huge", cycles=5.0, penalty=100.0),
+                FrameTask(name="ok", cycles=0.5, penalty=1.0),
+            ]
+        )
+        problem = RejectionProblem(
+            tasks=tasks,
+            energy_fn=ContinuousEnergyFunction(xscale_power_model(), 1.0),
+        )
+        assert 0 not in pareto_exact(problem).accepted

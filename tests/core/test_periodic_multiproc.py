@@ -1,0 +1,76 @@
+"""Tests for periodic rejection on partitioned multiprocessors."""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import (
+    continuous_energy,
+    global_greedy_reject,
+    ltf_reject,
+    periodic_multiproc_problem,
+    pooled_lower_bound,
+    simulate_partitioned_solution,
+)
+from repro.power import xscale_power_model
+from repro.tasks import PeriodicTask, PeriodicTaskSet, periodic_instance
+
+
+@pytest.fixture
+def model():
+    return xscale_power_model()
+
+
+class TestReduction:
+    def test_workloads_scale_with_hyperperiod(self, model):
+        tasks = PeriodicTaskSet(
+            [
+                PeriodicTask(name="a", period=10.0, wcec=2.0, penalty=1.0),
+                PeriodicTask(name="b", period=5.0, wcec=1.0, penalty=1.0),
+            ]
+        )
+        problem = periodic_multiproc_problem(tasks, continuous_energy(model), 2)
+        assert problem.tasks.total_cycles == pytest.approx(0.4 * 10.0)
+        assert problem.capacity == pytest.approx(10.0)
+        assert problem.m == 2
+
+    def test_bound_below_heuristics(self, model):
+        rng = np.random.default_rng(0)
+        tasks = periodic_instance(
+            rng, n_tasks=10, total_utilization=2.6, penalty_scale=3.0
+        )
+        problem = periodic_multiproc_problem(tasks, continuous_energy(model), 2)
+        bound = pooled_lower_bound(problem)
+        for solver in (ltf_reject, global_greedy_reject):
+            assert solver(problem).cost >= bound - 1e-9
+
+
+class TestCoSimulation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_core_meets_deadlines_and_energy(self, model, seed):
+        rng = np.random.default_rng(seed)
+        tasks = periodic_instance(
+            rng, n_tasks=9, total_utilization=2.2, penalty_scale=4.0
+        )
+        problem = periodic_multiproc_problem(tasks, continuous_energy(model), 3)
+        solution = global_greedy_reject(problem)
+        results = simulate_partitioned_solution(solution, tasks, model)
+        simulated_dynamic = 0.0
+        for result in results:
+            if result is None:
+                continue
+            assert not result.missed
+            simulated_dynamic += (
+                result.energy_active - model.static_power * result.busy_time
+            )
+        assert simulated_dynamic == pytest.approx(
+            solution.breakdown.energy, rel=1e-9, abs=1e-9
+        )
+
+    def test_mismatched_tasks_rejected(self, model):
+        rng = np.random.default_rng(1)
+        tasks = periodic_instance(rng, n_tasks=6, total_utilization=1.5)
+        other = periodic_instance(rng, n_tasks=5, total_utilization=1.0)
+        problem = periodic_multiproc_problem(tasks, continuous_energy(model), 2)
+        solution = ltf_reject(problem)
+        with pytest.raises(ValueError, match="size"):
+            simulate_partitioned_solution(solution, other, model)

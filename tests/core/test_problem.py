@@ -1,0 +1,115 @@
+"""Tests for RejectionProblem / RejectionSolution value objects."""
+
+import math
+
+import pytest
+
+from repro.core.rejection import RejectionProblem, best_solution
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel, xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet
+
+
+@pytest.fixture
+def problem():
+    tasks = FrameTaskSet(
+        [
+            FrameTask(name="a", cycles=0.4, penalty=1.0),
+            FrameTask(name="b", cycles=0.5, penalty=2.0),
+            FrameTask(name="c", cycles=0.6, penalty=0.5),
+        ]
+    )
+    g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+    return RejectionProblem(tasks=tasks, energy_fn=g)
+
+
+class TestProblem:
+    def test_capacity_and_overload(self, problem):
+        assert problem.capacity == pytest.approx(1.0)
+        assert problem.overload == pytest.approx(1.5)
+
+    def test_workload(self, problem):
+        assert problem.workload([0, 1]) == pytest.approx(0.9)
+        assert problem.workload([]) == 0.0
+
+    def test_feasibility(self, problem):
+        assert problem.is_feasible([0, 1])
+        assert not problem.is_feasible([0, 1, 2])
+
+    def test_cost_splits_energy_and_penalty(self, problem):
+        breakdown = problem.cost([0, 1])
+        g = problem.energy_fn
+        assert breakdown.energy == pytest.approx(g.energy(0.9))
+        assert breakdown.penalty == pytest.approx(0.5)
+        assert breakdown.total == pytest.approx(breakdown.energy + 0.5)
+
+    def test_cost_of_infeasible_subset_raises(self, problem):
+        with pytest.raises(ValueError):
+            problem.cost([0, 1, 2])
+
+    def test_cost_index_out_of_range(self, problem):
+        with pytest.raises(IndexError):
+            problem.cost([5])
+
+    def test_accept_all_none_when_infeasible(self, problem):
+        assert problem.accept_all_cost() is None
+
+    def test_reject_all_is_total_penalty(self, problem):
+        assert problem.reject_all_cost().total == pytest.approx(3.5)
+
+    def test_never_acceptable_tasks_flagged(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="huge", cycles=5.0, penalty=1.0),
+                FrameTask(name="ok", cycles=0.5, penalty=1.0),
+            ]
+        )
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        p = RejectionProblem(tasks=tasks, energy_fn=g)
+        assert p.never_acceptable == {"huge"}
+
+    def test_empty_task_set_rejected(self):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        with pytest.raises(ValueError):
+            RejectionProblem(tasks=FrameTaskSet([]), energy_fn=g)
+
+
+class TestSolution:
+    def test_solution_properties(self, problem):
+        sol = problem.solution([0, 2], algorithm="test")
+        assert sol.accepted == {0, 2}
+        assert sol.rejected == {1}
+        assert sol.acceptance_ratio == pytest.approx(2 / 3)
+        assert sol.workload == pytest.approx(1.0)
+        assert [t.name for t in sol.accepted_tasks] == ["a", "c"]
+        assert [t.name for t in sol.rejected_tasks] == ["b"]
+        assert sol.cost == pytest.approx(sol.energy + sol.penalty)
+
+    def test_solution_validates_feasibility(self, problem):
+        with pytest.raises(ValueError):
+            problem.solution([0, 1, 2], algorithm="broken")
+
+    def test_speed_plan_carries_workload(self, problem):
+        sol = problem.solution([0], algorithm="test")
+        assert sol.speed_plan().total_cycles == pytest.approx(0.4)
+
+    def test_meta_passthrough(self, problem):
+        sol = problem.solution([0], algorithm="test", eps=0.5)
+        assert sol.meta["eps"] == 0.5
+
+
+class TestBestSolution:
+    def test_picks_minimum(self, problem):
+        a = problem.solution([0, 1], algorithm="a")
+        b = problem.solution([], algorithm="b")
+        assert best_solution(a, b).algorithm == (
+            "a" if a.cost <= b.cost else "b"
+        )
+
+    def test_ignores_none(self, problem):
+        a = problem.solution([0], algorithm="a")
+        assert best_solution(None, a, None) is a
+
+    def test_all_none_raises(self):
+        with pytest.raises(ValueError):
+            best_solution(None, None)

@@ -1,0 +1,101 @@
+"""Tests for the fractional relaxation and LP rounding."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    exhaustive,
+    fractional_lower_bound,
+    fractional_relaxation,
+    lp_rounding,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel, xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet
+
+from tests.conftest import rejection_problems
+
+
+def simple_problem(tasks, s_max=1.0):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return RejectionProblem(
+        tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+    )
+
+
+class TestLowerBound:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=50)
+    def test_bounds_the_optimum(self, problem):
+        assert fractional_lower_bound(problem) <= exhaustive(problem).cost + 1e-9
+
+    def test_tight_when_relaxation_is_integral(self):
+        # One task, enormous penalty: accept it; bound = energy = OPT.
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=100.0)])
+        p = simple_problem(tasks)
+        assert fractional_lower_bound(p) == pytest.approx(
+            exhaustive(p).cost, rel=1e-6
+        )
+
+    def test_witness_structure(self):
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="cheap", cycles=0.8, penalty=0.01),
+                FrameTask(name="dear", cycles=0.8, penalty=10.0),
+            ]
+        )
+        relaxed = fractional_relaxation(simple_problem(tasks))
+        # Overload 1.6: the cheap-density task absorbs the rejection.
+        assert 0 in relaxed.fully_rejected or relaxed.fractional_task == 0
+        assert relaxed.accepted_workload <= 1.0 + 1e-9
+
+    def test_nonconvex_energy_uses_convex_stand_in(self):
+        from repro.energy import CriticalSpeedEnergyFunction
+        from repro.power import DormantMode
+
+        model = PolynomialPowerModel(beta0=0.1, beta1=1.52, alpha=3.0)
+        g = CriticalSpeedEnergyFunction(
+            model, deadline=1.0, dormant=DormantMode(e_sw=0.02)
+        )
+        tasks = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=0.3, penalty=0.2),
+                FrameTask(name="b", cycles=0.5, penalty=0.4),
+            ]
+        )
+        p = RejectionProblem(tasks=tasks, energy_fn=g)
+        # Still a valid lower bound on the true (kinked) problem.
+        assert fractional_lower_bound(p) <= exhaustive(p).cost + 1e-9
+
+
+class TestLpRounding:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=40)
+    def test_feasible_and_above_bound(self, problem):
+        sol = lp_rounding(problem)
+        assert problem.is_feasible(sol.accepted)
+        assert sol.cost >= fractional_lower_bound(problem) - 1e-9
+
+    @given(problem=rejection_problems(max_tasks=6))
+    @settings(max_examples=30)
+    def test_rounding_gap_bounded_by_one_task(self, problem):
+        """Rounding loses at most the worst single task's contribution."""
+        sol = lp_rounding(problem)
+        bound = fractional_lower_bound(problem)
+        worst_single = max(
+            max(t.penalty for t in problem.tasks),
+            problem.energy_fn.energy(
+                min(
+                    max(t.cycles for t in problem.tasks),
+                    problem.energy_fn.max_workload,
+                )
+            ),
+        )
+        assert sol.cost <= bound + worst_single + 1e-6
+
+    def test_integral_relaxation_rounds_to_itself(self):
+        tasks = FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=100.0)])
+        p = simple_problem(tasks)
+        sol = lp_rounding(p)
+        assert sol.accepted == {0}

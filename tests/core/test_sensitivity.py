@@ -1,0 +1,121 @@
+"""Tests for the trade-off curve and sensitivity pricing."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import (
+    RejectionProblem,
+    acceptance_price,
+    exhaustive,
+    pareto_exact,
+    pareto_frontier,
+    rejection_price,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel, xscale_power_model
+from repro.tasks import FrameTask, FrameTaskSet, frame_instance
+
+from tests.conftest import rejection_problems
+
+
+def simple_problem(tasks):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=1.0)
+    return RejectionProblem(
+        tasks=tasks, energy_fn=ContinuousEnergyFunction(model, deadline=1.0)
+    )
+
+
+class TestParetoFrontier:
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=30)
+    def test_minimum_over_frontier_is_the_optimum(self, problem):
+        front = pareto_frontier(problem)
+        best = min(cost for _, _, cost in front)
+        assert best == pytest.approx(exhaustive(problem).cost, rel=1e-9)
+
+    @given(problem=rejection_problems(max_tasks=7))
+    @settings(max_examples=30)
+    def test_frontier_is_strictly_nondominated(self, problem):
+        front = pareto_frontier(problem)
+        for (w1, p1, _), (w2, p2, _) in zip(front, front[1:]):
+            assert w2 >= w1 - 1e-12
+            assert p2 < p1  # strictly decreasing penalty
+
+    def test_frontier_workloads_respect_capacity(self):
+        rng = np.random.default_rng(2)
+        problem = simple_problem(frame_instance(rng, n_tasks=8, load=2.0))
+        for w, _, _ in pareto_frontier(problem):
+            assert w <= problem.capacity * (1 + 1e-9)
+
+
+class TestPricing:
+    def make(self):
+        return simple_problem(
+            FrameTaskSet(
+                [
+                    FrameTask(name="big", cycles=0.6, penalty=0.3),
+                    FrameTask(name="small", cycles=0.2, penalty=0.05),
+                    FrameTask(name="mid", cycles=0.4, penalty=1.0),
+                ]
+            )
+        )
+
+    def test_prices_bracket_the_decision(self):
+        problem = self.make()
+        opt = pareto_exact(problem)
+        for i in range(problem.n):
+            if i in opt.accepted:
+                price = rejection_price(problem, i)
+                assert price <= problem.tasks[i].penalty + 1e-6
+            else:
+                price = acceptance_price(problem, i)
+                assert price >= problem.tasks[i].penalty - 1e-6
+
+    def test_price_is_the_flip_point(self):
+        problem = self.make()
+        opt = pareto_exact(problem)
+        rejected = sorted(set(range(problem.n)) - opt.accepted)
+        if not rejected:
+            pytest.skip("nothing rejected on this instance")
+        i = rejected[0]
+        price = acceptance_price(problem, i, rel_tol=1e-9)
+        from repro.core.rejection.sensitivity import _with_penalty
+
+        below = pareto_exact(_with_penalty(problem, i, price * 0.999))
+        above = pareto_exact(_with_penalty(problem, i, price * 1.001))
+        assert i not in below.accepted
+        assert i in above.accepted
+
+    def test_never_acceptable_task_priced_infinite(self):
+        problem = simple_problem(
+            FrameTaskSet(
+                [
+                    FrameTask(name="huge", cycles=3.0, penalty=1.0),
+                    FrameTask(name="ok", cycles=0.2, penalty=1.0),
+                ]
+            )
+        )
+        assert acceptance_price(problem, 0) == math.inf
+
+    def test_free_acceptance_priced_zero(self):
+        # Tiny task, huge capacity: accepted even with zero penalty.
+        model = PolynomialPowerModel(beta1=0.001, alpha=3.0, s_max=10.0)
+        problem = RejectionProblem(
+            tasks=FrameTaskSet(
+                [FrameTask(name="t", cycles=0.01, penalty=5.0)]
+            ),
+            energy_fn=ContinuousEnergyFunction(model, deadline=1.0),
+        )
+        # Accepting costs ~1e-9 energy; rejecting costs the penalty: even
+        # at rho=0 the costs tie at ~0 — rejection_price must be ~0.
+        assert rejection_price(problem, 0) <= 1e-3
+
+    def test_index_validation(self):
+        problem = self.make()
+        with pytest.raises(IndexError):
+            acceptance_price(problem, 9)
+        with pytest.raises(IndexError):
+            rejection_price(problem, -1)

@@ -1,0 +1,149 @@
+"""Tests for the two-PE (DVS + non-DVS) rejection extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.rejection import (
+    TwoPeProblem,
+    TwoPeTask,
+    exhaustive_twope,
+    greedy_twope,
+    tasks_from_frame,
+)
+from repro.core.rejection.twope import DVS, PE, REJECT
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet
+
+
+def energy_fn(s_max=1.0, deadline=1.0):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return ContinuousEnergyFunction(model, deadline=deadline)
+
+
+def make_problem(entries, pe_power=0.3, workload_dependent=True):
+    tasks = tuple(
+        TwoPeTask(name=f"t{i}", cycles=c, pe_utilization=u, penalty=rho)
+        for i, (c, u, rho) in enumerate(entries)
+    )
+    return TwoPeProblem(
+        tasks=tasks,
+        energy_fn=energy_fn(),
+        pe_power=pe_power,
+        workload_dependent=workload_dependent,
+    )
+
+
+@st.composite
+def twope_problems(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    entries = [
+        (
+            draw(st.floats(min_value=0.05, max_value=0.8)),
+            draw(st.floats(min_value=0.05, max_value=0.9)),
+            draw(st.floats(min_value=0.0, max_value=2.0)),
+        )
+        for _ in range(n)
+    ]
+    pe_power = draw(st.sampled_from([0.05, 0.3, 1.0]))
+    dependent = draw(st.booleans())
+    return make_problem(entries, pe_power=pe_power, workload_dependent=dependent)
+
+
+class TestCostModel:
+    def test_placement_cost_components(self):
+        p = make_problem([(0.4, 0.5, 1.0), (0.3, 0.4, 2.0)], pe_power=0.5)
+        breakdown = p.cost_of([DVS, PE])
+        g = p.energy_fn
+        assert breakdown.energy == pytest.approx(
+            g.energy(0.4) + 0.5 * 1.0 * 0.4
+        )
+        assert breakdown.penalty == 0.0
+
+    def test_workload_independent_pe_charges_flat(self):
+        p = make_problem(
+            [(0.4, 0.5, 1.0), (0.3, 0.2, 2.0)],
+            pe_power=0.5,
+            workload_dependent=False,
+        )
+        both = p.cost_of([PE, PE]).energy
+        one = p.cost_of([PE, REJECT]).energy
+        assert both == pytest.approx(one)  # flat fee, not per-task
+        none = p.cost_of([REJECT, REJECT]).energy
+        assert none == 0.0
+
+    def test_pe_capacity_enforced(self):
+        p = make_problem([(0.4, 0.7, 1.0), (0.3, 0.7, 2.0)])
+        with pytest.raises(ValueError, match="100%"):
+            p.cost_of([PE, PE])
+
+    def test_dvs_capacity_enforced(self):
+        p = make_problem([(0.8, 0.2, 1.0), (0.8, 0.2, 2.0)])
+        with pytest.raises(ValueError, match="exceeds"):
+            p.cost_of([DVS, DVS])
+
+    def test_invalid_code_rejected(self):
+        p = make_problem([(0.4, 0.5, 1.0)])
+        with pytest.raises(ValueError, match="placement code"):
+            p.cost_of([7])
+
+
+class TestAlgorithms:
+    @given(problem=twope_problems())
+    @settings(max_examples=40)
+    def test_greedy_never_beats_exhaustive_and_is_valid(self, problem):
+        opt = exhaustive_twope(problem)
+        greedy = greedy_twope(problem)
+        assert greedy.cost >= opt.cost - max(1e-9, 1e-9 * opt.cost)
+        # Validity is enforced by cost_of inside _solution.
+        assert set(greedy.on_dvs) | set(greedy.on_pe) | set(greedy.rejected) == set(
+            range(problem.n)
+        )
+
+    def test_cheap_pe_attracts_pe_friendly_tasks(self):
+        # Task 0: tiny PE utilisation, big DVS cycles -> belongs on PE.
+        p = make_problem(
+            [(0.8, 0.05, 5.0), (0.2, 0.9, 5.0)], pe_power=0.1
+        )
+        opt = exhaustive_twope(p)
+        assert 0 in opt.on_pe
+
+    def test_expensive_pe_falls_back_to_dvs(self):
+        p = make_problem([(0.3, 0.5, 5.0)], pe_power=100.0)
+        opt = exhaustive_twope(p)
+        assert opt.on_dvs == (0,)
+
+    def test_rejection_chosen_when_everything_is_costly(self):
+        p = make_problem([(0.9, 0.95, 1e-6)], pe_power=100.0)
+        opt = exhaustive_twope(p)
+        assert opt.rejected == (0,)
+
+    def test_oversized_pe_task_never_on_pe(self):
+        p = make_problem([(0.3, 1.5, 5.0)])
+        opt = exhaustive_twope(p)
+        assert 0 not in opt.on_pe
+
+    def test_enumeration_guard(self):
+        entries = [(0.01, 0.01, 1.0)] * 15
+        with pytest.raises(ValueError, match="enumeration guard"):
+            exhaustive_twope(make_problem(entries))
+
+
+class TestFrameBridge:
+    def test_tasks_from_frame(self):
+        frame = FrameTaskSet(
+            [
+                FrameTask(name="a", cycles=0.4, penalty=1.0),
+                FrameTask(name="b", cycles=0.2, penalty=2.0),
+            ]
+        )
+        tasks = tasks_from_frame(frame, [0.3, 0.6])
+        assert tasks[0].pe_utilization == 0.3
+        assert tasks[1].penalty == 2.0
+
+    def test_length_mismatch(self):
+        frame = FrameTaskSet([FrameTask(name="a", cycles=0.4, penalty=1.0)])
+        with pytest.raises(ValueError, match="utilisations"):
+            tasks_from_frame(frame, [0.1, 0.2])

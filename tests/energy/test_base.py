@@ -1,0 +1,57 @@
+"""Tests for SpeedPlan/SpeedSegment value objects."""
+
+import pytest
+
+from repro.energy.base import SpeedPlan, SpeedSegment
+
+
+class TestSpeedSegment:
+    def test_duration_and_cycles(self):
+        seg = SpeedSegment(1.0, 3.0, 0.5)
+        assert seg.duration == pytest.approx(2.0)
+        assert seg.cycles == pytest.approx(1.0)
+
+    def test_idle_segment_carries_no_cycles(self):
+        assert SpeedSegment(0.0, 5.0, 0.0).cycles == 0.0
+
+    def test_sleep_segment(self):
+        seg = SpeedSegment(0.0, 1.0, SpeedPlan.SLEEP_SPEED)
+        assert seg.is_sleep
+        assert seg.cycles == 0.0
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            SpeedSegment(2.0, 1.0, 0.5)
+
+
+class TestSpeedPlan:
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError, match="gap"):
+            SpeedPlan(
+                segments=(
+                    SpeedSegment(0.0, 1.0, 1.0),
+                    SpeedSegment(1.5, 2.0, 0.0),
+                ),
+                energy=1.0,
+            )
+
+    def test_aggregates(self):
+        plan = SpeedPlan(
+            segments=(
+                SpeedSegment(0.0, 1.0, 0.5),
+                SpeedSegment(1.0, 2.0, 0.0),
+            ),
+            energy=0.3,
+        )
+        assert plan.horizon == pytest.approx(2.0)
+        assert plan.total_cycles == pytest.approx(0.5)
+        assert plan.busy_time == pytest.approx(1.0)
+
+    def test_empty_plan(self):
+        plan = SpeedPlan(segments=(), energy=0.0)
+        assert plan.horizon == 0.0
+        assert plan.total_cycles == 0.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedPlan(segments=(), energy=-1.0)

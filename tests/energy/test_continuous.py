@@ -1,0 +1,99 @@
+"""Tests for the ideal-processor energy function."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel, xscale_power_model
+
+
+@pytest.fixture
+def g():
+    return ContinuousEnergyFunction(xscale_power_model(), deadline=2.0)
+
+
+class TestBasics:
+    def test_zero_workload_is_free(self, g):
+        assert g.energy(0.0) == 0.0
+
+    def test_max_workload_is_smax_times_deadline(self, g):
+        assert g.max_workload == pytest.approx(2.0)
+
+    def test_infeasible_workload_rejected(self, g):
+        with pytest.raises(ValueError, match="exceeds the feasible"):
+            g.energy(2.5)
+
+    def test_optimal_speed_stretches_to_deadline(self, g):
+        assert g.optimal_speed(1.0) == pytest.approx(0.5)
+
+    def test_energy_closed_form(self, g):
+        # g(W) = D * beta1 * (W/D)^3 for the dynamic-only model.
+        w = 1.2
+        assert g.energy(w) == pytest.approx(2.0 * 1.52 * (w / 2.0) ** 3)
+
+    def test_static_floor_option(self):
+        base = ContinuousEnergyFunction(xscale_power_model(), deadline=2.0)
+        floored = ContinuousEnergyFunction(
+            xscale_power_model(), deadline=2.0, include_static_floor=True
+        )
+        assert floored.energy(1.0) == pytest.approx(
+            base.energy(1.0) + 0.08 * 2.0
+        )
+        assert floored.energy(0.0) == pytest.approx(0.08 * 2.0)
+
+    def test_s_min_clamp_makes_low_workloads_linear(self):
+        model = PolynomialPowerModel(s_min=0.5, s_max=1.0)
+        g = ContinuousEnergyFunction(model, deadline=1.0)
+        # Below s_min * D the speed pins at s_min: energy linear in W.
+        e1, e2 = g.energy(0.1), g.energy(0.2)
+        assert e2 == pytest.approx(2.0 * e1)
+
+
+class TestConvexityMonotonicity:
+    @given(
+        a=st.floats(min_value=0.0, max_value=2.0),
+        b=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_convex(self, a, b):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=2.0)
+        mid = (a + b) / 2.0
+        assert g.energy(mid) <= (g.energy(a) + g.energy(b)) / 2.0 + 1e-12
+
+    @given(w=st.floats(min_value=0.0, max_value=1.9))
+    def test_nondecreasing(self, w):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=2.0)
+        assert g.energy(w) <= g.energy(w + 0.1) + 1e-15
+
+    @given(w=st.floats(min_value=0.01, max_value=2.0))
+    def test_marginal_matches_difference(self, w):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=2.0)
+        delta = min(0.05, 2.0 - w)
+        assert g.marginal(w - 0.01, delta) == pytest.approx(
+            g.energy(w - 0.01 + delta) - g.energy(w - 0.01)
+        )
+
+
+class TestPlan:
+    def test_plan_covers_deadline_and_cycles(self, g):
+        plan = g.plan(1.0)
+        assert plan.horizon == pytest.approx(2.0)
+        assert plan.total_cycles == pytest.approx(1.0)
+        assert plan.energy == pytest.approx(g.energy(1.0))
+
+    def test_full_load_plan_has_no_idle(self, g):
+        plan = g.plan(2.0)
+        assert len(plan.segments) == 1
+        assert plan.segments[0].speed == pytest.approx(1.0)
+
+    def test_empty_plan_is_one_idle_segment(self, g):
+        plan = g.plan(0.0)
+        assert len(plan.segments) == 1
+        assert plan.segments[0].speed == 0.0
+
+    def test_plan_busy_time(self, g):
+        plan = g.plan(1.0)
+        # speed 0.5 -> busy exactly the whole deadline.
+        assert plan.busy_time == pytest.approx(2.0)

@@ -1,0 +1,140 @@
+"""Tests for the discrete-level energy function."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.energy import ContinuousEnergyFunction, DiscreteEnergyFunction
+from repro.power import DormantMode, PolynomialPowerModel, xscale_power_model
+from repro.power.discrete import SpeedLevels, quantize_speeds
+
+
+@pytest.fixture
+def model():
+    return xscale_power_model()
+
+
+@pytest.fixture
+def levels():
+    return SpeedLevels([0.25, 0.5, 0.75, 1.0])
+
+
+class TestDormantDisable:
+    def test_exact_level_workload_runs_single_speed(self, model, levels):
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        # W = 0.5 * D: exactly the 0.5 level for the whole deadline.
+        assert g.energy(0.5) == pytest.approx(model.dynamic_power(0.5) * 1.0)
+
+    def test_between_levels_time_shares_adjacent(self, model, levels):
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        w = 0.6  # between 0.5 and 0.75
+        t_hi = (w - 0.5) / 0.25
+        expected = (1 - t_hi) * model.dynamic_power(0.5) + t_hi * model.dynamic_power(
+            0.75
+        )
+        assert g.energy(w) == pytest.approx(expected)
+
+    def test_below_lowest_level_runs_lowest_and_idles(self, model, levels):
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        w = 0.1
+        assert g.energy(w) == pytest.approx(
+            (w / 0.25) * model.dynamic_power(0.25)
+        )
+
+    def test_static_floor_option(self, model, levels):
+        g = DiscreteEnergyFunction(
+            model, levels, deadline=1.0, include_static_floor=True
+        )
+        base = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        assert g.energy(0.6) == pytest.approx(base.energy(0.6) + 0.08)
+
+    @given(w=st.floats(min_value=0.0, max_value=1.0))
+    def test_dominates_continuous(self, w):
+        """Quantisation can never beat the continuous optimum."""
+        model = xscale_power_model()
+        levels = SpeedLevels([0.25, 0.5, 0.75, 1.0])
+        disc = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        cont = ContinuousEnergyFunction(model, deadline=1.0)
+        assert disc.energy(w) >= cont.energy(w) - 1e-12
+
+    def test_more_levels_never_hurt(self, model):
+        coarse = DiscreteEnergyFunction(
+            model, quantize_speeds(model, 2), deadline=1.0
+        )
+        fine = DiscreteEnergyFunction(
+            model, quantize_speeds(model, 8), deadline=1.0
+        )
+        for w in (0.1, 0.33, 0.61, 0.95):
+            assert fine.energy(w) <= coarse.energy(w) + 1e-12
+
+
+class TestDormantEnable:
+    def test_critical_level_minimises_energy_per_cycle(self, model, levels):
+        g = DiscreteEnergyFunction(
+            model, levels, deadline=1.0, dormant=DormantMode()
+        )
+        per_cycle = {s: model.power(s) / s for s in levels}
+        assert g.critical_level == min(per_cycle, key=per_cycle.get)
+
+    def test_below_critical_runs_critical_and_sleeps(self, model, levels):
+        g = DiscreteEnergyFunction(
+            model, levels, deadline=1.0, dormant=DormantMode()
+        )
+        s_c = g.critical_level
+        w = s_c / 4.0
+        assert g.energy(w) == pytest.approx((w / s_c) * model.power(s_c))
+
+    def test_sleep_energy_charged_when_cheaper_than_idle(self, model, levels):
+        dm = DormantMode(t_sw=0.0, e_sw=0.01)
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0, dormant=dm)
+        s_c = g.critical_level
+        w = s_c / 2.0
+        busy = w / s_c
+        idle_cost = 0.08 * (1.0 - busy)
+        assert idle_cost > 0.01  # sleeping is indeed cheaper here
+        assert g.energy(w) == pytest.approx(busy * model.power(s_c) + 0.01)
+
+    def test_is_convex_flags(self, model, levels):
+        assert DiscreteEnergyFunction(
+            model, levels, deadline=1.0, dormant=DormantMode()
+        ).is_convex
+        g = DiscreteEnergyFunction(
+            model, levels, deadline=1.0, dormant=DormantMode(e_sw=0.5)
+        )
+        assert not g.is_convex
+        assert g.convex_lower_bound().is_convex
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1.0),
+        b=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_convex_with_zero_overhead_sleep(self, a, b):
+        model = xscale_power_model()
+        g = DiscreteEnergyFunction(
+            model,
+            quantize_speeds(model, 4),
+            deadline=1.0,
+            dormant=DormantMode(),
+        )
+        mid = (a + b) / 2.0
+        assert g.energy(mid) <= (g.energy(a) + g.energy(b)) / 2.0 + 1e-12
+
+
+class TestPlanAndValidation:
+    def test_plan_cycles_and_energy_consistent(self, model, levels):
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        for w in (0.0, 0.2, 0.5, 0.85, 1.0):
+            plan = g.plan(w)
+            assert plan.total_cycles == pytest.approx(w, abs=1e-9)
+            assert plan.energy == pytest.approx(g.energy(w))
+            assert plan.horizon == pytest.approx(1.0)
+
+    def test_infeasible_rejected(self, model, levels):
+        g = DiscreteEnergyFunction(model, levels, deadline=1.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            g.energy(1.2)
+
+    def test_levels_must_fit_model_range(self, levels):
+        small = PolynomialPowerModel(s_max=0.5)
+        with pytest.raises(ValueError, match="outside"):
+            DiscreteEnergyFunction(small, levels, deadline=1.0)

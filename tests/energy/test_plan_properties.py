@@ -1,0 +1,44 @@
+"""Cross-family property tests: every energy function's plan is honest.
+
+For any energy function in the library and any feasible workload, the
+plan it returns must (a) carry exactly the workload, (b) span exactly
+the deadline, and (c) claim exactly the energy the scalar `energy()`
+reports.  These are the contracts the frame executor and the rejection
+solutions rely on.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import energy_functions
+
+
+@given(g=energy_functions(), fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80)
+def test_plan_matches_energy_and_workload(g, fraction):
+    cap = g.max_workload
+    workload = fraction * cap
+    plan = g.plan(workload)
+    assert plan.total_cycles == pytest.approx(workload, abs=1e-7 * max(cap, 1))
+    assert plan.horizon == pytest.approx(g.deadline)
+    assert plan.energy == pytest.approx(g.energy(workload), rel=1e-9, abs=1e-12)
+
+
+@given(g=energy_functions(), fraction=st.floats(min_value=0.0, max_value=0.99))
+@settings(max_examples=60)
+def test_marginal_is_nonnegative(g, fraction):
+    cap = g.max_workload
+    w = fraction * cap
+    delta = min(0.01 * cap, cap - w)
+    assert g.marginal(w, delta) >= -1e-9
+
+
+@given(g=energy_functions(), fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60)
+def test_feasibility_boundary(g, fraction):
+    cap = g.max_workload
+    assert g.is_feasible(fraction * cap)
+    assert not g.is_feasible(cap * 1.01)
+    with pytest.raises(ValueError):
+        g.energy(cap * 1.01)

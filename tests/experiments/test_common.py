@@ -1,0 +1,67 @@
+"""Tests for the shared experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.experiments.common import (
+    DEADLINE,
+    HEURISTICS,
+    standard_instance,
+    trial_rngs,
+    xscale_energy,
+)
+
+
+class TestXscaleEnergy:
+    def test_kinds(self):
+        assert isinstance(xscale_energy(), ContinuousEnergyFunction)
+        assert isinstance(
+            xscale_energy(kind="critical"), CriticalSpeedEnergyFunction
+        )
+        assert isinstance(
+            xscale_energy(kind="discrete", levels=4), DiscreteEnergyFunction
+        )
+
+    def test_discrete_requires_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            xscale_energy(kind="discrete")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            xscale_energy(kind="quantum")
+
+    def test_deadline_passthrough(self):
+        assert xscale_energy(deadline=3.0).deadline == 3.0
+
+
+class TestStandardInstance:
+    def test_load_and_capacity(self):
+        rng = np.random.default_rng(0)
+        problem = standard_instance(rng, n_tasks=9, load=1.7)
+        assert problem.overload == pytest.approx(1.7)
+        assert problem.capacity == pytest.approx(DEADLINE * 1.0)
+
+    def test_heuristics_registry_runs(self):
+        rng = np.random.default_rng(1)
+        problem = standard_instance(rng, n_tasks=6, load=1.3)
+        for name, solver in HEURISTICS.items():
+            sol = solver(problem, rng)
+            assert problem.is_feasible(sol.accepted), name
+
+
+class TestTrialRngs:
+    def test_independent_and_reproducible(self):
+        a = trial_rngs(7, 3)
+        b = trial_rngs(7, 3)
+        draws_a = [rng.random() for rng in a]
+        draws_b = [rng.random() for rng in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 3  # distinct streams
+
+    def test_different_seed_differs(self):
+        assert trial_rngs(1, 1)[0].random() != trial_rngs(2, 1)[0].random()

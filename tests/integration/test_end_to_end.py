@@ -1,0 +1,152 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie the layers together: generator → rejection algorithm → speed
+plan → frame executor / EDF simulator, checking that the analytic cost a
+solution advertises is exactly what the simulated hardware pays.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RejectionProblem
+from repro.core.rejection import (
+    MultiprocRejectionProblem,
+    accepted_periodic_tasks,
+    branch_and_bound,
+    continuous_energy,
+    exhaustive,
+    fptas,
+    fractional_lower_bound,
+    global_greedy_reject,
+    greedy_marginal,
+    leakage_aware_energy,
+    periodic_problem,
+)
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.multiproc import partition_energy
+from repro.power import DormantMode, PolynomialPowerModel, xscale_power_model
+from repro.power.discrete import quantize_speeds
+from repro.sched import execute_frame_plan, simulate_edf
+from repro.tasks import frame_instance, periodic_instance
+
+
+class TestFrameStack:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_advertised_energy_is_achieved_on_executor(self, seed):
+        rng = np.random.default_rng(seed)
+        model = xscale_power_model()
+        tasks = frame_instance(rng, n_tasks=10, load=1.5)
+        problem = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, 1.0)
+        )
+        sol = fptas(problem, eps=0.05)
+        execution = execute_frame_plan(
+            sol.accepted_tasks, sol.speed_plan(), model
+        )
+        assert execution.all_met
+        # Executor additionally pays the dormant-disable static floor.
+        assert execution.energy == pytest.approx(
+            sol.energy + model.static_power * 1.0, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_discrete_processor_stack(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        model = xscale_power_model()
+        g = DiscreteEnergyFunction(
+            model, quantize_speeds(model, 4), 1.0, dormant=DormantMode()
+        )
+        tasks = frame_instance(rng, n_tasks=8, load=1.1)
+        problem = RejectionProblem(tasks=tasks, energy_fn=g)
+        sol = greedy_marginal(problem)
+        execution = execute_frame_plan(
+            sol.accepted_tasks, sol.speed_plan(), model, dormant=DormantMode()
+        )
+        assert execution.all_met
+        assert execution.energy <= sol.energy + model.static_power * 1.0 + 1e-9
+
+    def test_algorithm_hierarchy_on_one_instance(self):
+        """opt <= fptas <= seed heuristics; bound <= opt."""
+        rng = np.random.default_rng(77)
+        model = xscale_power_model()
+        tasks = frame_instance(rng, n_tasks=14, load=1.6)
+        problem = RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, 1.0)
+        )
+        bound = fractional_lower_bound(problem)
+        opt = exhaustive(problem).cost
+        bb = branch_and_bound(problem).cost
+        approx = fptas(problem, eps=0.1).cost
+        heuristic = greedy_marginal(problem).cost
+        assert bound <= opt + 1e-9
+        assert abs(opt - bb) <= 1e-6 * max(opt, 1.0)
+        assert opt <= approx + 1e-9
+        assert approx <= heuristic + 1e-9
+
+
+class TestPeriodicStack:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leakage_aware_periodic_pipeline(self, seed):
+        rng = np.random.default_rng(seed)
+        tasks = periodic_instance(
+            rng, n_tasks=6, total_utilization=1.2, penalty_scale=4.0
+        )
+        model = xscale_power_model()
+        dormant = DormantMode(t_sw=0.1, e_sw=0.01)
+        problem = periodic_problem(
+            tasks, leakage_aware_energy(model, dormant=dormant)
+        )
+        sol = greedy_marginal(problem)
+        accepted = accepted_periodic_tasks(sol, tasks)
+        if len(accepted) == 0:
+            pytest.skip("degenerate draw: everything rejected")
+        speed = max(
+            accepted.total_utilization, model.critical_speed()
+        )
+        result = simulate_edf(
+            accepted,
+            model,
+            speed=speed,
+            dormant=dormant,
+            procrastinate=True,
+            horizon=float(tasks.hyper_period),
+        )
+        assert not result.missed
+        # The analytic model (execute at clamped speed, sleep slack) is
+        # an upper bound achieved without procrastination; PROC can only
+        # shave transition/idle energy further, never exceed it by more
+        # than one extra wake-up's worth.
+        assert result.total_energy <= sol.energy + dormant.e_sw + 1e-6
+
+
+class TestMultiprocStack:
+    def test_partition_energy_matches_solution_breakdown(self):
+        rng = np.random.default_rng(5)
+        model = xscale_power_model()
+        g = ContinuousEnergyFunction(model, 1.0)
+        tasks = frame_instance(rng, n_tasks=12, load=2.6)
+        problem = MultiprocRejectionProblem(tasks=tasks, energy_fn=g, m=3)
+        sol = global_greedy_reject(problem)
+        sizes = [t.cycles for t in tasks]
+        assert partition_energy(sol.partition, sizes, g) == pytest.approx(
+            sol.breakdown.energy
+        )
+
+    def test_per_core_plans_execute(self):
+        rng = np.random.default_rng(6)
+        model = xscale_power_model()
+        g = ContinuousEnergyFunction(model, 1.0)
+        tasks = frame_instance(rng, n_tasks=10, load=2.2)
+        problem = MultiprocRejectionProblem(tasks=tasks, energy_fn=g, m=3)
+        sol = global_greedy_reject(problem)
+        for bucket in sol.partition.assignments:
+            subset = problem.tasks.subset(bucket)
+            if len(subset) == 0:
+                continue
+            plan = g.plan(subset.total_cycles)
+            execution = execute_frame_plan(subset, plan, model)
+            assert execution.all_met

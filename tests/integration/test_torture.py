@@ -1,0 +1,140 @@
+"""Adversarial / degenerate-instance torture tests.
+
+Every algorithm must survive the nasty corners: all-zero penalties,
+identical densities (maximal tie-breaking ambiguity), single-task
+instances, instances where nothing fits, near-capacity boundaries, and
+extreme scale separations.  The invariants checked are the universal
+ones: solutions are feasible, exact solvers agree, heuristics never beat
+exacts, bounds hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import (
+    RejectionProblem,
+    accept_all_repair,
+    branch_and_bound,
+    exhaustive,
+    fptas,
+    fractional_lower_bound,
+    greedy_density,
+    greedy_marginal,
+    lp_rounding,
+    pareto_exact,
+    reject_random,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet
+
+ALL_SOLVERS = [
+    exhaustive,
+    branch_and_bound,
+    pareto_exact,
+    lambda p: fptas(p, eps=0.1),
+    greedy_marginal,
+    greedy_density,
+    lp_rounding,
+    accept_all_repair,
+    reject_random,
+]
+
+EXACT_SOLVERS = [exhaustive, branch_and_bound, pareto_exact]
+
+
+def problem_of(tasks, s_max=1.0):
+    model = PolynomialPowerModel(beta1=1.52, alpha=3.0, s_max=s_max)
+    return RejectionProblem(
+        tasks=FrameTaskSet(tasks),
+        energy_fn=ContinuousEnergyFunction(model, deadline=1.0),
+    )
+
+
+def check_invariants(problem):
+    costs = {}
+    for solver in ALL_SOLVERS:
+        sol = solver(problem)
+        assert problem.is_feasible(sol.accepted)
+        costs[sol.algorithm] = sol.cost
+    exact = [solver(problem).cost for solver in EXACT_SOLVERS]
+    for a in exact:
+        for b in exact:
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-9)
+    opt = exact[0]
+    bound = fractional_lower_bound(problem)
+    assert bound <= opt + 1e-9
+    for name, cost in costs.items():
+        assert cost >= opt - max(1e-9, 1e-9 * opt), name
+    return opt
+
+
+class TestDegenerateInstances:
+    def test_single_task(self):
+        check_invariants(problem_of([FrameTask(name="a", cycles=0.5, penalty=1.0)]))
+
+    def test_all_zero_penalties(self):
+        tasks = [
+            FrameTask(name=f"t{i}", cycles=0.2, penalty=0.0) for i in range(6)
+        ]
+        opt = check_invariants(problem_of(tasks))
+        assert opt == pytest.approx(0.0)  # reject everything for free
+
+    def test_identical_tasks_maximal_ties(self):
+        tasks = [
+            FrameTask(name=f"t{i}", cycles=0.25, penalty=0.1) for i in range(8)
+        ]
+        check_invariants(problem_of(tasks))
+
+    def test_nothing_fits(self):
+        tasks = [
+            FrameTask(name=f"t{i}", cycles=2.0, penalty=1.0) for i in range(4)
+        ]
+        problem = problem_of(tasks)
+        opt = check_invariants(problem)
+        assert opt == pytest.approx(4.0)  # every penalty paid
+
+    def test_exact_capacity_boundary(self):
+        tasks = [
+            FrameTask(name="a", cycles=0.5, penalty=10.0),
+            FrameTask(name="b", cycles=0.5, penalty=10.0),
+        ]
+        problem = problem_of(tasks)
+        opt_cost = check_invariants(problem)
+        # Both fit exactly at full speed; huge penalties force it.
+        assert opt_cost == pytest.approx(1.52)
+
+    def test_extreme_scale_separation(self):
+        tasks = [
+            FrameTask(name="tiny", cycles=1e-6, penalty=1e-6),
+            FrameTask(name="big", cycles=0.9, penalty=1e6),
+        ]
+        check_invariants(problem_of(tasks))
+
+    def test_many_tiny_tasks(self):
+        rng = np.random.default_rng(0)
+        tasks = [
+            FrameTask(
+                name=f"t{i}",
+                cycles=float(rng.uniform(1e-4, 1e-3)),
+                penalty=float(rng.uniform(1e-4, 1e-3)),
+            )
+            for i in range(18)
+        ]
+        check_invariants(problem_of(tasks))
+
+    def test_equal_density_different_sizes(self):
+        # rho/c identical for all: density ordering is fully ambiguous.
+        tasks = [
+            FrameTask(name=f"t{i}", cycles=c, penalty=2.0 * c)
+            for i, c in enumerate([0.1, 0.2, 0.4, 0.8])
+        ]
+        check_invariants(problem_of(tasks))
+
+    def test_huge_smax_never_rejects_valuables(self):
+        tasks = [
+            FrameTask(name=f"t{i}", cycles=0.3, penalty=100.0) for i in range(5)
+        ]
+        problem = problem_of(tasks, s_max=100.0)
+        opt = pareto_exact(problem)
+        assert opt.acceptance_ratio == 1.0

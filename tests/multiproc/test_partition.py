@@ -1,0 +1,122 @@
+"""Tests for the partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.multiproc import (
+    Partition,
+    first_fit_partition,
+    greedy_partition,
+    ltf_partition,
+)
+
+
+class TestPartitionObject:
+    def test_loads(self):
+        p = Partition(assignments=((0, 2), (1,)))
+        assert p.loads([1.0, 2.0, 3.0]) == [4.0, 2.0]
+
+    def test_processor_of(self):
+        p = Partition(assignments=((0,), (1,)), unassigned=(2,))
+        assert p.processor_of(0) == 0
+        assert p.processor_of(2) is None
+
+    def test_validate_catches_double_assignment(self):
+        p = Partition(assignments=((0, 1), (1,)))
+        with pytest.raises(ValueError, match="twice"):
+            p.validate(2)
+
+    def test_validate_catches_missing_items(self):
+        p = Partition(assignments=((0,),))
+        with pytest.raises(ValueError, match="cover"):
+            p.validate(2)
+
+    def test_validate_accepts_exact_cover(self):
+        Partition(assignments=((0,), (2,)), unassigned=(1,)).validate(3)
+
+
+class TestLtf:
+    def test_balances_classic_instance(self):
+        # Sizes 5,4,3,3,3 over 2 processors: LTF assigns 5+3 / 4+3+3,
+        # the classic 8/10 split (optimal would be 9/9 — LTF is an
+        # approximation, not an oracle).
+        p = ltf_partition([5.0, 4.0, 3.0, 3.0, 3.0], 2)
+        loads = sorted(p.loads([5.0, 4.0, 3.0, 3.0, 3.0]))
+        assert loads == [8.0, 10.0]
+
+    def test_covers_everything_without_capacity(self):
+        p = ltf_partition([1.0, 2.0, 3.0], 2)
+        p.validate(3)
+        assert p.unassigned == ()
+
+    def test_capacity_overflow_collected(self):
+        p = ltf_partition([0.9, 0.9, 0.9], 2, capacity=1.0)
+        p.validate(3)
+        assert len(p.unassigned) == 1
+
+    def test_oversized_item_rejected_not_crashing(self):
+        p = ltf_partition([2.0, 0.5], 1, capacity=1.0)
+        assert 0 in p.unassigned
+
+    def test_ltf_makespan_bound(self):
+        """Graham bound: LTF max load <= 4/3 OPT for makespan."""
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            sizes = rng.uniform(0.1, 3.0, 9).tolist()
+            m = 3
+            p = ltf_partition(sizes, m)
+            ltf_max = max(p.loads(sizes))
+            # Lower bounds on OPT: average load and the largest item.
+            opt_lb = max(sum(sizes) / m, max(sizes))
+            assert ltf_max <= (4.0 / 3.0) * opt_lb + 1e-9
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            ltf_partition([1.0], 0)
+
+
+class TestGreedy:
+    def test_unsorted_order_is_worse_or_equal_balanced(self):
+        sizes = [5.0, 1.0, 1.0, 1.0, 4.0]
+        ltf_max = max(ltf_partition(sizes, 2).loads(sizes))
+        greedy_max = max(greedy_partition(sizes, 2).loads(sizes))
+        assert ltf_max <= greedy_max + 1e-12
+
+    def test_shuffled_with_rng_is_reproducible(self):
+        sizes = list(np.random.default_rng(0).uniform(0.1, 1, 10))
+        a = greedy_partition(sizes, 3, rng=np.random.default_rng(9))
+        b = greedy_partition(sizes, 3, rng=np.random.default_rng(9))
+        assert a == b
+
+
+class TestFirstFit:
+    def test_opens_bins_as_needed(self):
+        p = first_fit_partition([0.6, 0.6, 0.6], capacity=1.0)
+        assert p.m == 3
+        p.validate(3)
+
+    def test_packs_when_possible(self):
+        p = first_fit_partition([0.5, 0.5, 0.5, 0.5], capacity=1.0)
+        assert p.m == 2
+
+    def test_bounded_bins_reject_overflow(self):
+        p = first_fit_partition([0.9, 0.9, 0.9], capacity=1.0, m=2)
+        assert len(p.unassigned) == 1
+        assert p.m == 2
+
+    def test_oversized_item_always_unassigned(self):
+        p = first_fit_partition([1.5], capacity=1.0)
+        assert p.unassigned == (0,)
+
+    def test_custom_order(self):
+        p = first_fit_partition([0.3, 0.8], capacity=1.0, order=[1, 0])
+        assert p.assignments[0][0] == 1
+
+    def test_ff_bin_count_bound(self):
+        """First-fit uses at most 2*OPT+1 bins (weak classic bound)."""
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            sizes = rng.uniform(0.05, 0.95, 15).tolist()
+            p = first_fit_partition(sizes, capacity=1.0)
+            opt_lb = int(np.ceil(sum(sizes)))
+            assert p.m <= 2 * opt_lb + 1

@@ -1,0 +1,71 @@
+"""Tests for partition energy and the Jensen-pooled lower bound."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.energy import ContinuousEnergyFunction
+from repro.multiproc import (
+    PooledEnergyFunction,
+    ltf_partition,
+    partition_energy,
+)
+from repro.power import xscale_power_model
+
+
+@pytest.fixture
+def per_proc():
+    return ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+
+
+class TestPartitionEnergy:
+    def test_sums_per_processor(self, per_proc):
+        p = ltf_partition([0.4, 0.3, 0.2], 2)
+        total = partition_energy(p, [0.4, 0.3, 0.2], per_proc)
+        loads = p.loads([0.4, 0.3, 0.2])
+        assert total == pytest.approx(sum(per_proc.energy(w) for w in loads))
+
+    def test_infeasible_load_raises(self, per_proc):
+        from repro.multiproc.partition import Partition
+
+        p = Partition(assignments=((0,),))
+        with pytest.raises(ValueError):
+            partition_energy(p, [1.5], per_proc)
+
+
+class TestPooled:
+    def test_capacity_scales(self, per_proc):
+        pooled = PooledEnergyFunction(per_proc, 4)
+        assert pooled.max_workload == pytest.approx(4.0)
+
+    def test_energy_is_m_times_balanced_share(self, per_proc):
+        pooled = PooledEnergyFunction(per_proc, 3)
+        assert pooled.energy(1.5) == pytest.approx(3 * per_proc.energy(0.5))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        m=st.integers(min_value=1, max_value=5),
+    )
+    def test_lower_bounds_every_partition(self, seed, m):
+        """Jensen: pooled energy <= any partition of the same workload."""
+        per = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        pooled = PooledEnergyFunction(per, m)
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        sizes = rng.uniform(0.01, 1.0 / max(n / m, 1) * 0.9, n).tolist()
+        p = ltf_partition(sizes, m, capacity=1.0)
+        assigned = [i for bucket in p.assignments for i in bucket]
+        if len(assigned) != n:
+            return  # capacity rejected something; not the property here
+        total = sum(sizes)
+        assert pooled.energy(total) <= partition_energy(p, sizes, per) + 1e-12
+
+    def test_plan_is_per_processor_share(self, per_proc):
+        pooled = PooledEnergyFunction(per_proc, 2)
+        plan = pooled.plan(1.0)
+        assert plan.total_cycles == pytest.approx(0.5)
+
+    def test_zero_processors_rejected(self, per_proc):
+        with pytest.raises(ValueError):
+            PooledEnergyFunction(per_proc, 0)

@@ -1,0 +1,70 @@
+"""Tests for the PowerModel base machinery and DormantMode."""
+
+import math
+
+import pytest
+
+from repro.power import DormantMode, PolynomialPowerModel
+
+
+class TestDormantMode:
+    def test_defaults_are_zero(self):
+        dm = DormantMode()
+        assert dm.t_sw == 0.0
+        assert dm.e_sw == 0.0
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ValueError):
+            DormantMode(t_sw=-1.0)
+        with pytest.raises(ValueError):
+            DormantMode(e_sw=-0.5)
+
+    def test_break_even_is_energy_over_power(self):
+        dm = DormantMode(t_sw=0.1, e_sw=0.5)
+        assert dm.break_even_time(2.0) == pytest.approx(0.25)
+
+    def test_break_even_floors_at_t_sw(self):
+        dm = DormantMode(t_sw=1.0, e_sw=0.1)
+        assert dm.break_even_time(10.0) == pytest.approx(1.0)
+
+    def test_break_even_infinite_without_idle_power(self):
+        assert DormantMode(e_sw=1.0).break_even_time(0.0) == math.inf
+
+
+class TestSpeedValidation:
+    def test_clamp_speed(self):
+        m = PolynomialPowerModel(s_min=0.2, s_max=1.0)
+        assert m.clamp_speed(0.1) == pytest.approx(0.2)
+        assert m.clamp_speed(0.5) == pytest.approx(0.5)
+        assert m.clamp_speed(3.0) == pytest.approx(1.0)
+
+    def test_zero_speed_always_legal_as_idle(self):
+        m = PolynomialPowerModel(s_min=0.2, s_max=1.0, beta0=0.03)
+        assert m.power(0.0) == pytest.approx(0.03)
+
+    def test_speed_below_s_min_rejected_when_positive(self):
+        m = PolynomialPowerModel(s_min=0.2, s_max=1.0)
+        with pytest.raises(ValueError, match="outside"):
+            m.power(0.1)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialPowerModel().power(-0.5)
+
+    def test_unbounded_s_max_allows_any_speed(self):
+        m = PolynomialPowerModel(s_max=math.inf)
+        assert m.power(1234.5) > 0
+
+    def test_abstract_class_cannot_instantiate(self):
+        from repro.power.base import PowerModel
+
+        with pytest.raises(TypeError):
+            PowerModel()  # type: ignore[abstract]
+
+
+class TestGenericCriticalSpeed:
+    def test_golden_section_handles_monotone_energy_per_cycle(self):
+        # No leakage: P(s)/s increasing, the minimiser is at the low end.
+        m = PolynomialPowerModel(beta0=0.0, s_max=1.0)
+        generic = super(PolynomialPowerModel, m).critical_speed()
+        assert generic == pytest.approx(0.0, abs=1e-6)

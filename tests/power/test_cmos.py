@@ -1,0 +1,90 @@
+"""Tests for the CMOS-derived power model."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.power import CMOSPowerModel
+
+
+class TestConstruction:
+    def test_rejects_vdd_below_threshold(self):
+        with pytest.raises(ValueError, match="v_dd_max"):
+            CMOSPowerModel(v_t=1.0, v_dd_max=0.9)
+
+    def test_rejects_nonpositive_kappa(self):
+        with pytest.raises(ValueError, match="kappa"):
+            CMOSPowerModel(kappa=0.0)
+
+    def test_s_max_derived_from_vdd_max(self):
+        m = CMOSPowerModel(c_ef=1.0, v_t=0.4, kappa=2.0, v_dd_max=1.8)
+        assert m.s_max == pytest.approx(2.0 * (1.8 - 0.4) ** 2 / 1.8)
+
+
+class TestVoltageSpeedInversion:
+    @given(v=st.floats(min_value=0.41, max_value=1.8))
+    def test_roundtrip_voltage_speed_voltage(self, v):
+        m = CMOSPowerModel(v_t=0.4, kappa=1.3, v_dd_max=1.8)
+        s = m.speed_of_voltage(v)
+        assert m.voltage_of_speed(s) == pytest.approx(v, rel=1e-9)
+
+    def test_speed_zero_below_threshold(self):
+        m = CMOSPowerModel(v_t=0.5, v_dd_max=2.0)
+        assert m.speed_of_voltage(0.3) == 0.0
+        assert m.speed_of_voltage(0.5) == 0.0
+
+    def test_voltage_of_zero_speed_is_threshold(self):
+        m = CMOSPowerModel(v_t=0.5, v_dd_max=2.0)
+        assert m.voltage_of_speed(0.0) == pytest.approx(0.5)
+
+    def test_speed_above_max_rejected(self):
+        m = CMOSPowerModel(v_dd_max=1.0, v_t=0.2)
+        with pytest.raises(ValueError, match="s_max"):
+            m.voltage_of_speed(m.s_max * 1.5)
+
+    @given(v=st.floats(min_value=0.45, max_value=1.75))
+    def test_speed_increases_with_voltage(self, v):
+        m = CMOSPowerModel(v_t=0.4, v_dd_max=1.8)
+        assert m.speed_of_voltage(v) < m.speed_of_voltage(v + 0.05) + 1e-15
+
+
+class TestPower:
+    def test_zero_threshold_collapses_to_cubic(self):
+        m = CMOSPowerModel(c_ef=2.0, v_t=0.0, kappa=1.0, v_dd_max=1.0)
+        # s = Vdd, so P = 2 * s^3.
+        for s in (0.2, 0.5, 0.9):
+            assert m.dynamic_power(s) == pytest.approx(2.0 * s**3)
+
+    def test_short_circuit_term_adds_linear_vdd_component(self):
+        base = CMOSPowerModel(v_t=0.0, kappa=1.0, v_dd_max=1.0)
+        with_sc = CMOSPowerModel(
+            v_t=0.0, kappa=1.0, v_dd_max=1.0, short_circuit_coeff=0.5
+        )
+        s = 0.6
+        assert with_sc.dynamic_power(s) == pytest.approx(
+            base.dynamic_power(s) + 0.5 * s * s
+        )
+
+    def test_static_power_passed_through(self):
+        m = CMOSPowerModel(static_power=0.07, v_t=0.2, v_dd_max=1.2)
+        assert m.power(0.0) == pytest.approx(0.07)
+
+    @given(
+        a=st.floats(min_value=0.05, max_value=0.95),
+        b=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_dynamic_power_convex_in_speed(self, a, b):
+        m = CMOSPowerModel(v_t=0.4, kappa=1.0, v_dd_max=1.8)
+        lo, hi = sorted((a * m.s_max, b * m.s_max))
+        mid = (lo + hi) / 2.0
+        avg = (m.dynamic_power(lo) + m.dynamic_power(hi)) / 2.0
+        assert m.dynamic_power(mid) <= avg + 1e-10
+
+    def test_critical_speed_positive_with_leakage(self):
+        m = CMOSPowerModel(v_t=0.3, v_dd_max=1.8, static_power=0.1)
+        s_star = m.critical_speed()
+        assert 0.0 < s_star <= m.s_max
+        e = m.energy_per_cycle(s_star)
+        assert e <= m.energy_per_cycle(min(s_star * 1.3, m.s_max)) + 1e-12

@@ -1,0 +1,90 @@
+"""Tests for speed level sets and quantisation."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.power import PolynomialPowerModel, xscale_power_model
+from repro.power.discrete import SpeedLevels, quantize_speeds
+
+
+class TestSpeedLevels:
+    def test_sorted_and_exposed(self):
+        lv = SpeedLevels([0.5, 0.25, 1.0])
+        assert lv.speeds == (0.25, 0.5, 1.0)
+        assert lv.s_min == 0.25
+        assert lv.s_max == 1.0
+        assert len(lv) == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SpeedLevels([0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SpeedLevels([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedLevels([0.0, 1.0])
+
+    def test_contains(self):
+        lv = SpeedLevels([0.25, 0.5])
+        assert 0.25 in lv
+        assert 0.3 not in lv
+
+    def test_equality_and_hash(self):
+        assert SpeedLevels([0.5, 1.0]) == SpeedLevels([1.0, 0.5])
+        assert hash(SpeedLevels([0.5, 1.0])) == hash(SpeedLevels([1.0, 0.5]))
+
+
+class TestCeilFloorBracket:
+    def test_ceil(self):
+        lv = SpeedLevels([0.25, 0.5, 1.0])
+        assert lv.ceil(0.3) == 0.5
+        assert lv.ceil(0.5) == 0.5
+        with pytest.raises(ValueError):
+            lv.ceil(1.5)
+
+    def test_floor(self):
+        lv = SpeedLevels([0.25, 0.5, 1.0])
+        assert lv.floor(0.3) == 0.25
+        assert lv.floor(1.0) == 1.0
+        with pytest.raises(ValueError):
+            lv.floor(0.1)
+
+    @given(s=st.floats(min_value=0.01, max_value=1.2))
+    def test_bracket_brackets(self, s):
+        lv = SpeedLevels([0.25, 0.5, 0.75, 1.0])
+        lo, hi = lv.bracket(s)
+        assert lo in lv and hi in lv
+        clamped = min(max(s, lv.s_min), lv.s_max)
+        assert lo - 1e-12 <= clamped <= hi + 1e-12
+
+    def test_bracket_exact_level_collapses(self):
+        lv = SpeedLevels([0.25, 0.5, 1.0])
+        assert lv.bracket(0.5) == (0.5, 0.5)
+
+
+class TestQuantize:
+    def test_even_levels(self):
+        m = xscale_power_model()
+        lv = quantize_speeds(m, 4)
+        assert lv.speeds == pytest.approx((0.25, 0.5, 0.75, 1.0))
+
+    def test_single_level_is_s_max(self):
+        lv = quantize_speeds(xscale_power_model(), 1)
+        assert lv.speeds == (1.0,)
+
+    def test_rejects_unbounded_model(self):
+        m = PolynomialPowerModel(s_max=math.inf)
+        with pytest.raises(ValueError, match="unbounded"):
+            quantize_speeds(m, 4)
+        # ... but an explicit cap makes it fine.
+        assert quantize_speeds(m, 2, s_max=2.0).speeds == (1.0, 2.0)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            quantize_speeds(xscale_power_model(), 0)

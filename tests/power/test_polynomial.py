@@ -1,0 +1,113 @@
+"""Unit and property tests for the polynomial power model."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.power import PolynomialPowerModel, xscale_power_model
+
+
+class TestConstruction:
+    def test_defaults_are_cubic(self):
+        m = PolynomialPowerModel()
+        assert m.alpha == 3.0
+        assert m.power(0.5) == pytest.approx(0.125)
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PolynomialPowerModel(alpha=1.0)
+
+    def test_rejects_negative_beta0(self):
+        with pytest.raises(ValueError, match="beta0"):
+            PolynomialPowerModel(beta0=-0.1)
+
+    def test_rejects_zero_beta1(self):
+        with pytest.raises(ValueError, match="beta1"):
+            PolynomialPowerModel(beta1=0.0)
+
+    def test_rejects_inverted_speed_range(self):
+        with pytest.raises(ValueError, match="s_min"):
+            PolynomialPowerModel(s_min=2.0, s_max=1.0)
+
+
+class TestPower:
+    def test_xscale_normalisation(self):
+        m = xscale_power_model()
+        assert m.power(1.0) == pytest.approx(0.08 + 1.52)
+        assert m.power(0.0) == pytest.approx(0.08)  # idle pays leakage
+
+    def test_speed_outside_range_rejected(self):
+        m = PolynomialPowerModel(s_max=1.0)
+        with pytest.raises(ValueError, match="outside"):
+            m.power(1.5)
+
+    def test_energy_is_cycles_times_energy_per_cycle(self):
+        m = xscale_power_model()
+        assert m.energy(10.0, 0.5) == pytest.approx(
+            10.0 * m.energy_per_cycle(0.5)
+        )
+
+    def test_energy_zero_cycles_is_zero(self):
+        assert xscale_power_model().energy(0.0, 0.5) == 0.0
+
+    def test_execution_time(self):
+        m = xscale_power_model()
+        assert m.execution_time(3.0, 0.5) == pytest.approx(6.0)
+
+    def test_energy_per_cycle_undefined_at_zero_speed(self):
+        with pytest.raises(ValueError, match="speed 0"):
+            xscale_power_model().energy_per_cycle(0.0)
+
+
+class TestCriticalSpeed:
+    def test_analytic_value_for_xscale(self):
+        m = xscale_power_model()
+        expected = (0.08 / (1.52 * 2.0)) ** (1.0 / 3.0)
+        assert m.critical_speed() == pytest.approx(expected)
+
+    def test_zero_leakage_gives_zero(self):
+        m = PolynomialPowerModel(beta0=0.0)
+        assert m.critical_speed() == 0.0
+
+    def test_clamped_to_s_min(self):
+        m = PolynomialPowerModel(beta0=0.001, s_min=0.5, s_max=1.0)
+        assert m.critical_speed() == pytest.approx(0.5)
+
+    def test_clamped_to_s_max(self):
+        m = PolynomialPowerModel(beta0=100.0, s_max=1.0)
+        assert m.critical_speed() == pytest.approx(1.0)
+
+    @given(
+        beta0=st.floats(min_value=0.001, max_value=1.0),
+        alpha=st.floats(min_value=1.5, max_value=4.0),
+    )
+    def test_minimises_energy_per_cycle(self, beta0, alpha):
+        m = PolynomialPowerModel(beta0=beta0, alpha=alpha, s_max=1000.0)
+        s_star = m.critical_speed()
+        e_star = m.energy_per_cycle(s_star)
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            other = min(max(s_star * factor, 1e-6), 1000.0)
+            assert e_star <= m.energy_per_cycle(other) * (1 + 1e-9)
+
+    def test_matches_generic_golden_section(self):
+        m = PolynomialPowerModel(beta0=0.3, beta1=2.0, alpha=2.7, s_max=5.0)
+        generic = super(PolynomialPowerModel, m).critical_speed()
+        assert m.critical_speed() == pytest.approx(generic, rel=1e-6)
+
+
+class TestConvexity:
+    @given(
+        a=st.floats(min_value=0.01, max_value=0.99),
+        b=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_power_is_convex(self, a, b):
+        m = xscale_power_model()
+        mid = (a + b) / 2.0
+        assert m.power(mid) <= (m.power(a) + m.power(b)) / 2.0 + 1e-12
+
+    @given(s=st.floats(min_value=0.01, max_value=0.99))
+    def test_power_is_increasing(self, s):
+        m = xscale_power_model()
+        assert m.power(s) < m.power(min(s * 1.1, 1.0)) + 1e-15

@@ -1,0 +1,76 @@
+"""Tests for the frame executor (plan → actual schedule → energy)."""
+
+import pytest
+
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.power import DormantMode, xscale_power_model
+from repro.power.discrete import quantize_speeds
+from repro.sched import execute_frame_plan
+from repro.tasks import FrameTask, FrameTaskSet
+
+
+@pytest.fixture
+def model():
+    return xscale_power_model()
+
+
+def tasks_of(*cycles):
+    return FrameTaskSet(
+        FrameTask(name=f"t{i}", cycles=c, penalty=0.0)
+        for i, c in enumerate(cycles)
+    )
+
+
+class TestExecution:
+    def test_all_tasks_complete_by_deadline(self, model):
+        g = ContinuousEnergyFunction(model, deadline=2.0)
+        ts = tasks_of(0.3, 0.5, 0.2)
+        execution = execute_frame_plan(ts, g.plan(ts.total_cycles), model)
+        assert execution.all_met
+        assert len(execution.completions) == 3
+        assert execution.makespan <= 2.0 + 1e-9
+
+    def test_completions_are_back_to_back(self, model):
+        g = ContinuousEnergyFunction(model, deadline=1.0)
+        ts = tasks_of(0.2, 0.3)
+        execution = execute_frame_plan(ts, g.plan(0.5), model)
+        first, second = execution.completions
+        assert first.finish == pytest.approx(second.start)
+        assert first.start == 0.0
+
+    def test_energy_matches_plan_plus_static_floor(self, model):
+        # ContinuousEnergyFunction excludes the dormant-disable floor;
+        # the executor measures everything, so the difference is exactly
+        # beta0 * D.
+        g = ContinuousEnergyFunction(model, deadline=1.0)
+        ts = tasks_of(0.4, 0.4)
+        plan = g.plan(0.8)
+        execution = execute_frame_plan(ts, plan, model)
+        assert execution.energy == pytest.approx(plan.energy + 0.08 * 1.0)
+
+    def test_leakage_aware_plan_matches_exactly(self, model):
+        dm = DormantMode(t_sw=0.01, e_sw=0.001)
+        g = CriticalSpeedEnergyFunction(model, deadline=1.0, dormant=dm)
+        ts = tasks_of(0.05, 0.05)
+        plan = g.plan(0.1)
+        execution = execute_frame_plan(ts, plan, model, dormant=dm)
+        assert execution.all_met
+        assert execution.energy == pytest.approx(plan.energy, rel=1e-9)
+
+    def test_discrete_two_level_plan_executes(self, model):
+        g = DiscreteEnergyFunction(model, quantize_speeds(model, 4), deadline=1.0)
+        ts = tasks_of(0.3, 0.3)  # requires time-sharing 0.5 and 0.75
+        plan = g.plan(0.6)
+        execution = execute_frame_plan(ts, plan, model)
+        assert execution.all_met
+        assert len({round(s.speed, 6) for s in plan.segments if s.speed > 0}) == 2
+
+    def test_underprovisioned_plan_rejected(self, model):
+        g = ContinuousEnergyFunction(model, deadline=1.0)
+        plan = g.plan(0.5)
+        with pytest.raises(ValueError, match="supplies"):
+            execute_frame_plan(tasks_of(0.4, 0.4), plan, model)

@@ -1,0 +1,79 @@
+"""Tests for the ASCII Gantt/profile renderers."""
+
+import pytest
+
+from repro.energy import ContinuousEnergyFunction, CriticalSpeedEnergyFunction
+from repro.power import DormantMode, xscale_power_model
+from repro.sched import render_gantt, render_speed_plan, simulate_edf
+from repro.sched.edf import TraceInterval
+from repro.tasks import PeriodicTask, PeriodicTaskSet
+
+
+class TestRenderGantt:
+    def trace(self):
+        return [
+            TraceInterval(0.0, 2.0, "t0", 1.0),
+            TraceInterval(2.0, 3.0, "idle", 0.0),
+            TraceInterval(3.0, 4.0, "t1", 1.0),
+        ]
+
+    def test_rows_and_axis(self):
+        art = render_gantt(self.trace(), 4.0, width=40)
+        lines = art.splitlines()
+        assert lines[0].lstrip().startswith("t0")
+        assert any(line.lstrip().startswith("idle") for line in lines)
+        assert lines[-1].rstrip().endswith("4")
+
+    def test_occupancy_proportions(self):
+        art = render_gantt(self.trace(), 4.0, width=40, fill="#")
+        t0_row = next(l for l in art.splitlines() if l.lstrip().startswith("t0"))
+        assert t0_row.count("#") == pytest.approx(20, abs=1)
+
+    def test_empty_trace(self):
+        assert render_gantt([], 1.0) == "(empty trace)"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            render_gantt(self.trace(), 0.0)
+        with pytest.raises(ValueError):
+            render_gantt(self.trace(), 1.0, width=0)
+
+    def test_from_real_simulation(self):
+        tasks = PeriodicTaskSet(
+            [PeriodicTask(name="sense", period=5.0, wcec=1.0, penalty=0.0)]
+        )
+        res = simulate_edf(
+            tasks, xscale_power_model(), speed=1.0, record_trace=True
+        )
+        art = render_gantt(res.trace, res.horizon, width=50)
+        assert "sense" in art
+        assert "#" in art
+
+
+class TestRenderSpeedPlan:
+    def test_profile_heights_scale_with_speed(self):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        full = render_speed_plan(g.plan(1.0), width=20, height=4)
+        half = render_speed_plan(g.plan(0.5), width=20, height=4)
+        assert full.count("#") >= half.count("#")
+
+    def test_sleep_marked(self):
+        g = CriticalSpeedEnergyFunction(
+            xscale_power_model(),
+            deadline=1.0,
+            dormant=DormantMode(t_sw=0.01, e_sw=0.001),
+        )
+        art = render_speed_plan(g.plan(0.1), width=30, height=4)
+        assert "z" in art
+
+    def test_empty_plan(self):
+        from repro.energy.base import SpeedPlan
+
+        assert render_speed_plan(SpeedPlan(segments=(), energy=0.0)) == (
+            "(empty plan)"
+        )
+
+    def test_invalid_dims(self):
+        g = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+        with pytest.raises(ValueError):
+            render_speed_plan(g.plan(0.5), width=0)

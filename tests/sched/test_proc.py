@@ -1,0 +1,55 @@
+"""Tests for the procrastination interval."""
+
+import pytest
+
+from repro.sched import procrastination_interval
+from repro.tasks import PeriodicTask, PeriodicTaskSet
+
+
+def make_set(entries):
+    return PeriodicTaskSet(
+        PeriodicTask(name=f"t{i}", period=p, wcec=c, penalty=0.0)
+        for i, (p, c) in enumerate(entries)
+    )
+
+
+class TestInterval:
+    def test_zero_at_full_utilization(self):
+        tasks = make_set([(10.0, 10.0)])
+        assert procrastination_interval(tasks, speed=1.0) == pytest.approx(0.0)
+
+    def test_grows_with_speed(self):
+        tasks = make_set([(10.0, 4.0)])
+        slow = procrastination_interval(tasks, speed=0.5)
+        fast = procrastination_interval(tasks, speed=1.0)
+        assert fast > slow
+
+    def test_single_task_closed_form(self):
+        # Z = min(p*(1-U/s), p - c/s); here U = 0.2, s = 1.
+        tasks = make_set([(10.0, 2.0)])
+        assert procrastination_interval(tasks, speed=1.0) == pytest.approx(8.0)
+
+    def test_min_period_binds(self):
+        tasks = make_set([(10.0, 1.0), (2.0, 0.2)])
+        z = procrastination_interval(tasks, speed=1.0)
+        assert z <= 2.0 * (1.0 - tasks.total_utilization)
+
+    def test_safety_factor(self):
+        tasks = make_set([(10.0, 2.0)])
+        full = procrastination_interval(tasks, speed=1.0)
+        half = procrastination_interval(tasks, speed=1.0, safety=0.5)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_infeasible_speed_rejected(self):
+        tasks = make_set([(10.0, 8.0)])
+        with pytest.raises(ValueError, match="infeasible"):
+            procrastination_interval(tasks, speed=0.5)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            procrastination_interval(PeriodicTaskSet([]), speed=1.0)
+
+    def test_bad_safety_rejected(self):
+        tasks = make_set([(10.0, 2.0)])
+        with pytest.raises(ValueError, match="safety"):
+            procrastination_interval(tasks, speed=1.0, safety=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the heterogeneous-coefficient speed assignment."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.speedopt import heterogeneous_assignment
+
+
+class TestClosedForm:
+    def test_equal_coefficients_give_common_speed(self):
+        ha = heterogeneous_assignment([1.0, 3.0], [2.0, 2.0], deadline=4.0)
+        # Common speed = total cycles / deadline = 1.0.
+        assert ha.speeds[0] == pytest.approx(1.0)
+        assert ha.speeds[1] == pytest.approx(1.0)
+
+    def test_times_sum_to_deadline(self):
+        ha = heterogeneous_assignment([1.0, 2.0, 3.0], [1.0, 4.0, 0.5], deadline=7.0)
+        assert sum(ha.times) == pytest.approx(7.0)
+
+    def test_power_hungry_tasks_run_slower(self):
+        ha = heterogeneous_assignment([1.0, 1.0], [1.0, 8.0], deadline=2.0)
+        assert ha.speeds[1] < ha.speeds[0]
+
+    def test_known_alpha3_ratio(self):
+        # ti ∝ ci * ρi^(1/3): with c = (1, 1), ρ = (1, 8) -> t2/t1 = 2.
+        ha = heterogeneous_assignment([1.0, 1.0], [1.0, 8.0], deadline=3.0)
+        assert ha.times[1] / ha.times[0] == pytest.approx(2.0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        alpha=st.sampled_from([2.0, 2.5, 3.0]),
+    )
+    def test_beats_random_perturbations(self, seed, alpha):
+        """KKT optimality: random feasible reallocations cost more."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        cycles = rng.uniform(0.5, 3.0, n).tolist()
+        coeff = rng.uniform(0.5, 4.0, n).tolist()
+        ha = heterogeneous_assignment(cycles, coeff, deadline=5.0, alpha=alpha)
+
+        def energy(times):
+            return sum(
+                r * c**alpha * t ** (1.0 - alpha)
+                for r, c, t in zip(coeff, cycles, times)
+            )
+
+        for _ in range(5):
+            noise = rng.uniform(0.7, 1.3, n)
+            times = np.array(ha.times) * noise
+            times *= 5.0 / times.sum()
+            assert energy(times) >= ha.energy - 1e-9
+
+
+class TestSpeedCap:
+    def test_cap_respected(self):
+        ha = heterogeneous_assignment(
+            [2.0, 3.0], [1.0, 8.0], deadline=5.0, s_max=1.1
+        )
+        assert all(s <= 1.1 + 1e-9 for s in ha.speeds)
+        assert sum(ha.times) <= 5.0 + 1e-9
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            heterogeneous_assignment([5.0, 5.0], [1.0, 1.0], deadline=5.0, s_max=1.0)
+
+    def test_exactly_full_capacity(self):
+        ha = heterogeneous_assignment([2.0, 3.0], [1.0, 1.0], deadline=5.0, s_max=1.0)
+        assert all(s == pytest.approx(1.0) for s in ha.speeds)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            heterogeneous_assignment([1.0], [1.0, 2.0], deadline=1.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            heterogeneous_assignment([], [], deadline=1.0)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError, match="alpha"):
+            heterogeneous_assignment([1.0], [1.0], deadline=1.0, alpha=1.0)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.tasks import frame_instance, periodic_instance, uunifast
+from repro.tasks.generators import PENALTY_MODELS, scaled_capacity
+
+
+class TestFrameInstance:
+    def test_load_hit_exactly(self, rng):
+        ts = frame_instance(rng, n_tasks=10, load=1.5, deadline=2.0, s_max=1.0)
+        assert ts.total_cycles == pytest.approx(1.5 * 2.0)
+
+    def test_reproducible_from_seed(self):
+        a = frame_instance(np.random.default_rng(7), n_tasks=5, load=1.0)
+        b = frame_instance(np.random.default_rng(7), n_tasks=5, load=1.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = frame_instance(np.random.default_rng(7), n_tasks=5, load=1.0)
+        b = frame_instance(np.random.default_rng(8), n_tasks=5, load=1.0)
+        assert a != b
+
+    @pytest.mark.parametrize("model", PENALTY_MODELS)
+    def test_all_penalty_models_produce_positive_penalties(self, rng, model):
+        ts = frame_instance(rng, n_tasks=8, load=1.2, penalty_model=model)
+        assert all(t.penalty > 0 for t in ts)
+
+    def test_unknown_penalty_model_rejected(self, rng):
+        with pytest.raises(ValueError, match="penalty model"):
+            frame_instance(rng, n_tasks=4, load=1.0, penalty_model="nope")
+
+    def test_integer_cycles(self, rng):
+        ts = frame_instance(rng, n_tasks=6, load=1.3, integer_cycles=100)
+        assert all(t.cycles == int(t.cycles) for t in ts)
+        assert all(t.cycles >= 1 for t in ts)
+        # Total close to the requested grid load.
+        assert ts.total_cycles == pytest.approx(130, abs=len(ts))
+
+    def test_integer_grid_too_coarse_rejected(self, rng):
+        with pytest.raises(ValueError, match="coarse"):
+            frame_instance(rng, n_tasks=10, load=1.0, integer_cycles=5)
+
+    def test_proportional_beats_inverse_ordering(self, rng):
+        prop = frame_instance(
+            rng, n_tasks=12, load=1.0, penalty_model="proportional"
+        )
+        corr = np.corrcoef(
+            [t.cycles for t in prop], [t.penalty for t in prop]
+        )[0, 1]
+        assert corr > 0.5
+        inv = frame_instance(rng, n_tasks=12, load=1.0, penalty_model="inverse")
+        corr_inv = np.corrcoef(
+            [t.cycles for t in inv], [t.penalty for t in inv]
+        )[0, 1]
+        assert corr_inv < 0.0
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            frame_instance(rng, n_tasks=0, load=1.0)
+        with pytest.raises(ValueError):
+            frame_instance(rng, n_tasks=3, load=-1.0)
+        with pytest.raises(ValueError):
+            frame_instance(rng, n_tasks=3, load=1.0, cycle_spread=0.5)
+
+
+class TestScaledCapacity:
+    def test_matches_grid(self):
+        deadline, s_max = scaled_capacity(deadline=1.0, s_max=2.0, integer_cycles=100)
+        assert deadline == pytest.approx(50.0)
+        assert s_max == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_capacity(deadline=1.0, s_max=1.0, integer_cycles=0)
+
+
+class TestUUniFast:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        u=st.floats(min_value=0.1, max_value=4.0),
+    )
+    def test_sums_to_target(self, n, u):
+        utils = uunifast(np.random.default_rng(42), n, u)
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(u)
+        assert all(x >= 0 for x in utils)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uunifast(np.random.default_rng(0), 0, 1.0)
+
+
+class TestPeriodicInstance:
+    def test_total_utilization_hit(self, rng):
+        ts = periodic_instance(rng, n_tasks=8, total_utilization=1.3)
+        assert ts.total_utilization == pytest.approx(1.3)
+
+    def test_periods_from_menu(self, rng):
+        menu = (10.0, 20.0)
+        ts = periodic_instance(rng, n_tasks=6, total_utilization=0.9, periods=menu)
+        assert all(t.period in menu for t in ts)
+
+    def test_penalties_scale_with_hyper_period(self):
+        # The same utilisation profile should carry ~L-proportional
+        # penalties; with a single-period menu L is the period itself.
+        small = periodic_instance(
+            np.random.default_rng(1),
+            n_tasks=5,
+            total_utilization=0.8,
+            periods=(10.0,),
+        )
+        large = periodic_instance(
+            np.random.default_rng(1),
+            n_tasks=5,
+            total_utilization=0.8,
+            periods=(40.0,),
+        )
+        assert large.total_penalty == pytest.approx(4 * small.total_penalty)
+
+    def test_empty_menu_rejected(self, rng):
+        with pytest.raises(ValueError, match="menu"):
+            periodic_instance(rng, n_tasks=4, total_utilization=1.0, periods=())

@@ -1,0 +1,41 @@
+"""Tests for the lognormal cycle distribution option."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import frame_instance
+
+
+class TestLognormal:
+    def test_load_still_hit_exactly(self):
+        rng = np.random.default_rng(3)
+        ts = frame_instance(
+            rng, n_tasks=12, load=1.4, cycle_distribution="lognormal"
+        )
+        assert ts.total_cycles == pytest.approx(1.4)
+
+    def test_heavier_tail_than_uniform(self):
+        """Lognormal draws show a larger max/median ratio on average."""
+        ratios = {"uniform": [], "lognormal": []}
+        for seed in range(40):
+            for dist in ratios:
+                ts = frame_instance(
+                    np.random.default_rng(seed),
+                    n_tasks=20,
+                    load=1.0,
+                    cycle_spread=8.0,
+                    cycle_distribution=dist,
+                )
+                sizes = sorted(t.cycles for t in ts)
+                ratios[dist].append(sizes[-1] / sizes[len(sizes) // 2])
+        mean = {k: sum(v) / len(v) for k, v in ratios.items()}
+        assert mean["lognormal"] > mean["uniform"]
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="cycle_distribution"):
+            frame_instance(
+                np.random.default_rng(0),
+                n_tasks=4,
+                load=1.0,
+                cycle_distribution="zipf",
+            )

@@ -1,0 +1,143 @@
+"""Tests for task models, task sets, and hyper-period arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.tasks import FrameTask, FrameTaskSet, PeriodicTask, PeriodicTaskSet
+from repro.tasks.model import hyper_period
+
+
+class TestFrameTask:
+    def test_penalty_density(self):
+        t = FrameTask(name="a", cycles=4.0, penalty=2.0)
+        assert t.penalty_density == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameTask(name="", cycles=1.0, penalty=0.0)
+        with pytest.raises(ValueError):
+            FrameTask(name="a", cycles=0.0, penalty=0.0)
+        with pytest.raises(ValueError):
+            FrameTask(name="a", cycles=1.0, penalty=-1.0)
+
+    def test_zero_penalty_allowed(self):
+        assert FrameTask(name="a", cycles=1.0, penalty=0.0).penalty == 0.0
+
+    def test_frozen(self):
+        t = FrameTask(name="a", cycles=1.0, penalty=0.0)
+        with pytest.raises(AttributeError):
+            t.cycles = 2.0  # type: ignore[misc]
+
+
+class TestPeriodicTask:
+    def test_utilization(self):
+        t = PeriodicTask(name="a", period=10.0, wcec=2.5, penalty=1.0)
+        assert t.utilization == pytest.approx(0.25)
+
+    def test_penalty_density_scales_by_utilization(self):
+        t = PeriodicTask(name="a", period=10.0, wcec=2.5, penalty=1.0)
+        assert t.penalty_density == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(name="a", period=0.0, wcec=1.0, penalty=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTask(name="a", period=1.0, wcec=1.0, penalty=0.0, arrival=-1.0)
+
+
+class TestHyperPeriod:
+    def test_integers(self):
+        assert hyper_period([2, 5]) == Fraction(10)
+
+    def test_paper_example(self):
+        # Companion text, Figure 1: p1 = 2, p2 = 5 -> L = 10.
+        tasks = PeriodicTaskSet(
+            [
+                PeriodicTask(name="t1", period=2.0, wcec=1.0, penalty=0.0),
+                PeriodicTask(name="t2", period=5.0, wcec=2.5, penalty=0.0),
+            ]
+        )
+        assert tasks.hyper_period == Fraction(10)
+
+    def test_rationals(self):
+        assert hyper_period([Fraction(1, 2), Fraction(3, 4)]) == Fraction(3, 2)
+
+    def test_float_periods(self):
+        assert hyper_period([0.5, 0.75]) == Fraction(3, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyper_period([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            hyper_period([2, 0])
+
+    def test_every_period_divides(self):
+        periods = [3, 4, 6, 10]
+        L = hyper_period(periods)
+        for p in periods:
+            assert (L / p).denominator == 1
+
+
+class TestTaskSets:
+    def make(self):
+        return FrameTaskSet(
+            FrameTask(name=f"t{i}", cycles=float(i + 1), penalty=float(i))
+            for i in range(4)
+        )
+
+    def test_aggregates(self):
+        ts = self.make()
+        assert ts.total_cycles == pytest.approx(10.0)
+        assert ts.total_penalty == pytest.approx(6.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FrameTaskSet(
+                [
+                    FrameTask(name="a", cycles=1.0, penalty=0.0),
+                    FrameTask(name="a", cycles=2.0, penalty=0.0),
+                ]
+            )
+
+    def test_by_name(self):
+        ts = self.make()
+        assert ts.by_name("t2").cycles == 3.0
+        with pytest.raises(KeyError):
+            ts.by_name("zz")
+
+    def test_subset_and_complement_partition(self):
+        ts = self.make()
+        sub = ts.subset([0, 2])
+        comp = ts.complement([0, 2])
+        assert [t.name for t in sub] == ["t0", "t2"]
+        assert [t.name for t in comp] == ["t1", "t3"]
+        assert len(sub) + len(comp) == len(ts)
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.make().subset([7])
+
+    def test_slicing_returns_same_type(self):
+        ts = self.make()
+        assert isinstance(ts[:2], FrameTaskSet)
+        assert len(ts[:2]) == 2
+
+    def test_sorted_by(self):
+        ts = self.make().sorted_by(lambda t: t.cycles, reverse=True)
+        assert [t.name for t in ts] == ["t3", "t2", "t1", "t0"]
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+
+    def test_periodic_total_utilization(self):
+        ts = PeriodicTaskSet(
+            [
+                PeriodicTask(name="a", period=10.0, wcec=2.0, penalty=0.0),
+                PeriodicTask(name="b", period=4.0, wcec=1.0, penalty=0.0),
+            ]
+        )
+        assert ts.total_utilization == pytest.approx(0.45)

@@ -1,0 +1,60 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == list(ALL_EXPERIMENTS)
+        assert len(out) == 17  # Fig R1-R13 + Tab R1-R4
+
+    def test_run_one_quick(self, capsys):
+        assert main(["run", "fig_r1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig_r1" in out
+        assert "greedy_marginal" in out
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        assert main(["run", "tab_r3", "--quick", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "tab_r3.csv").exists()
+
+    def test_generate_and_solve_roundtrip(self, capsys, tmp_path):
+        instance = tmp_path / "inst.json"
+        assert main(["generate", str(instance), "--n", "8", "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["solve", str(instance), "--algorithm", "pareto_exact"]) == 0
+        exact = capsys.readouterr().out
+        assert "pareto_exact: cost=" in exact
+        out_json = tmp_path / "sol.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    str(instance),
+                    "--algorithm",
+                    "fptas",
+                    "--eps",
+                    "0.05",
+                    "-o",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        assert out_json.exists()
+
+    def test_seed_override_changes_rows(self, capsys):
+        main(["run", "fig_r1", "--quick", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["run", "fig_r1", "--quick", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

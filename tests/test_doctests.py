@@ -1,0 +1,19 @@
+"""Run the docstring examples that double as executable documentation."""
+
+import doctest
+
+import pytest
+
+import repro.power.cmos
+import repro.power.polynomial
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.power.polynomial, repro.power.cmos],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert tested > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

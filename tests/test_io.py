@@ -1,0 +1,99 @@
+"""Tests for JSON instance/solution serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import RejectionProblem, greedy_marginal
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.io import (
+    SCHEMA_VERSION,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+    solution_to_dict,
+)
+from repro.power import DormantMode, PolynomialPowerModel, xscale_power_model
+from repro.power.discrete import SpeedLevels
+from repro.tasks import frame_instance
+
+
+def problems():
+    rng = np.random.default_rng(0)
+    tasks = frame_instance(rng, n_tasks=6, load=1.3)
+    model = xscale_power_model()
+    return [
+        RejectionProblem(
+            tasks=tasks, energy_fn=ContinuousEnergyFunction(model, 1.0)
+        ),
+        RejectionProblem(
+            tasks=tasks,
+            energy_fn=CriticalSpeedEnergyFunction(
+                model, 1.0, dormant=DormantMode(t_sw=0.1, e_sw=0.02)
+            ),
+        ),
+        RejectionProblem(
+            tasks=tasks,
+            energy_fn=DiscreteEnergyFunction(
+                model, SpeedLevels([0.25, 0.5, 1.0]), 1.0, dormant=DormantMode()
+            ),
+        ),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_dict_roundtrip_preserves_costs(self, index):
+        problem = problems()[index]
+        rebuilt = instance_from_dict(instance_to_dict(problem))
+        assert rebuilt.n == problem.n
+        assert rebuilt.capacity == pytest.approx(problem.capacity)
+        # Same optimal decisions and cost on the rebuilt instance.
+        assert greedy_marginal(rebuilt).cost == pytest.approx(
+            greedy_marginal(problem).cost
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        problem = problems()[0]
+        path = save_instance(problem, tmp_path / "x" / "inst.json")
+        rebuilt = load_instance(path)
+        assert [t.name for t in rebuilt.tasks] == [t.name for t in problem.tasks]
+
+    def test_json_is_plain_data(self, tmp_path):
+        path = save_instance(problems()[1], tmp_path / "inst.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["energy_fn"]["kind"] == "critical"
+        assert data["energy_fn"]["dormant"]["e_sw"] == pytest.approx(0.02)
+
+    def test_unknown_schema_rejected(self):
+        data = instance_to_dict(problems()[0])
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            instance_from_dict(data)
+
+    def test_unknown_energy_kind_rejected(self):
+        data = instance_to_dict(problems()[0])
+        data["energy_fn"]["kind"] = "mystery"
+        with pytest.raises(ValueError, match="kind"):
+            instance_from_dict(data)
+
+
+class TestSolutionDump:
+    def test_contains_decision_and_plan(self):
+        problem = problems()[0]
+        sol = greedy_marginal(problem)
+        dump = solution_to_dict(sol)
+        assert dump["algorithm"] == "greedy_marginal"
+        assert dump["cost"] == pytest.approx(sol.cost)
+        assert set(dump["accepted"]) | set(dump["rejected"]) == {
+            t.name for t in problem.tasks
+        }
+        assert dump["speed_plan"][-1]["end"] == pytest.approx(1.0)
+        json.dumps(dump)  # must be JSON-serialisable as-is

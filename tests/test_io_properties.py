@@ -1,0 +1,21 @@
+"""Hypothesis round-trip property for the JSON instance format."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rejection import RejectionProblem, pareto_exact
+from repro.io import instance_from_dict, instance_to_dict
+
+from tests.conftest import frame_task_sets, energy_functions
+
+
+@given(tasks=frame_task_sets(max_tasks=6), g=energy_functions())
+@settings(max_examples=40)
+def test_roundtrip_preserves_the_optimum(tasks, g):
+    problem = RejectionProblem(tasks=tasks, energy_fn=g)
+    rebuilt = instance_from_dict(instance_to_dict(problem))
+    original = pareto_exact(problem)
+    recovered = pareto_exact(rebuilt)
+    assert recovered.cost == pytest.approx(original.cost, rel=1e-12, abs=1e-12)
+    assert recovered.accepted == original.accepted
