@@ -1,0 +1,93 @@
+"""Benchmark: the runner's parallel speedup and cache-warm restart.
+
+Acceptance targets (ISSUE 1):
+
+* ``jobs=4`` completes a multi-trial experiment in at most half the
+  ``jobs=1`` wall time on a box with >= 4 cores (skipped on smaller
+  boxes — process fan-out cannot beat the hardware);
+* a cache-warm rerun finishes in under 10% of the cold wall time.
+
+The workload is ``fig_r1`` restricted to one n=16 sweep point: each
+trial is an independent 2^16-subset exhaustive solve, i.e. genuinely
+CPU-bound and embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import fig_r1
+from repro.runner import map_trials, run_experiment, shutdown_pools, trial_seeds
+
+#: One heavy sweep point; ~0.15 s/trial of pure exhaustive search.
+WORKLOAD = dict(trials=12, sizes=(16,))
+
+
+def _wall(jobs: int) -> float:
+    start = time.perf_counter()
+    fig_r1.run(**WORKLOAD, jobs=jobs)
+    return time.perf_counter() - start
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup target needs >= 4 cores",
+)
+def test_parallel_speedup_at_least_2x(results_dir):
+    # Warm the pool so fork/import cost is not billed to the measurement.
+    map_trials(_noop, trial_seeds(0, 4), jobs=4)
+    serial = _wall(jobs=1)
+    parallel = _wall(jobs=4)
+    speedup = serial / parallel
+    print(f"\nserial={serial:.2f}s parallel(4)={parallel:.2f}s "
+          f"speedup={speedup:.2f}x")
+    (results_dir / "runner_speedup.txt").write_text(
+        f"serial_s={serial:.3f}\nparallel4_s={parallel:.3f}\n"
+        f"speedup={speedup:.2f}\n"
+    )
+    assert speedup >= 2.0
+
+
+def _noop(seed_tuple, params):
+    return None
+
+
+def test_parallel_overhead_bounded_on_any_box():
+    """Even on a small box, fan-out must not blow up wall time.
+
+    Pool + pickling overhead for ~2 s of real work should stay well
+    under the work itself; this guards against accidental per-trial
+    executor creation or payload explosions that a 1-core CI box would
+    otherwise never notice.
+    """
+    map_trials(_noop, trial_seeds(0, 4), jobs=2)  # warm the pool
+    serial = _wall(jobs=1)
+    parallel = _wall(jobs=2)
+    assert parallel <= serial * 2.0
+
+
+def test_cache_warm_rerun_under_10_percent(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    start = time.perf_counter()
+    cold_table, cold_metrics = run_experiment("fig_r1", run_fn=fig_r1.run)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_table, warm_metrics = run_experiment("fig_r1", run_fn=fig_r1.run)
+    warm = time.perf_counter() - start
+
+    print(f"\ncold={cold:.2f}s warm={warm:.4f}s ({100 * warm / cold:.2f}%)")
+    assert cold_metrics.cache == "miss"
+    assert warm_metrics.cache == "hit"
+    assert warm_table.rows == cold_table.rows
+    assert warm < 0.10 * cold
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_pools()

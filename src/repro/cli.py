@@ -6,6 +6,9 @@ Usage::
     repro run fig_r1               # run one experiment at paper scale
     repro run all --quick          # smoke-run every experiment
     repro run fig_r2 --csv out/    # also write the table as CSV
+    repro run fig_r1 --jobs 4      # fan trials out over 4 workers
+    repro run all --no-cache       # force recomputation
+    repro run tab_r4 --timings     # print the per-run timing report
 
     repro generate inst.json --n 12 --load 1.5 --seed 7   # random instance
     repro solve inst.json --algorithm fptas --eps 0.05    # solve it
@@ -65,6 +68,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write each table as DIR/<name>.csv",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial fan-out (1 = serial, no pool)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (results/.cache)",
+    )
+    run.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-experiment timing/cache report",
     )
 
     generate = sub.add_parser(
@@ -177,6 +197,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "solve":
         return _cmd_solve(args)
 
+    if args.jobs < 1:
+        print(
+            f"--jobs must be a positive integer, got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.experiment == "all":
         selected = list(ALL_EXPERIMENTS.items())
     elif args.experiment in ALL_EXPERIMENTS:
@@ -188,15 +215,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    from repro.runner import run_experiment
+
     for name, runner in selected:
-        kwargs = {}
-        if args.quick:
-            kwargs["quick"] = True
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        table = runner(**kwargs)
+        table, metrics = run_experiment(
+            name,
+            run_fn=runner,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
         print(table.render())
         print()
+        if args.timings:
+            print(metrics.report())
+            print()
         if args.csv is not None:
             path = table.to_csv(args.csv / f"{name}.csv")
             print(f"(csv written to {path})")

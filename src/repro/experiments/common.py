@@ -13,7 +13,8 @@ processor unless it is explicitly sweeping it:
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import hashlib
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -40,7 +41,12 @@ from repro.tasks import frame_instance
 #: Frame deadline shared by the uniprocessor experiments.
 DEADLINE = 1.0
 
-#: The heuristic roster of Figs R1–R3, in presentation order.
+#: The heuristic roster of Figs R1–R3, in presentation order.  Each
+#: entry takes ``(problem, rng)``; callers must pass a *derived child*
+#: generator per call (see :func:`derived_rng` / :func:`heuristic_ratios`),
+#: never a generator shared with instance generation or other solvers —
+#: a shared stream would make ``reject_random``'s draws depend on call
+#: order, which worker processes are free to change.
 HEURISTICS: dict[str, Callable[..., RejectionSolution]] = {
     "greedy_marginal": lambda p, rng: greedy_marginal(p),
     "greedy_density": lambda p, rng: greedy_density(p),
@@ -106,3 +112,47 @@ def standard_instance(
 def trial_rngs(seed: int, trials: int) -> list[np.random.Generator]:
     """Independent, reproducible generators — one per trial."""
     return [np.random.default_rng([seed, t]) for t in range(trials)]
+
+
+def trial_rng(seed_tuple: Sequence[int]) -> np.random.Generator:
+    """The trial generator for one seed tuple (``trial_rngs`` element)."""
+    return np.random.default_rng([int(part) for part in seed_tuple])
+
+
+def derived_rng(
+    seed_tuple: Sequence[int], stream: str
+) -> np.random.Generator:
+    """A child generator derived from the trial seed and a stream label.
+
+    Randomised solvers must not share the trial generator: its draw
+    order would couple them to instance generation and to each other,
+    so any reordering (a different heuristic roster, a worker process
+    replaying a subset of the calls) would silently change results.
+    Deriving an independent stream per label keeps every consumer's
+    draws fixed no matter what else runs in the trial.
+    """
+    label = int.from_bytes(
+        hashlib.blake2s(stream.encode(), digest_size=4).digest(), "big"
+    )
+    return np.random.default_rng([*(int(part) for part in seed_tuple), label])
+
+
+def heuristic_ratios(
+    problem: RejectionProblem,
+    opt_cost: float,
+    seed_tuple: Sequence[int],
+) -> dict[str, float]:
+    """Every roster heuristic's cost / *opt_cost* on *problem*.
+
+    Each solver call receives its own derived child generator (see
+    :func:`derived_rng`), so the randomised entries draw identically
+    whether the roster runs serially or inside a pool worker.
+    """
+    from repro.analysis import normalized_ratio
+
+    return {
+        name: normalized_ratio(
+            solver(problem, derived_rng(seed_tuple, name)).cost, opt_cost
+        )
+        for name, solver in HEURISTICS.items()
+    }

@@ -11,9 +11,24 @@ with n as the subset space grows.
 
 from __future__ import annotations
 
-from repro.analysis import ExperimentTable, normalized_ratio, summarize
+from repro.analysis import ExperimentTable, summarize
 from repro.core.rejection import exhaustive
-from repro.experiments.common import HEURISTICS, standard_instance, trial_rngs
+from repro.experiments.common import (
+    HEURISTICS,
+    heuristic_ratios,
+    standard_instance,
+    trial_rng,
+)
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance at a size: every heuristic's ratio to the optimum."""
+    rng = trial_rng(seed_tuple)
+    load = rng.uniform(0.8, 2.0)
+    problem = standard_instance(rng, n_tasks=params["n"], load=load)
+    opt = exhaustive(problem)
+    return heuristic_ratios(problem, opt.cost, seed_tuple)
 
 
 def run(
@@ -22,6 +37,7 @@ def run(
     seed: int = 20070416,
     sizes: tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -38,15 +54,20 @@ def run(
         ],
     )
     for n in sizes:
-        ratios: dict[str, list[float]] = {name: [] for name in HEURISTICS}
-        for rng in trial_rngs(seed + n, trials):
-            load = rng.uniform(0.8, 2.0)
-            problem = standard_instance(rng, n_tasks=n, load=load)
-            opt = exhaustive(problem)
-            for name, solver in HEURISTICS.items():
-                sol = solver(problem, rng)
-                ratios[name].append(normalized_ratio(sol.cost, opt.cost))
-        table.add_row(n, *(summarize(ratios[name]).mean for name in HEURISTICS))
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + n, trials),
+            {"n": n},
+            jobs=jobs,
+            label=f"fig_r1[n={n}]",
+        )
+        table.add_row(
+            n,
+            *(
+                summarize([f[name] for f in fragments]).mean
+                for name in HEURISTICS
+            ),
+        )
     return table
 
 

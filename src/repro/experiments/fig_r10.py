@@ -25,7 +25,8 @@ from repro.core.rejection import (
     greedy_twope,
     tasks_from_frame,
 )
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
 
 
 def _pe_utilizations(rng, tasks, model: str) -> list[float]:
@@ -42,6 +43,28 @@ def _pe_utilizations(rng, tasks, model: str) -> list[float]:
     return list(0.25 * base * jitter)
 
 
+def _trial(seed_tuple, params):
+    """One two-PE instance: greedy ratio, optimal cost, PE usage."""
+    rng = trial_rng(seed_tuple)
+    base = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    problem = TwoPeProblem(
+        tasks=tasks_from_frame(
+            base.tasks, _pe_utilizations(rng, base.tasks, params["pe_model"])
+        ),
+        energy_fn=base.energy_fn,
+        pe_power=params["pe_power"],
+    )
+    opt = exhaustive_twope(problem)
+    greedy = greedy_twope(problem)
+    return {
+        "ratio": normalized_ratio(greedy.cost, opt.cost),
+        "opt_cost": opt.cost,
+        "on_pe": len(opt.on_pe) / problem.n,
+    }
+
+
 def run(
     *,
     trials: int = 30,
@@ -50,6 +73,7 @@ def run(
     load: float = 1.4,
     pe_powers: tuple[float, ...] = (0.1, 0.3, 0.6, 1.2),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -73,29 +97,24 @@ def run(
     )
     for pe_model in ("proportional", "inverse"):
         for pe_power in pe_powers:
-            ratios: list[float] = []
-            opt_costs: list[float] = []
-            pe_counts: list[float] = []
-            for rng in trial_rngs(seed + int(pe_power * 100), trials):
-                base = standard_instance(rng, n_tasks=n_tasks, load=load)
-                problem = TwoPeProblem(
-                    tasks=tasks_from_frame(
-                        base.tasks, _pe_utilizations(rng, base.tasks, pe_model)
-                    ),
-                    energy_fn=base.energy_fn,
-                    pe_power=pe_power,
-                )
-                opt = exhaustive_twope(problem)
-                greedy = greedy_twope(problem)
-                ratios.append(normalized_ratio(greedy.cost, opt.cost))
-                opt_costs.append(opt.cost)
-                pe_counts.append(len(opt.on_pe) / problem.n)
+            fragments = map_trials(
+                _trial,
+                trial_seeds(seed + int(pe_power * 100), trials),
+                {
+                    "n_tasks": n_tasks,
+                    "load": load,
+                    "pe_model": pe_model,
+                    "pe_power": pe_power,
+                },
+                jobs=jobs,
+                label=f"fig_r10[{pe_model},pe={pe_power}]",
+            )
             table.add_row(
                 pe_model,
                 pe_power,
-                summarize(ratios).mean,
-                summarize(opt_costs).mean,
-                summarize(pe_counts).mean,
+                summarize([f["ratio"] for f in fragments]).mean,
+                summarize([f["opt_cost"] for f in fragments]).mean,
+                summarize([f["on_pe"] for f in fragments]).mean,
             )
     return table
 

@@ -28,10 +28,58 @@ from repro.core.rejection import (
     greedy_marginal,
     periodic_problem,
 )
-from repro.experiments.common import trial_rngs
+from repro.experiments.common import trial_rng
 from repro.power import xscale_power_model
+from repro.runner import map_trials, trial_seeds
 from repro.sched import simulate_edf
 from repro.tasks import periodic_instance
+
+
+def _trial(seed_tuple, params):
+    """One periodic instance: static vs reclaimed energy over a hyper-period.
+
+    Returns ``None`` when the rejection step accepts nothing (the trial
+    contributes no sample, matching the serial harness's ``continue``).
+    """
+    rng = trial_rng(seed_tuple)
+    seed, fraction = params["seed"], params["fraction"]
+    model = xscale_power_model()
+    tasks = periodic_instance(
+        rng,
+        n_tasks=params["n_tasks"],
+        total_utilization=params["total_utilization"],
+        penalty_scale=5.0,
+    )
+    problem = periodic_problem(tasks, continuous_energy(model))
+    accepted = accepted_periodic_tasks(greedy_marginal(problem), tasks)
+    if len(accepted) == 0:
+        return None
+    horizon = float(tasks.hyper_period)
+    speed = accepted.total_utilization
+
+    actual_rng = np.random.default_rng([seed, int(fraction * 100)])
+    drawn: dict[int, float] = {}
+
+    def actuals(task, seq, _rng=actual_rng, _drawn=drawn, _f=fraction):
+        if seq not in _drawn:
+            jitter = float(_rng.uniform(0.75, 1.25))
+            _drawn[seq] = min(_f * jitter, 1.0) * task.wcec
+        return _drawn[seq]
+
+    static = simulate_edf(
+        accepted, model, speed=speed, horizon=horizon,
+        actual_cycles=actuals,
+    )
+    reclaimed = simulate_edf(
+        accepted, model, speed=speed, horizon=horizon,
+        actual_cycles=actuals, reclaim=True,
+    )
+    return {
+        "static": static.total_energy,
+        "cc": reclaimed.total_energy,
+        "saving": 1.0 - reclaimed.total_energy / static.total_energy,
+        "misses": len(static.misses) + len(reclaimed.misses),
+    }
 
 
 def run(
@@ -42,6 +90,7 @@ def run(
     total_utilization: float = 1.2,
     fractions: tuple[float, ...] = (1.0, 0.8, 0.6, 0.4),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -57,51 +106,29 @@ def run(
             "earlier; zero misses always",
         ],
     )
-    model = xscale_power_model()
     for fraction in fractions:
-        static_e, cc_e, savings = [], [], []
-        misses = 0
-        for rng in trial_rngs(seed + int(fraction * 100), trials):
-            tasks = periodic_instance(
-                rng,
-                n_tasks=n_tasks,
-                total_utilization=total_utilization,
-                penalty_scale=5.0,
+        fragments = [
+            f
+            for f in map_trials(
+                _trial,
+                trial_seeds(seed + int(fraction * 100), trials),
+                {
+                    "n_tasks": n_tasks,
+                    "total_utilization": total_utilization,
+                    "fraction": fraction,
+                    "seed": seed,
+                },
+                jobs=jobs,
+                label=f"fig_r11[f={fraction}]",
             )
-            problem = periodic_problem(tasks, continuous_energy(model))
-            accepted = accepted_periodic_tasks(greedy_marginal(problem), tasks)
-            if len(accepted) == 0:
-                continue
-            horizon = float(tasks.hyper_period)
-            speed = accepted.total_utilization
-
-            actual_rng = np.random.default_rng([seed, int(fraction * 100)])
-            drawn: dict[int, float] = {}
-
-            def actuals(task, seq, _rng=actual_rng, _drawn=drawn, _f=fraction):
-                if seq not in _drawn:
-                    jitter = float(_rng.uniform(0.75, 1.25))
-                    _drawn[seq] = min(_f * jitter, 1.0) * task.wcec
-                return _drawn[seq]
-
-            static = simulate_edf(
-                accepted, model, speed=speed, horizon=horizon,
-                actual_cycles=actuals,
-            )
-            reclaimed = simulate_edf(
-                accepted, model, speed=speed, horizon=horizon,
-                actual_cycles=actuals, reclaim=True,
-            )
-            misses += len(static.misses) + len(reclaimed.misses)
-            static_e.append(static.total_energy)
-            cc_e.append(reclaimed.total_energy)
-            savings.append(1.0 - reclaimed.total_energy / static.total_energy)
+            if f is not None
+        ]
         table.add_row(
             fraction,
-            summarize(static_e).mean,
-            summarize(cc_e).mean,
-            summarize(savings).mean,
-            misses,
+            summarize([f["static"] for f in fragments]).mean,
+            summarize([f["cc"] for f in fragments]).mean,
+            summarize([f["saving"] for f in fragments]).mean,
+            sum(f["misses"] for f in fragments),
         )
     return table
 

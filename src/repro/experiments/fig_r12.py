@@ -21,8 +21,9 @@ from repro.core.rejection import (
     exhaustive_aperiodic,
     greedy_aperiodic,
 )
-from repro.experiments.common import trial_rngs
+from repro.experiments.common import trial_rng
 from repro.power import xscale_power_model
+from repro.runner import map_trials, trial_seeds
 
 
 def _instance(rng, *, n_jobs: int, overlap: float, load: float) -> AperiodicProblem:
@@ -53,6 +54,24 @@ def _instance(rng, *, n_jobs: int, overlap: float, load: float) -> AperiodicProb
     return AperiodicProblem(jobs=tuple(jobs), power_model=xscale_power_model())
 
 
+def _trial(seed_tuple, params):
+    """One aperiodic instance: greedy ratio, acceptance, YDS peak."""
+    rng = trial_rng(seed_tuple)
+    problem = _instance(
+        rng,
+        n_jobs=params["n_jobs"],
+        overlap=params["overlap"],
+        load=params["load"],
+    )
+    opt = exhaustive_aperiodic(problem)
+    greedy = greedy_aperiodic(problem)
+    return {
+        "ratio": normalized_ratio(greedy.cost, opt.cost),
+        "acceptance": len(opt.accepted) / problem.n,
+        "peak": opt.schedule().max_speed,
+    }
+
+
 def run(
     *,
     trials: int = 25,
@@ -61,6 +80,7 @@ def run(
     load: float = 1.2,
     overlaps: tuple[float, ...] = (0.0, 0.33, 0.67, 1.0),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -78,19 +98,18 @@ def run(
         ],
     )
     for overlap in overlaps:
-        ratios, acceptance, peaks = [], [], []
-        for rng in trial_rngs(seed + int(overlap * 100), trials):
-            problem = _instance(rng, n_jobs=n_jobs, overlap=overlap, load=load)
-            opt = exhaustive_aperiodic(problem)
-            greedy = greedy_aperiodic(problem)
-            ratios.append(normalized_ratio(greedy.cost, opt.cost))
-            acceptance.append(len(opt.accepted) / problem.n)
-            peaks.append(opt.schedule().max_speed)
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(overlap * 100), trials),
+            {"n_jobs": n_jobs, "overlap": overlap, "load": load},
+            jobs=jobs,
+            label=f"fig_r12[ov={overlap}]",
+        )
         table.add_row(
             overlap,
-            summarize(ratios).mean,
-            summarize(acceptance).mean,
-            summarize(peaks).mean,
+            summarize([f["ratio"] for f in fragments]).mean,
+            summarize([f["acceptance"] for f in fragments]).mean,
+            summarize([f["peak"] for f in fragments]).mean,
         )
     return table
 

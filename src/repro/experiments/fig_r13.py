@@ -29,9 +29,13 @@ from repro.core.rejection import (
     heterogeneous_problem,
     pareto_exact,
 )
-from repro.experiments.common import trial_rngs
+from repro.experiments.common import trial_rng
+from repro.runner import map_trials, trial_seeds
 
 ALPHA = 3.0
+
+#: Frame deadline shared by every heterogeneous trial.
+DEADLINE = 1.0
 
 
 def _instance(rng, *, n_tasks: int, spread: float) -> list[HeterogeneousTask]:
@@ -51,6 +55,42 @@ def _instance(rng, *, n_tasks: int, spread: float) -> list[HeterogeneousTask]:
     ]
 
 
+def _trial(seed_tuple, params):
+    """One heterogeneous instance: blind-policy ratio and acceptance."""
+    rng = trial_rng(seed_tuple)
+    tasks = _instance(
+        rng, n_tasks=params["n_tasks"], spread=params["spread"]
+    )
+
+    aware_problem = heterogeneous_problem(tasks, deadline=DEADLINE)
+    aware = pareto_exact(aware_problem)
+
+    mean_coeff = float(np.mean([t.power_coeff for t in tasks]))
+    homogenised = [
+        HeterogeneousTask(
+            name=t.name,
+            cycles=t.cycles,
+            power_coeff=mean_coeff,
+            penalty=t.penalty,
+        )
+        for t in tasks
+    ]
+    blind_pick = pareto_exact(
+        heterogeneous_problem(homogenised, deadline=DEADLINE)
+    )
+    blind_cost = heterogeneous_energy(
+        tasks, sorted(blind_pick.accepted), deadline=DEADLINE
+    ) + sum(
+        t.penalty
+        for i, t in enumerate(tasks)
+        if i not in blind_pick.accepted
+    )
+    return {
+        "blind": normalized_ratio(blind_cost, aware.cost),
+        "acceptance": aware.acceptance_ratio,
+    }
+
+
 def run(
     *,
     trials: int = 40,
@@ -58,6 +98,7 @@ def run(
     n_tasks: int = 12,
     spreads: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -72,45 +113,20 @@ def run(
             "expected: equal at spread 1; blind ratio grows with spread",
         ],
     )
-    deadline = 1.0
     for spread in spreads:
-        aware_r, blind_r, acceptance = [], [], []
-        for rng in trial_rngs(seed + int(spread * 10), trials):
-            tasks = _instance(rng, n_tasks=n_tasks, spread=spread)
-
-            aware_problem = heterogeneous_problem(tasks, deadline=deadline)
-            aware = pareto_exact(aware_problem)
-
-            mean_coeff = float(
-                np.mean([t.power_coeff for t in tasks])
-            )
-            homogenised = [
-                HeterogeneousTask(
-                    name=t.name,
-                    cycles=t.cycles,
-                    power_coeff=mean_coeff,
-                    penalty=t.penalty,
-                )
-                for t in tasks
-            ]
-            blind_pick = pareto_exact(
-                heterogeneous_problem(homogenised, deadline=deadline)
-            )
-            blind_cost = heterogeneous_energy(
-                tasks, sorted(blind_pick.accepted), deadline=deadline
-            ) + sum(
-                t.penalty
-                for i, t in enumerate(tasks)
-                if i not in blind_pick.accepted
-            )
-            aware_r.append(1.0)  # aware IS the optimum by construction
-            blind_r.append(normalized_ratio(blind_cost, aware.cost))
-            acceptance.append(aware.acceptance_ratio)
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(spread * 10), trials),
+            {"n_tasks": n_tasks, "spread": spread},
+            jobs=jobs,
+            label=f"fig_r13[spread={spread}]",
+        )
         table.add_row(
             spread,
-            summarize(aware_r).mean,
-            summarize(blind_r).mean,
-            summarize(acceptance).mean,
+            # aware IS the optimum by construction
+            summarize([1.0 for _ in fragments]).mean,
+            summarize([f["blind"] for f in fragments]).mean,
+            summarize([f["acceptance"] for f in fragments]).mean,
         )
     return table
 

@@ -11,9 +11,25 @@ converge; accept_all degrades most visibly past the knee.
 
 from __future__ import annotations
 
-from repro.analysis import ExperimentTable, normalized_ratio, summarize
+from repro.analysis import ExperimentTable, summarize
 from repro.core.rejection import exhaustive
-from repro.experiments.common import HEURISTICS, standard_instance, trial_rngs
+from repro.experiments.common import (
+    HEURISTICS,
+    heuristic_ratios,
+    standard_instance,
+    trial_rng,
+)
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance at a load point: heuristic ratios to the optimum."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    opt = exhaustive(problem)
+    return heuristic_ratios(problem, opt.cost, seed_tuple)
 
 
 def run(
@@ -23,6 +39,7 @@ def run(
     n_tasks: int = 12,
     loads: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -38,14 +55,20 @@ def run(
         ],
     )
     for load in loads:
-        ratios: dict[str, list[float]] = {name: [] for name in HEURISTICS}
-        for rng in trial_rngs(seed + int(load * 100), trials):
-            problem = standard_instance(rng, n_tasks=n_tasks, load=load)
-            opt = exhaustive(problem)
-            for name, solver in HEURISTICS.items():
-                sol = solver(problem, rng)
-                ratios[name].append(normalized_ratio(sol.cost, opt.cost))
-        table.add_row(load, *(summarize(ratios[name]).mean for name in HEURISTICS))
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(load * 100), trials),
+            {"n_tasks": n_tasks, "load": load},
+            jobs=jobs,
+            label=f"fig_r2[load={load}]",
+        )
+        table.add_row(
+            load,
+            *(
+                summarize([f[name] for f in fragments]).mean
+                for name in HEURISTICS
+            ),
+        )
     return table
 
 

@@ -13,9 +13,28 @@ are balanced (scale ≈ 1).
 
 from __future__ import annotations
 
-from repro.analysis import ExperimentTable, normalized_ratio, summarize
+from repro.analysis import ExperimentTable, summarize
 from repro.core.rejection import exhaustive
-from repro.experiments.common import HEURISTICS, standard_instance, trial_rngs
+from repro.experiments.common import (
+    HEURISTICS,
+    heuristic_ratios,
+    standard_instance,
+    trial_rng,
+)
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance at a penalty scale: heuristic ratios to the optimum."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng,
+        n_tasks=params["n_tasks"],
+        load=params["load"],
+        penalty_scale=params["scale"],
+    )
+    opt = exhaustive(problem)
+    return heuristic_ratios(problem, opt.cost, seed_tuple)
 
 
 def run(
@@ -26,6 +45,7 @@ def run(
     load: float = 1.5,
     scales: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -42,16 +62,20 @@ def run(
         ],
     )
     for scale in scales:
-        ratios: dict[str, list[float]] = {name: [] for name in HEURISTICS}
-        for rng in trial_rngs(seed + int(scale * 1000), trials):
-            problem = standard_instance(
-                rng, n_tasks=n_tasks, load=load, penalty_scale=scale
-            )
-            opt = exhaustive(problem)
-            for name, solver in HEURISTICS.items():
-                sol = solver(problem, rng)
-                ratios[name].append(normalized_ratio(sol.cost, opt.cost))
-        table.add_row(scale, *(summarize(ratios[name]).mean for name in HEURISTICS))
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(scale * 1000), trials),
+            {"n_tasks": n_tasks, "load": load, "scale": scale},
+            jobs=jobs,
+            label=f"fig_r3[scale={scale}]",
+        )
+        table.add_row(
+            scale,
+            *(
+                summarize([f[name] for f in fragments]).mean
+                for name in HEURISTICS
+            ),
+        )
     return table
 
 

@@ -15,7 +15,24 @@ from __future__ import annotations
 
 from repro.analysis import ExperimentTable, summarize
 from repro.core.rejection import exhaustive, greedy_marginal
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance: acceptance and energy-share for optimum and greedy."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    opt = exhaustive(problem)
+    gm = greedy_marginal(problem)
+    return {
+        "oa": opt.acceptance_ratio,
+        "ga": gm.acceptance_ratio,
+        "oe": opt.energy / opt.cost if opt.cost > 0 else 1.0,
+        "ge": gm.energy / gm.cost if gm.cost > 0 else 1.0,
+    }
 
 
 def run(
@@ -25,6 +42,7 @@ def run(
     n_tasks: int = 12,
     loads: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -46,23 +64,19 @@ def run(
         ],
     )
     for load in loads:
-        samples = {key: [] for key in ("oa", "oe", "ga", "ge")}
-        for rng in trial_rngs(seed + int(load * 100), trials):
-            problem = standard_instance(rng, n_tasks=n_tasks, load=load)
-            opt = exhaustive(problem)
-            gm = greedy_marginal(problem)
-            samples["oa"].append(opt.acceptance_ratio)
-            samples["ga"].append(gm.acceptance_ratio)
-            samples["oe"].append(
-                opt.energy / opt.cost if opt.cost > 0 else 1.0
-            )
-            samples["ge"].append(gm.energy / gm.cost if gm.cost > 0 else 1.0)
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(load * 100), trials),
+            {"n_tasks": n_tasks, "load": load},
+            jobs=jobs,
+            label=f"fig_r4[load={load}]",
+        )
         table.add_row(
             load,
-            summarize(samples["oa"]).mean,
-            summarize(samples["oe"]).mean,
-            summarize(samples["ga"]).mean,
-            summarize(samples["ge"]).mean,
+            summarize([f["oa"] for f in fragments]).mean,
+            summarize([f["oe"] for f in fragments]).mean,
+            summarize([f["ga"] for f in fragments]).mean,
+            summarize([f["ge"] for f in fragments]).mean,
         )
     return table
 

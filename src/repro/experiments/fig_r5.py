@@ -14,7 +14,34 @@ from __future__ import annotations
 
 from repro.analysis import ExperimentTable, normalized_ratio, summarize
 from repro.core.rejection import RejectionProblem, exhaustive, greedy_marginal
-from repro.experiments.common import standard_instance, trial_rngs, xscale_energy
+from repro.experiments.common import standard_instance, trial_rng, xscale_energy
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance solved at every level count plus the ideal processor."""
+    rng = trial_rng(seed_tuple)
+    ideal = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    ideal_opt = exhaustive(ideal)
+    reference = ideal_opt.cost
+    fragment = {
+        "ideal": {
+            "opt": normalized_ratio(ideal_opt.cost, reference),
+            "gm": normalized_ratio(greedy_marginal(ideal).cost, reference),
+        }
+    }
+    for lv in params["level_counts"]:
+        discrete = RejectionProblem(
+            tasks=ideal.tasks,
+            energy_fn=xscale_energy(kind="discrete", levels=lv),
+        )
+        fragment[lv] = {
+            "opt": normalized_ratio(exhaustive(discrete).cost, reference),
+            "gm": normalized_ratio(greedy_marginal(discrete).cost, reference),
+        }
+    return fragment
 
 
 def run(
@@ -25,6 +52,7 @@ def run(
     load: float = 1.2,
     level_counts: tuple[int, ...] = (2, 4, 8, 16),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -39,33 +67,18 @@ def run(
             "expected: -> 1.0 as levels grow; 'inf' row levels means ideal",
         ],
     )
-    rows: dict[object, dict[str, list[float]]] = {
-        lv: {"opt": [], "gm": []} for lv in (*level_counts, "ideal")
-    }
-    for rng in trial_rngs(seed, trials):
-        ideal = standard_instance(rng, n_tasks=n_tasks, load=load)
-        ideal_opt = exhaustive(ideal)
-        reference = ideal_opt.cost
-        rows["ideal"]["opt"].append(normalized_ratio(ideal_opt.cost, reference))
-        rows["ideal"]["gm"].append(
-            normalized_ratio(greedy_marginal(ideal).cost, reference)
-        )
-        for lv in level_counts:
-            discrete = RejectionProblem(
-                tasks=ideal.tasks,
-                energy_fn=xscale_energy(kind="discrete", levels=lv),
-            )
-            rows[lv]["opt"].append(
-                normalized_ratio(exhaustive(discrete).cost, reference)
-            )
-            rows[lv]["gm"].append(
-                normalized_ratio(greedy_marginal(discrete).cost, reference)
-            )
+    fragments = map_trials(
+        _trial,
+        trial_seeds(seed, trials),
+        {"n_tasks": n_tasks, "load": load, "level_counts": tuple(level_counts)},
+        jobs=jobs,
+        label="fig_r5",
+    )
     for lv in (*level_counts, "ideal"):
         table.add_row(
             str(lv),
-            summarize(rows[lv]["opt"]).mean,
-            summarize(rows[lv]["gm"]).mean,
+            summarize([f[lv]["opt"] for f in fragments]).mean,
+            summarize([f[lv]["gm"] for f in fragments]).mean,
         )
     return table
 

@@ -26,7 +26,37 @@ from repro.analysis import ExperimentTable, normalized_ratio, summarize
 from repro.core.rejection import RejectionProblem, exhaustive, greedy_marginal
 from repro.energy import ContinuousEnergyFunction, CriticalSpeedEnergyFunction
 from repro.power import PolynomialPowerModel
-from repro.experiments.common import DEADLINE, standard_instance, trial_rngs
+from repro.experiments.common import DEADLINE, standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance: aware and blind policy ratios to the true optimum."""
+    rng = trial_rng(seed_tuple)
+    true_model = PolynomialPowerModel(
+        beta0=params["beta0"], beta1=1.52, alpha=3.0
+    )
+    blind_model = PolynomialPowerModel(beta0=0.0, beta1=1.52, alpha=3.0)
+    true_g = CriticalSpeedEnergyFunction(true_model, DEADLINE)
+    problem = standard_instance(
+        rng,
+        n_tasks=params["n_tasks"],
+        load=params["load"],
+        penalty_scale=params["penalty_scale"],
+        energy_fn=true_g,
+    )
+    opt = exhaustive(problem)
+    aware = greedy_marginal(problem)
+    blind_problem = RejectionProblem(
+        tasks=problem.tasks,
+        energy_fn=ContinuousEnergyFunction(blind_model, DEADLINE),
+    )
+    blind_pick = greedy_marginal(blind_problem)
+    blind_cost = problem.cost(blind_pick.accepted).total
+    return {
+        "aware": normalized_ratio(aware.cost, opt.cost),
+        "blind": normalized_ratio(blind_cost, opt.cost),
+    }
 
 
 def run(
@@ -38,6 +68,7 @@ def run(
     penalty_scale: float = 1.0,
     beta0_values: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.35, 0.5),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -53,33 +84,22 @@ def run(
         ],
     )
     for beta0 in beta0_values:
-        true_model = PolynomialPowerModel(beta0=beta0, beta1=1.52, alpha=3.0)
-        blind_model = PolynomialPowerModel(beta0=0.0, beta1=1.52, alpha=3.0)
-        aware_ratios: list[float] = []
-        blind_ratios: list[float] = []
-        for rng in trial_rngs(seed + int(beta0 * 1000), trials):
-            true_g = CriticalSpeedEnergyFunction(true_model, DEADLINE)
-            problem = standard_instance(
-                rng,
-                n_tasks=n_tasks,
-                load=load,
-                penalty_scale=penalty_scale,
-                energy_fn=true_g,
-            )
-            opt = exhaustive(problem)
-            aware = greedy_marginal(problem)
-            blind_problem = RejectionProblem(
-                tasks=problem.tasks,
-                energy_fn=ContinuousEnergyFunction(blind_model, DEADLINE),
-            )
-            blind_pick = greedy_marginal(blind_problem)
-            blind_cost = problem.cost(blind_pick.accepted).total
-            aware_ratios.append(normalized_ratio(aware.cost, opt.cost))
-            blind_ratios.append(normalized_ratio(blind_cost, opt.cost))
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(beta0 * 1000), trials),
+            {
+                "n_tasks": n_tasks,
+                "load": load,
+                "penalty_scale": penalty_scale,
+                "beta0": beta0,
+            },
+            jobs=jobs,
+            label=f"fig_r6[beta0={beta0}]",
+        )
         table.add_row(
             beta0,
-            summarize(aware_ratios).mean,
-            summarize(blind_ratios).mean,
+            summarize([f["aware"] for f in fragments]).mean,
+            summarize([f["blind"] for f in fragments]).mean,
         )
     return table
 

@@ -25,8 +25,33 @@ from repro.core.rejection import (
     pooled_lower_bound,
     rand_reject,
 )
-from repro.experiments.common import trial_rngs, xscale_energy
+from repro.experiments.common import derived_rng, trial_rng, xscale_energy
+from repro.runner import map_trials, trial_seeds
 from repro.tasks import frame_instance
+
+
+def _trial(seed_tuple, params):
+    """One multiprocessor instance: each policy's ratio to the bound."""
+    rng = trial_rng(seed_tuple)
+    tasks = frame_instance(
+        rng,
+        n_tasks=params["n"],
+        load=params["load_per_core"] * params["m"],
+        penalty_model="energy",
+        penalty_scale=2.0,
+    )
+    problem = MultiprocRejectionProblem(
+        tasks=tasks, energy_fn=xscale_energy(), m=params["m"]
+    )
+    bound = pooled_lower_bound(problem)
+    return {
+        "ltf": normalized_ratio(ltf_reject(problem).cost, bound),
+        "gg": normalized_ratio(global_greedy_reject(problem).cost, bound),
+        "rand": normalized_ratio(
+            rand_reject(problem, derived_rng(seed_tuple, "rand_reject")).cost,
+            bound,
+        ),
+    }
 
 
 def run(
@@ -37,6 +62,7 @@ def run(
     tasks_per_core: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0),
     load_per_core: float = 1.4,
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -53,38 +79,22 @@ def run(
             "at high tasks/core; ratios shrink as tasks/core grows",
         ],
     )
-    energy_fn = xscale_energy()
     for m in processors:
         for ratio in tasks_per_core:
             n = max(m, math.floor(ratio * m))
-            samples = {"ltf": [], "gg": [], "rand": []}
-            for rng in trial_rngs(seed + 97 * m + int(ratio * 10), trials):
-                tasks = frame_instance(
-                    rng,
-                    n_tasks=n,
-                    load=load_per_core * m,
-                    penalty_model="energy",
-                    penalty_scale=2.0,
-                )
-                problem = MultiprocRejectionProblem(
-                    tasks=tasks, energy_fn=energy_fn, m=m
-                )
-                bound = pooled_lower_bound(problem)
-                samples["ltf"].append(
-                    normalized_ratio(ltf_reject(problem).cost, bound)
-                )
-                samples["gg"].append(
-                    normalized_ratio(global_greedy_reject(problem).cost, bound)
-                )
-                samples["rand"].append(
-                    normalized_ratio(rand_reject(problem, rng).cost, bound)
-                )
+            fragments = map_trials(
+                _trial,
+                trial_seeds(seed + 97 * m + int(ratio * 10), trials),
+                {"m": m, "n": n, "load_per_core": load_per_core},
+                jobs=jobs,
+                label=f"fig_r7[m={m},tpc={ratio}]",
+            )
             table.add_row(
                 m,
                 ratio,
-                summarize(samples["ltf"]).mean,
-                summarize(samples["gg"]).mean,
-                summarize(samples["rand"]).mean,
+                summarize([f["ltf"] for f in fragments]).mean,
+                summarize([f["gg"] for f in fragments]).mean,
+                summarize([f["rand"] for f in fragments]).mean,
             )
     return table
 

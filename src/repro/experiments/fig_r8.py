@@ -20,13 +20,36 @@ from __future__ import annotations
 
 from repro.analysis import ExperimentTable, normalized_ratio, summarize
 from repro.core.rejection import exhaustive, greedy_marginal, greedy_ordered
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
 
 ORDERINGS = {
     "rho/c": lambda t: t.penalty_density,
     "rho": lambda t: t.penalty,
     "-c": lambda t: -t.cycles,
 }
+
+
+def _trial(seed_tuple, params):
+    """One instance: every ordering's ratio to the optimum."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng,
+        n_tasks=params["n_tasks"],
+        load=params["load"],
+        penalty_model=params["penalty_model"],
+    )
+    opt = exhaustive(problem)
+    fragment = {
+        name: normalized_ratio(
+            greedy_ordered(problem, key, name=f"greedy[{name}]").cost, opt.cost
+        )
+        for name, key in ORDERINGS.items()
+    }
+    fragment["marginal"] = normalized_ratio(
+        greedy_marginal(problem).cost, opt.cost
+    )
+    return fragment
 
 
 def run(
@@ -37,6 +60,7 @@ def run(
     loads: tuple[float, ...] = (0.8, 1.2, 1.8),
     penalty_models: tuple[str, ...] = ("energy", "inverse", "proportional"),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the ablation and return the result table."""
     if quick:
@@ -52,26 +76,21 @@ def run(
     )
     for model in penalty_models:
         for load in loads:
-            ratios: dict[str, list[float]] = {
-                **{name: [] for name in ORDERINGS},
-                "marginal": [],
-            }
-            for rng in trial_rngs(seed + int(load * 100), trials):
-                problem = standard_instance(
-                    rng, n_tasks=n_tasks, load=load, penalty_model=model
-                )
-                opt = exhaustive(problem)
-                for name, key in ORDERINGS.items():
-                    sol = greedy_ordered(problem, key, name=f"greedy[{name}]")
-                    ratios[name].append(normalized_ratio(sol.cost, opt.cost))
-                ratios["marginal"].append(
-                    normalized_ratio(greedy_marginal(problem).cost, opt.cost)
-                )
+            fragments = map_trials(
+                _trial,
+                trial_seeds(seed + int(load * 100), trials),
+                {"n_tasks": n_tasks, "load": load, "penalty_model": model},
+                jobs=jobs,
+                label=f"fig_r8[{model},load={load}]",
+            )
             table.add_row(
                 model,
                 load,
-                *(summarize(ratios[name]).mean for name in ORDERINGS),
-                summarize(ratios["marginal"]).mean,
+                *(
+                    summarize([f[name] for f in fragments]).mean
+                    for name in ORDERINGS
+                ),
+                summarize([f["marginal"] for f in fragments]).mean,
             )
     return table
 

@@ -24,9 +24,36 @@ from repro.core.rejection import (
     exhaustive,
     run_online,
 )
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
 
 THETAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _policies():
+    """The fixed admission-policy roster (rebuilt per trial: stateless)."""
+    return [
+        *(ThresholdPolicy(theta) for theta in THETAS),
+        ThresholdPolicy(1.0, reserve=True),
+        AcceptIfFeasible(),
+        RejectAll(),
+    ]
+
+
+def _trial(seed_tuple, params):
+    """One shuffled arrival order: each policy's ratio to offline opt."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    opt = exhaustive(problem).cost
+    arrival = list(rng.permutation(problem.n))
+    return {
+        policy.name: normalized_ratio(
+            run_online(problem, policy, order=arrival).cost, opt
+        )
+        for policy in _policies()
+    }
 
 
 def run(
@@ -36,16 +63,12 @@ def run(
     n_tasks: int = 12,
     loads: tuple[float, ...] = (0.8, 1.5, 2.5),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
         trials, n_tasks, loads = 6, 8, (1.5,)
-    policies = [
-        *(ThresholdPolicy(theta) for theta in THETAS),
-        ThresholdPolicy(1.0, reserve=True),
-        AcceptIfFeasible(),
-        RejectAll(),
-    ]
+    policies = _policies()
     table = ExperimentTable(
         name="fig_r9",
         title=f"Online admission: cost / offline optimal (n={n_tasks}, "
@@ -60,16 +83,19 @@ def run(
         ],
     )
     for load in loads:
-        ratios: dict[str, list[float]] = {p.name: [] for p in policies}
-        for rng in trial_rngs(seed + int(load * 100), trials):
-            problem = standard_instance(rng, n_tasks=n_tasks, load=load)
-            opt = exhaustive(problem).cost
-            arrival = list(rng.permutation(problem.n))
-            for policy in policies:
-                sol = run_online(problem, policy, order=arrival)
-                ratios[policy.name].append(normalized_ratio(sol.cost, opt))
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(load * 100), trials),
+            {"n_tasks": n_tasks, "load": load},
+            jobs=jobs,
+            label=f"fig_r9[load={load}]",
+        )
         table.add_row(
-            load, *(summarize(ratios[p.name]).mean for p in policies)
+            load,
+            *(
+                summarize([f[p.name] for f in fragments]).mean
+                for p in policies
+            ),
         )
     return table
 

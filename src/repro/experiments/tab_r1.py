@@ -22,7 +22,30 @@ import time
 
 from repro.analysis import ExperimentTable, normalized_ratio, summarize
 from repro.core.rejection import accept_all_repair, branch_and_bound, fptas
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
+
+
+def _trial(seed_tuple, params):
+    """One instance solved at every ε, seeded and weak-seeded."""
+    rng = trial_rng(seed_tuple)
+    problem = standard_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"]
+    )
+    opt_cost = branch_and_bound(problem).cost
+    weak_seed = accept_all_repair(problem)
+    fragment = {}
+    for eps in params["epsilons"]:
+        start = time.perf_counter()
+        sol = fptas(problem, eps=eps)
+        runtime_ms = (time.perf_counter() - start) * 1e3
+        weak = fptas(problem, eps=eps, seed_solution=weak_seed)
+        fragment[eps] = {
+            "ratio": normalized_ratio(sol.cost, opt_cost),
+            "weak": normalized_ratio(weak.cost, opt_cost),
+            "runtime_ms": runtime_ms,
+        }
+    return fragment
 
 
 def run(
@@ -33,6 +56,7 @@ def run(
     load: float = 1.5,
     epsilons: tuple[float, ...] = (1.0, 0.5, 0.25, 0.1, 0.05),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -55,32 +79,23 @@ def run(
             "as eps -> 0; runtime ~ 1/eps",
         ],
     )
-    instances = []
-    for rng in trial_rngs(seed, trials):
-        problem = standard_instance(rng, n_tasks=n_tasks, load=load)
-        instances.append(
-            (problem, branch_and_bound(problem).cost, accept_all_repair(problem))
-        )
+    fragments = map_trials(
+        _trial,
+        trial_seeds(seed, trials),
+        {"n_tasks": n_tasks, "load": load, "epsilons": tuple(epsilons)},
+        jobs=jobs,
+        label="tab_r1",
+    )
     for eps in epsilons:
-        ratios: list[float] = []
-        weak_ratios: list[float] = []
-        runtimes: list[float] = []
-        for problem, opt_cost, weak_seed in instances:
-            start = time.perf_counter()
-            sol = fptas(problem, eps=eps)
-            runtimes.append((time.perf_counter() - start) * 1e3)
-            ratios.append(normalized_ratio(sol.cost, opt_cost))
-            weak = fptas(problem, eps=eps, seed_solution=weak_seed)
-            weak_ratios.append(normalized_ratio(weak.cost, opt_cost))
-        agg = summarize(ratios)
-        weak_agg = summarize(weak_ratios)
+        agg = summarize([f[eps]["ratio"] for f in fragments])
+        weak_agg = summarize([f[eps]["weak"] for f in fragments])
         table.add_row(
             eps,
             agg.mean,
             agg.maximum,
             weak_agg.mean,
             weak_agg.maximum,
-            summarize(runtimes).mean,
+            summarize([f[eps]["runtime_ms"] for f in fragments]).mean,
         )
     return table
 

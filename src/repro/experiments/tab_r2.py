@@ -20,10 +20,51 @@ from repro.core.rejection import (
     greedy_marginal,
     periodic_problem,
 )
-from repro.experiments.common import trial_rngs
+from repro.experiments.common import trial_rng
 from repro.power import xscale_power_model
+from repro.runner import map_trials, trial_seeds
 from repro.sched import simulate_edf
 from repro.tasks import periodic_instance
+
+
+def _trial(seed_tuple, params):
+    """One periodic instance: analytic vs simulated energy."""
+    rng = trial_rng(seed_tuple)
+    model = xscale_power_model()
+    tasks = periodic_instance(
+        rng,
+        n_tasks=params["n_tasks"],
+        total_utilization=params["u"],
+        penalty_scale=5.0,
+    )
+    problem = periodic_problem(tasks, continuous_energy(model))
+    sol = greedy_marginal(problem)
+    accepted = accepted_periodic_tasks(sol, tasks)
+    fragment = {
+        "acc_u": accepted.total_utilization if len(accepted) else 0.0,
+        "analytic": sol.energy,
+        "simulated": 0.0,
+        "err": 0.0,
+        "misses": 0,
+    }
+    if len(accepted) == 0:
+        return fragment
+    horizon = float(tasks.hyper_period)
+    # The analytic (leakage-blind continuous) model runs exactly at
+    # the accepted utilisation; edf_speed would clamp to the
+    # critical speed, which belongs to the leakage-aware model.
+    result = simulate_edf(
+        accepted,
+        model,
+        speed=accepted.total_utilization,
+        horizon=horizon,
+    )
+    dynamic = result.energy_active - model.static_power * result.busy_time
+    scale = max(sol.energy, 1e-12)
+    fragment["simulated"] = dynamic
+    fragment["err"] = abs(dynamic - sol.energy) / scale
+    fragment["misses"] = len(result.misses)
+    return fragment
 
 
 def run(
@@ -33,6 +74,7 @@ def run(
     n_tasks: int = 8,
     utilizations: tuple[float, ...] = (0.4, 0.7, 1.0, 1.3, 1.6),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the validation sweep and return the result table."""
     if quick:
@@ -53,48 +95,21 @@ def run(
             "expected: rel_err ~ 0, misses = 0 in every row",
         ],
     )
-    model = xscale_power_model()
     for u in utilizations:
-        acc_u, analytic, simulated, errors, misses = [], [], [], [], 0
-        for rng in trial_rngs(seed + int(u * 100), trials):
-            tasks = periodic_instance(
-                rng, n_tasks=n_tasks, total_utilization=u, penalty_scale=5.0
-            )
-            problem = periodic_problem(tasks, continuous_energy(model))
-            sol = greedy_marginal(problem)
-            accepted = accepted_periodic_tasks(sol, tasks)
-            acc_u.append(
-                accepted.total_utilization if len(accepted) else 0.0
-            )
-            analytic.append(sol.energy)
-            if len(accepted) == 0:
-                simulated.append(0.0)
-                errors.append(0.0)
-                continue
-            horizon = float(tasks.hyper_period)
-            # The analytic (leakage-blind continuous) model runs exactly at
-            # the accepted utilisation; edf_speed would clamp to the
-            # critical speed, which belongs to the leakage-aware model.
-            result = simulate_edf(
-                accepted,
-                model,
-                speed=accepted.total_utilization,
-                horizon=horizon,
-            )
-            misses += len(result.misses)
-            dynamic = (
-                result.energy_active - model.static_power * result.busy_time
-            )
-            simulated.append(dynamic)
-            scale = max(sol.energy, 1e-12)
-            errors.append(abs(dynamic - sol.energy) / scale)
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + int(u * 100), trials),
+            {"n_tasks": n_tasks, "u": u},
+            jobs=jobs,
+            label=f"tab_r2[U={u}]",
+        )
         table.add_row(
             u,
-            summarize(acc_u).mean,
-            summarize(analytic).mean,
-            summarize(simulated).mean,
-            summarize(errors).maximum,
-            misses,
+            summarize([f["acc_u"] for f in fragments]).mean,
+            summarize([f["analytic"] for f in fragments]).mean,
+            summarize([f["simulated"] for f in fragments]).mean,
+            summarize([f["err"] for f in fragments]).maximum,
+            sum(f["misses"] for f in fragments),
         )
     return table
 

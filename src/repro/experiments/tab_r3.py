@@ -16,10 +16,38 @@ import time
 from repro.analysis import ExperimentTable, normalized_ratio, summarize
 from repro.core.rejection import RejectionProblem, dp_cycles
 from repro.energy import ContinuousEnergyFunction
-from repro.experiments.common import trial_rngs
+from repro.experiments.common import trial_rng
 from repro.power import xscale_power_model
+from repro.runner import map_trials, trial_seeds
 from repro.tasks import frame_instance
 from repro.tasks.generators import scaled_capacity
+
+
+def _trial(seed_tuple, params):
+    """One integer-grid instance solved at every quantum."""
+    rng = trial_rng(seed_tuple)
+    grid = params["grid"]
+    deadline, _ = scaled_capacity(
+        deadline=1.0, s_max=1.0, integer_cycles=grid
+    )
+    tasks = frame_instance(
+        rng, n_tasks=params["n_tasks"], load=params["load"], integer_cycles=grid
+    )
+    problem = RejectionProblem(
+        tasks=tasks,
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline),
+    )
+    exact_cost = dp_cycles(problem, quantum=1.0).cost
+    fragment = {}
+    for quantum in params["quanta"]:
+        start = time.perf_counter()
+        sol = dp_cycles(problem, quantum=float(quantum), round_cycles=True)
+        runtime_ms = (time.perf_counter() - start) * 1e3
+        fragment[quantum] = {
+            "ratio": normalized_ratio(sol.cost, exact_cost),
+            "runtime_ms": runtime_ms,
+        }
+    return fragment
 
 
 def run(
@@ -31,6 +59,7 @@ def run(
     grid: int = 400,
     quanta: tuple[int, ...] = (1, 2, 5, 10, 20),
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the ablation and return the result table."""
     if quick:
@@ -44,28 +73,26 @@ def run(
             "expected: ratio degrades gracefully, runtime ~ 1/quantum",
         ],
     )
-    deadline, s_max = scaled_capacity(deadline=1.0, s_max=1.0, integer_cycles=grid)
-    model = xscale_power_model()
-    instances: list[tuple[RejectionProblem, float]] = []
-    for rng in trial_rngs(seed, trials):
-        tasks = frame_instance(
-            rng, n_tasks=n_tasks, load=load, integer_cycles=grid
-        )
-        problem = RejectionProblem(
-            tasks=tasks,
-            energy_fn=ContinuousEnergyFunction(model, deadline),
-        )
-        instances.append((problem, dp_cycles(problem, quantum=1.0).cost))
+    fragments = map_trials(
+        _trial,
+        trial_seeds(seed, trials),
+        {
+            "n_tasks": n_tasks,
+            "load": load,
+            "grid": grid,
+            "quanta": tuple(quanta),
+        },
+        jobs=jobs,
+        label="tab_r3",
+    )
     for quantum in quanta:
-        ratios: list[float] = []
-        runtimes: list[float] = []
-        for problem, exact_cost in instances:
-            start = time.perf_counter()
-            sol = dp_cycles(problem, quantum=float(quantum), round_cycles=True)
-            runtimes.append((time.perf_counter() - start) * 1e3)
-            ratios.append(normalized_ratio(sol.cost, exact_cost))
-        agg = summarize(ratios)
-        table.add_row(quantum, agg.mean, agg.maximum, summarize(runtimes).mean)
+        agg = summarize([f[quantum]["ratio"] for f in fragments])
+        table.add_row(
+            quantum,
+            agg.mean,
+            agg.maximum,
+            summarize([f[quantum]["runtime_ms"] for f in fragments]).mean,
+        )
     return table
 
 

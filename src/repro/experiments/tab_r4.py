@@ -22,10 +22,45 @@ from repro.core.rejection import (
     lp_rounding,
     pareto_exact,
 )
-from repro.experiments.common import standard_instance, trial_rngs
+from repro.experiments.common import standard_instance, trial_rng
+from repro.runner import map_trials, trial_seeds
 
 #: Beyond this, branch-and-bound is skipped (exponential tail).
 BB_LIMIT = 20
+
+#: name -> solver, in presentation order (module-level for picklability).
+SOLVERS = [
+    ("greedy_marginal", greedy_marginal),
+    ("lp_rounding", lp_rounding),
+    ("fptas(0.1)", lambda p: fptas(p, eps=0.1)),
+    ("pareto_exact", pareto_exact),
+    ("branch_and_bound", branch_and_bound),
+]
+
+
+def _trial(seed_tuple, params):
+    """One instance: per-solver runtime (ms), with the exactness check."""
+    rng = trial_rng(seed_tuple)
+    n = params["n"]
+    problem = standard_instance(rng, n_tasks=n, load=params["load"])
+    fragment = {}
+    reference = None
+    for name, solver in SOLVERS:
+        if name == "branch_and_bound" and n > BB_LIMIT:
+            continue
+        start = time.perf_counter()
+        sol = solver(problem)
+        fragment[name] = (time.perf_counter() - start) * 1e3
+        if name == "pareto_exact":
+            reference = sol.cost
+        elif name == "branch_and_bound" and reference is not None:
+            # Exactness cross-check rides along for free.
+            if abs(sol.cost - reference) > 1e-6 * max(reference, 1.0):
+                raise AssertionError(
+                    f"exact solvers disagree at n={n}: "
+                    f"{sol.cost} vs {reference}"
+                )
+    return fragment
 
 
 def run(
@@ -35,6 +70,7 @@ def run(
     sizes: tuple[int, ...] = (10, 20, 40, 80, 160),
     load: float = 1.5,
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Execute the sweep and return the result table."""
     if quick:
@@ -57,38 +93,23 @@ def run(
             "n~100 (frontier-dependent); b&b exponential-tailed",
         ],
     )
-    solvers = [
-        ("greedy_marginal", greedy_marginal),
-        ("lp_rounding", lp_rounding),
-        ("fptas(0.1)", lambda p: fptas(p, eps=0.1)),
-        ("pareto_exact", pareto_exact),
-        ("branch_and_bound", branch_and_bound),
-    ]
     for n in sizes:
-        runtimes: dict[str, list[float]] = {name: [] for name, _ in solvers}
-        for rng in trial_rngs(seed + n, trials):
-            problem = standard_instance(rng, n_tasks=n, load=load)
-            reference = None
-            for name, solver in solvers:
-                if name == "branch_and_bound" and n > BB_LIMIT:
-                    continue
-                start = time.perf_counter()
-                sol = solver(problem)
-                runtimes[name].append((time.perf_counter() - start) * 1e3)
-                if name == "pareto_exact":
-                    reference = sol.cost
-                elif name == "branch_and_bound" and reference is not None:
-                    # Exactness cross-check rides along for free.
-                    if abs(sol.cost - reference) > 1e-6 * max(reference, 1.0):
-                        raise AssertionError(
-                            f"exact solvers disagree at n={n}: "
-                            f"{sol.cost} vs {reference}"
-                        )
+        fragments = map_trials(
+            _trial,
+            trial_seeds(seed + n, trials),
+            {"n": n, "load": load},
+            jobs=jobs,
+            label=f"tab_r4[n={n}]",
+        )
+        runtimes = {
+            name: [f[name] for f in fragments if name in f]
+            for name, _ in SOLVERS
+        }
         table.add_row(
             n,
             *(
                 summarize(runtimes[name]).mean if runtimes[name] else "-"
-                for name, _ in solvers
+                for name, _ in SOLVERS
             ),
         )
     return table

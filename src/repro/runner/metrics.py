@@ -1,0 +1,121 @@
+"""Run-time instrumentation for the experiment runner.
+
+A :class:`RunMetrics` collector travels with one ``run_experiment``
+invocation and accumulates per-trial wall times, the worker count used
+for each fan-out, and the cache outcome.  Experiments do not thread the
+collector through their signatures: :func:`repro.runner.pool.map_trials`
+looks up the *active* collector (installed with :func:`collecting`) and
+records into it, so the same experiment code is instrumented when driven
+by the runner and free of overhead when called directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+__all__ = ["RunMetrics", "collecting", "current_collector"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters for one experiment run.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment name (``fig_r1``).
+    jobs:
+        Worker count requested for the run (1 = in-process serial).
+    cache:
+        Cache outcome: ``"hit"``, ``"miss"``, or ``"off"``.
+    wall_seconds:
+        End-to-end wall time of the run (including cache I/O).
+    trial_seconds:
+        ``(label, seconds)`` per executed trial, in merge order.
+    pool_jobs:
+        Worker counts actually used by each ``map_trials`` fan-out.
+    """
+
+    experiment: str
+    jobs: int = 1
+    cache: str = "off"
+    wall_seconds: float = 0.0
+    trial_seconds: list[tuple[str, float]] = field(default_factory=list)
+    pool_jobs: list[int] = field(default_factory=list)
+
+    def record_trial(self, seconds: float, label: str | None = None) -> None:
+        """Record one trial's in-worker wall time."""
+        self.trial_seconds.append((label or self.experiment, seconds))
+
+    def record_pool(self, jobs: int) -> None:
+        """Record the worker count one fan-out actually used."""
+        self.pool_jobs.append(jobs)
+
+    @property
+    def trials(self) -> int:
+        """Number of trials executed (0 on a cache hit)."""
+        return len(self.trial_seconds)
+
+    @property
+    def trial_total_seconds(self) -> float:
+        """Summed in-worker trial time (CPU-side work, all workers)."""
+        return sum(dt for _, dt in self.trial_seconds)
+
+    @property
+    def max_workers(self) -> int:
+        """The widest fan-out used (1 when everything ran serially)."""
+        return max(self.pool_jobs, default=1)
+
+    def summary_note(self) -> str:
+        """One-line summary, appended to ``ExperimentTable.notes``."""
+        return (
+            f"runner: jobs={self.jobs} cache={self.cache} "
+            f"trials={self.trials} wall={self.wall_seconds:.3f}s"
+        )
+
+    def report(self) -> str:
+        """The multi-line ``--timings`` report."""
+        lines = [
+            f"-- timings: {self.experiment} --",
+            f"jobs requested   : {self.jobs}",
+            f"workers used     : {self.max_workers}",
+            f"cache            : {self.cache}",
+            f"wall time        : {self.wall_seconds:.3f} s",
+            f"trials executed  : {self.trials}",
+        ]
+        if self.trial_seconds:
+            total = self.trial_total_seconds
+            times = sorted(dt for _, dt in self.trial_seconds)
+            lines += [
+                f"trial time (sum) : {total:.3f} s",
+                f"trial time (mean): {total / len(times):.4f} s",
+                f"trial time (max) : {times[-1]:.4f} s",
+            ]
+            if self.wall_seconds > 0:
+                lines.append(
+                    f"parallel speedup : {total / self.wall_seconds:.2f}x "
+                    "(trial-sum / wall)"
+                )
+        return "\n".join(lines)
+
+
+#: The collector ``map_trials`` records into, when one is installed.
+_ACTIVE: RunMetrics | None = None
+
+
+def current_collector() -> RunMetrics | None:
+    """The collector installed by the innermost :func:`collecting`."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def collecting(metrics: RunMetrics):
+    """Install *metrics* as the active collector for the ``with`` body."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = metrics
+    try:
+        yield metrics
+    finally:
+        _ACTIVE = previous

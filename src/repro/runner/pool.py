@@ -1,0 +1,111 @@
+"""Trial-level fan-out for the experiment modules.
+
+Every experiment sweep point is ``trials`` independent repetitions, each
+fully determined by a seed tuple (the same ``[seed, t]`` sequence that
+``trial_rngs`` feeds ``np.random.default_rng``).  :func:`map_trials`
+runs a pure, module-level *trial function* over those seed tuples —
+serially when ``jobs=1`` (no pool, no pickling, no overhead), or on a
+shared :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs>1``
+— and always returns the per-trial fragments **in seed order**, so the
+merged table is identical regardless of worker completion order.
+
+The trial function contract:
+
+* it is a module-level callable ``fn(seed_tuple, params)`` (so worker
+  processes can import it by reference);
+* it derives *every* random draw from ``seed_tuple`` — no closure over
+  generators, no module-level RNG state;
+* ``params`` and the returned fragment are plain picklable data.
+
+Executors are created lazily, keyed by worker count, reused across
+sweep points and experiments in the same process, and shut down at
+interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runner.metrics import current_collector
+
+__all__ = ["map_trials", "trial_seeds", "shutdown_pools"]
+
+#: Live executors, keyed by worker count.
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def trial_seeds(seed: int, trials: int) -> list[tuple[int, int]]:
+    """The per-trial seed tuples matching ``trial_rngs(seed, trials)``."""
+    return [(int(seed), t) for t in range(trials)]
+
+
+def shutdown_pools() -> None:
+    """Shut down every pooled executor (idempotent)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _get_executor(jobs: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(jobs)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+        _EXECUTORS[jobs] = executor
+    return executor
+
+
+def _timed_call(trial_fn, seed_tuple, params):
+    """Worker-side wrapper: run one trial, return (fragment, seconds)."""
+    start = time.perf_counter()
+    fragment = trial_fn(seed_tuple, params)
+    return fragment, time.perf_counter() - start
+
+
+def map_trials(
+    trial_fn: Callable,
+    seeds: Iterable[Sequence[int]],
+    params: dict | None = None,
+    *,
+    jobs: int = 1,
+    label: str | None = None,
+) -> list:
+    """Run ``trial_fn(seed_tuple, params)`` for every seed tuple.
+
+    Returns the fragments in the order of *seeds*, regardless of which
+    worker finishes first.  ``jobs=1`` bypasses the pool entirely and
+    runs in-process; ``jobs`` below 1 is an error.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    seed_list = [tuple(int(part) for part in seed) for seed in seeds]
+    collector = current_collector()
+
+    if jobs == 1 or len(seed_list) <= 1:
+        if collector is not None:
+            collector.record_pool(1)
+        fragments = []
+        for seed_tuple in seed_list:
+            fragment, seconds = _timed_call(trial_fn, seed_tuple, params)
+            if collector is not None:
+                collector.record_trial(seconds, label=label)
+            fragments.append(fragment)
+        return fragments
+
+    workers = min(jobs, len(seed_list))
+    if collector is not None:
+        collector.record_pool(workers)
+    call = functools.partial(_timed_call, trial_fn, params=params)
+    fragments = []
+    # executor.map preserves input order: the deterministic merge.
+    for fragment, seconds in _get_executor(workers).map(call, seed_list):
+        if collector is not None:
+            collector.record_trial(seconds, label=label)
+        fragments.append(fragment)
+    return fragments

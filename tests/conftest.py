@@ -27,6 +27,16 @@ settings.register_profile(
 settings.load_profile("default")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point the runner's result cache at a throwaway directory.
+
+    Keeps every test cache-cold and stops CLI/runner tests from writing
+    into the repository's ``results/.cache``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic NumPy generator."""

@@ -58,3 +58,59 @@ class TestCli:
         main(["run", "fig_r1", "--quick", "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestRunnerFlags:
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--jobs", "-3"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_one_uses_no_pool(self, capsys, monkeypatch):
+        # The jobs=1 path must never touch a process pool.
+        import repro.runner.pool as pool
+
+        def _boom(jobs):
+            raise AssertionError("jobs=1 must bypass the pool")
+
+        monkeypatch.setattr(pool, "_get_executor", _boom)
+        assert main(["run", "fig_r1", "--quick", "--jobs", "1"]) == 0
+        assert "fig_r1" in capsys.readouterr().out
+
+    def test_parallel_output_matches_serial(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["run", "fig_r1", "--quick", "--no-cache", "--jobs", "2"])
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith("# runner:")
+        ]
+        assert strip(serial) == strip(parallel)
+
+    def test_timings_report_printed(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "-- timings: fig_r1 --" in out
+        assert "trials executed" in out
+
+    def test_cache_hit_on_second_run(self, capsys):
+        assert main(["run", "fig_r1", "--quick"]) == 0
+        first = capsys.readouterr().out
+        assert "cache=miss" in first
+        assert main(["run", "fig_r1", "--quick"]) == 0
+        second = capsys.readouterr().out
+        assert "cache=hit" in second
+
+    def test_no_cache_bypasses(self, capsys):
+        assert main(["run", "fig_r1", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig_r1", "--quick", "--no-cache"]) == 0
+        assert "cache=off" in capsys.readouterr().out
