@@ -11,6 +11,21 @@ from __future__ import annotations
 import math
 from typing import Any
 
+#: The single relative tolerance for every capacity/feasibility check in
+#: the package.  A load a few ulp above the capacity (fp noise from
+#: summing task cycles in different orders) must be judged identically by
+#: every algorithm, or differential runs disagree on boundary instances.
+CAPACITY_RTOL = 1e-12
+
+
+def fits(load: float, capacity: float) -> bool:
+    """True when *load* fits *capacity* under the shared fp tolerance.
+
+    The one capacity predicate used by every solver, feasibility check,
+    and partition validator: ``load <= capacity * (1 + CAPACITY_RTOL)``.
+    """
+    return load <= capacity * (1 + CAPACITY_RTOL)
+
 
 def require_positive(name: str, value: float) -> float:
     """Return *value* if it is a finite number > 0, else raise ValueError."""

@@ -13,6 +13,10 @@ Usage::
     repro generate inst.json --n 12 --load 1.5 --seed 7   # random instance
     repro solve inst.json --algorithm fptas --eps 0.05    # solve it
     repro solve inst.json --algorithm pareto_exact -o sol.json
+
+    repro verify --budget 200 --seed 0       # differential solver fuzzing
+    repro verify --quick --seed 0            # CI smoke (small budget)
+    repro verify --out-dir failures/         # write failing reproducers
 """
 
 from __future__ import annotations
@@ -123,6 +127,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the solution as JSON here (default: print summary)",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="fuzz every solver against the exact oracles",
+        description=(
+            "Generate adversarial random instances and differentially "
+            "cross-check heuristics, DPs, FPTAS, and bounds against the "
+            "exhaustive oracles. Failing instances are shrunk and written "
+            "as reproducer JSON replayable with 'repro solve'."
+        ),
+    )
+    verify.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of random instances to check (default 200)",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-budget smoke run for CI (caps --budget at 40)",
+    )
+    verify.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("verify-failures"),
+        metavar="DIR",
+        help="where failing reproducers are written (default verify-failures/)",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing instances as generated, without minimisation",
+    )
     return parser
 
 
@@ -161,7 +201,20 @@ def _cmd_solve(args) -> int:
     from repro.core import rejection
     from repro.io import load_instance, solution_to_dict
 
-    problem = load_instance(args.instance)
+    if not args.eps > 0:
+        print(f"--eps must be > 0, got {args.eps}", file=sys.stderr)
+        return 2
+    try:
+        problem = load_instance(args.instance)
+    except FileNotFoundError:
+        print(f"no such instance file: {args.instance}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"cannot read instance {args.instance}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     solver = getattr(rejection, SOLVERS[args.algorithm])
     if args.algorithm == "fptas":
         solution = solver(problem, eps=args.eps)
@@ -182,6 +235,27 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import run_verification
+
+    if args.budget < 1:
+        print(
+            f"--budget must be a positive integer, got {args.budget}",
+            file=sys.stderr,
+        )
+        return 2
+    budget = min(args.budget, 40) if args.quick else args.budget
+    report = run_verification(
+        budget=budget,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        shrink=not args.no_shrink,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -196,6 +270,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "solve":
         return _cmd_solve(args)
+
+    if args.command == "verify":
+        return _cmd_verify(args)
 
     if args.jobs < 1:
         print(

@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 
 #: Refuse to allocate DP tables beyond this many cells (per stage).
@@ -172,7 +173,7 @@ def dp_penalty(problem: RejectionProblem, *, quantum: float = 1.0) -> RejectionS
     best_p = -1
     for p in np.flatnonzero(np.isfinite(dp)):
         accepted_workload = total - dp[p]
-        if accepted_workload > cap * (1 + 1e-12):
+        if not fits(accepted_workload, cap):
             continue
         cost = g.energy(min(max(accepted_workload, 0.0), cap)) + p * quantum
         if cost < best_cost:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 
+from repro._validation import fits
 from repro.core.rejection.greedy import greedy_marginal
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.core.rejection.relaxation import _minimize_convex, _require_convex
@@ -58,7 +59,7 @@ def exhaustive(problem: RejectionProblem) -> RejectionSolution:
     best_cost = math.inf
     for mask in range(size):
         w = workload[mask]
-        if w > cap * (1 + 1e-12):
+        if not fits(w, cap):
             continue
         cost = g.energy(min(w, cap)) + (total_penalty - accepted_penalty[mask])
         if cost < best_cost:
@@ -175,7 +176,7 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
             return
         # Reject branch first (matches the relaxation's preference).
         dfs(depth + 1, workload, rejected_penalty + penalties[depth])
-        if workload + cycles[depth] <= cap * (1 + 1e-12):
+        if fits(workload + cycles[depth], cap):
             chosen[depth] = True
             dfs(depth + 1, workload + cycles[depth], rejected_penalty)
             chosen[depth] = False

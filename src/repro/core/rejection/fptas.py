@@ -76,17 +76,17 @@ def fptas(
     forced_accept = [
         i
         for i, t in enumerate(problem.tasks)
-        if t.penalty > upper and t.cycles <= cap
+        if t.penalty > upper and problem.fits(t.cycles)
     ]
     # Tasks too large to ever accept are equally out of the DP.
     forced_reject = [
-        i for i, t in enumerate(problem.tasks) if t.cycles > cap
+        i for i, t in enumerate(problem.tasks) if not problem.fits(t.cycles)
     ]
     decided = set(forced_accept) | set(forced_reject)
     candidates = [i for i in range(problem.n) if i not in decided]
 
     base_workload = problem.workload(forced_accept)
-    if base_workload > cap * (1 + 1e-12):
+    if not problem.fits(base_workload):
         # Cannot happen when `upper` comes from a feasible seed: the seed
         # accepts every forced-accept task (rejecting one costs > UB)...
         # unless the seed itself IS infeasible, which solution() forbids.
@@ -116,7 +116,7 @@ def fptas(
     best_p = -1
     for p in np.flatnonzero(np.isfinite(dp)):
         accepted_workload = total - dp[p]
-        if accepted_workload > cap * (1 + 1e-12):
+        if not problem.fits(accepted_workload):
             continue
         proxy_cost = g.energy(min(max(accepted_workload, 0.0), cap)) + p * scale
         if proxy_cost < best_cost:

@@ -35,8 +35,9 @@ _IMPROVE_RTOL = 1e-12
 
 def _acceptable_indices(problem: RejectionProblem) -> list[int]:
     """Indices of tasks that individually fit the capacity."""
-    cap = problem.capacity
-    return [i for i, t in enumerate(problem.tasks) if t.cycles <= cap]
+    return [
+        i for i, t in enumerate(problem.tasks) if problem.fits(t.cycles)
+    ]
 
 
 def _restore_feasibility(
@@ -44,14 +45,13 @@ def _restore_feasibility(
 ) -> None:
     """Reject tasks from *accepted* in *order* until the workload fits."""
     workload = problem.workload(accepted)
-    cap = problem.capacity
     for i in order:
-        if workload <= cap * (1 + 1e-12):
+        if problem.fits(workload):
             return
         if i in accepted:
             accepted.discard(i)
             workload -= problem.tasks[i].cycles
-    if workload > cap * (1 + 1e-12):  # pragma: no cover - order covers all
+    if not problem.fits(workload):  # pragma: no cover - order covers all
         raise AssertionError("feasibility restoration exhausted the order")
 
 
@@ -177,12 +177,11 @@ def reject_random(
     order = list(range(problem.n))
     if rng is not None:
         order = list(rng.permutation(problem.n))
-    cap = problem.capacity
     accepted: set[int] = set()
     workload = 0.0
     for i in order:
         cycles = problem.tasks[i].cycles
-        if workload + cycles <= cap * (1 + 1e-12):
+        if problem.fits(workload + cycles):
             accepted.add(i)
             workload += cycles
     return problem.solution(accepted, algorithm="reject_random")

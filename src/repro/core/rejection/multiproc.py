@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._validation import fits
 from repro.core.rejection.problem import CostBreakdown
 from repro.core.rejection.relaxation import fractional_lower_bound
 from repro.energy.base import EnergyFunction
@@ -84,6 +85,10 @@ class MultiprocRejectionProblem:
         """Per-processor capacity ``s_max · D``."""
         return self.energy_fn.max_workload
 
+    def fits(self, load: float) -> bool:
+        """True when *load* fits one processor (shared fp tolerance)."""
+        return fits(load, self.capacity)
+
     def cost_of(self, partition: Partition) -> CostBreakdown:
         """Cost of a partition (unassigned items are the rejected set)."""
         sizes = [t.cycles for t in self.tasks]
@@ -98,7 +103,7 @@ class MultiprocRejectionProblem:
         partition.validate(self.n)
         sizes = [t.cycles for t in self.tasks]
         for j, load in enumerate(partition.loads(sizes)):
-            if load > self.capacity * (1 + 1e-12):
+            if not self.fits(load):
                 raise ValueError(
                     f"processor {j} overloaded: {load} > {self.capacity}"
                 )
@@ -188,7 +193,7 @@ def _improvement_pass(
             target = None
             target_delta = 0.0
             for j in range(problem.m):
-                if loads[j] + task.cycles > cap * (1 + 1e-12):
+                if not fits(loads[j] + task.cycles, cap):
                     continue
                 marginal = g.energy(loads[j] + task.cycles) - g.energy(loads[j])
                 delta = marginal - task.penalty
@@ -295,7 +300,7 @@ def exhaustive_multiproc(
                 penalty += problem.tasks[i].penalty
             else:
                 loads[c - 1] += sizes[i]
-                if loads[c - 1] > cap * (1 + 1e-12):
+                if not fits(loads[c - 1], cap):
                     feasible = False
                     break
         if not feasible:

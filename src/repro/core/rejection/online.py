@@ -44,7 +44,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro._validation import require_positive
+from repro._validation import fits, require_positive
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.energy.base import EnergyFunction
 from repro.tasks.model import FrameTask
@@ -167,7 +167,7 @@ def run_online(
     workload = 0.0
     for i in sequence:
         task = problem.tasks[i]
-        if workload + task.cycles > cap * (1 + 1e-12):
+        if not fits(workload + task.cycles, cap):
             continue  # cannot admit: would break feasibility forever
         if policy.admit(task, workload, energy_fn):
             accepted.append(i)

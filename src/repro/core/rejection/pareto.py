@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 
+from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 
 #: Refuse to grow the frontier beyond this many states.
@@ -103,7 +104,7 @@ def pareto_frontier(
         accept_branch = [
             _State(s.workload + task.cycles, s.penalty, s, True)
             for s in frontier
-            if s.workload + task.cycles <= cap * (1 + 1e-12)
+            if fits(s.workload + task.cycles, cap)
         ]
         frontier = _merge_prune(reject_branch, accept_branch)
         if len(frontier) > MAX_FRONTIER:
@@ -135,7 +136,7 @@ def pareto_exact(problem: RejectionProblem) -> RejectionSolution:
         accept_branch = [
             _State(s.workload + task.cycles, s.penalty, s, True)
             for s in frontier
-            if s.workload + task.cycles <= cap * (1 + 1e-12)
+            if fits(s.workload + task.cycles, cap)
         ]
         frontier = _merge_prune(reject_branch, accept_branch)
         if len(frontier) > MAX_FRONTIER:

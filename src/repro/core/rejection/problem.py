@@ -17,6 +17,7 @@ import math
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro._validation import fits
 from repro.energy.base import EnergyFunction
 from repro.tasks.model import FrameTaskSet
 
@@ -54,7 +55,9 @@ class RejectionProblem:
         if len(self.tasks) == 0:
             raise ValueError("a rejection problem needs at least one task")
         infeasible = [
-            t.name for t in self.tasks if t.cycles > self.energy_fn.max_workload
+            t.name
+            for t in self.tasks
+            if not fits(t.cycles, self.energy_fn.max_workload)
         ]
         # A single task larger than the capacity can never be accepted;
         # that is legal (it will always be rejected) but worth allowing
@@ -91,6 +94,15 @@ class RejectionProblem:
     def workload(self, accepted: Iterable[int]) -> float:
         """Total cycles of the tasks at *accepted* indices."""
         return sum(self.tasks[i].cycles for i in set(accepted))
+
+    def fits(self, load: float) -> bool:
+        """True when *load* cycles fit the capacity (shared fp tolerance).
+
+        The single capacity predicate every solver must use; mixing it
+        with strict ``<=`` comparisons makes heuristics and exact solvers
+        disagree on tasks whose cycles sit a few ulp above the capacity.
+        """
+        return fits(load, self.capacity)
 
     def is_feasible(self, accepted: Iterable[int]) -> bool:
         """True when the accepted workload fits the capacity."""

@@ -225,7 +225,7 @@ def lp_rounding(problem: RejectionProblem) -> RejectionSolution:
         accepted = set(order)
         workload = problem.workload(accepted)
         for i in order:
-            if workload <= problem.capacity * (1 + 1e-12):
+            if problem.fits(workload):
                 break
             accepted.discard(i)
             workload -= problem.tasks[i].cycles

@@ -26,7 +26,7 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro._validation import require_nonnegative, require_positive
+from repro._validation import fits, require_nonnegative, require_positive
 from repro.core.rejection.problem import CostBreakdown
 from repro.energy.base import EnergyFunction
 from repro.tasks.model import FrameTaskSet
@@ -143,7 +143,7 @@ class TwoPeProblem:
         energy = self.energy_fn.energy(min(dvs_cycles, self.dvs_capacity)) + (
             self.pe_energy(pe_util, any_pe)
         )
-        if dvs_cycles > self.dvs_capacity * (1 + 1e-12):
+        if not fits(dvs_cycles, self.dvs_capacity):
             raise ValueError(
                 f"DVS workload {dvs_cycles} exceeds {self.dvs_capacity}"
             )
@@ -209,7 +209,7 @@ def exhaustive_twope(problem: TwoPeProblem) -> TwoPeSolution:
         for task, where in zip(problem.tasks, placement):
             if where == DVS:
                 dvs += task.cycles
-                if dvs > cap * (1 + 1e-12):
+                if not fits(dvs, cap):
                     ok = False
                     break
             elif where == PE:
@@ -260,7 +260,7 @@ def greedy_twope(problem: TwoPeProblem) -> TwoPeSolution:
     for i in order:
         task = problem.tasks[i]
         options: list[tuple[float, int]] = [(task.penalty, REJECT)]
-        if dvs + task.cycles <= cap * (1 + 1e-12):
+        if fits(dvs + task.cycles, cap):
             marginal = g.energy(min(dvs + task.cycles, cap)) - g.energy(dvs)
             options.append((marginal, DVS))
         if task.pe_utilization <= 1.0 and pe + task.pe_utilization <= 1.0 + 1e-12:
@@ -287,7 +287,7 @@ def greedy_twope(problem: TwoPeProblem) -> TwoPeSolution:
         pe_load = sum(
             t.pe_utilization for t, w in zip(problem.tasks, candidate) if w == PE
         )
-        if dvs_load > cap * (1 + 1e-12) or pe_load > 1.0 + 1e-12:
+        if not fits(dvs_load, cap) or not fits(pe_load, 1.0):
             return math.inf
         penalty = sum(
             t.penalty for t, w in zip(problem.tasks, candidate) if w == REJECT

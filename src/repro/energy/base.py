@@ -15,7 +15,7 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro._validation import require_nonnegative, require_positive
+from repro._validation import fits, require_nonnegative, require_positive
 
 
 @dataclass(frozen=True)
@@ -134,7 +134,7 @@ class EnergyFunction(ABC):
     def is_feasible(self, workload: float) -> bool:
         """True when *workload* cycles fit before the deadline."""
         require_nonnegative("workload", workload)
-        return workload <= self.max_workload * (1 + 1e-12)
+        return fits(workload, self.max_workload)
 
     def marginal(self, workload: float, delta: float) -> float:
         """Energy increase from adding *delta* cycles on top of *workload*.

@@ -55,6 +55,16 @@ class ContinuousEnergyFunction(EnergyFunction):
         """``s_max * D`` cycles (``inf`` for unbounded ideal processors)."""
         return self._model.s_max * self._deadline
 
+    @property
+    def is_convex(self) -> bool:
+        """Always True: no sleep transition exists to kink ``g``.
+
+        Unlike the dormant-enable functions, there is no slack policy
+        switch here — slack just idles — so convexity needs no caveats
+        about ``e_sw`` / ``t_sw``.
+        """
+        return True
+
     def optimal_speed(self, workload: float) -> float:
         """The single constant speed used for *workload* cycles."""
         workload = self._check_workload(workload)

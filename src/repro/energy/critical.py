@@ -10,11 +10,14 @@ policy for ``W`` cycles in ``[0, D]`` is therefore:
   (b) the dormant mode, paying the transition energy ``e_sw`` once, when
   the slack exceeds the break-even time.
 
-With ``e_sw = 0`` the resulting ``g(W)`` is convex (linear at slope
-``P(s*)/s*`` up to ``W = s* D``, then ``D * P(W/D)``).  With ``e_sw > 0``
-the sleep-vs-idle switch introduces one concave kink; algorithms that
-need convexity should call :meth:`CriticalSpeedEnergyFunction.convex_lower_bound`
-(the ``e_sw = 0`` relaxation, a true pointwise lower bound).
+With a zero-overhead dormant mode (``e_sw = t_sw = 0``) the resulting
+``g(W)`` is convex (linear at slope ``P(s*)/s*`` up to ``W = s* D``, then
+``D * P(W/D)``).  Any positive transition overhead breaks that: with
+``e_sw > 0`` the sleep-vs-idle switch introduces one concave kink, and
+with ``t_sw > 0`` alone the slack cost jumps at ``slack == t_sw``.
+Algorithms that need convexity should call
+:meth:`CriticalSpeedEnergyFunction.convex_lower_bound` (the zero-overhead
+relaxation, a true pointwise lower bound).
 """
 
 from __future__ import annotations
@@ -72,8 +75,17 @@ class CriticalSpeedEnergyFunction(EnergyFunction):
 
     @property
     def is_convex(self) -> bool:
-        """True when ``g`` is convex (no sleep energy, or nothing to shed)."""
-        return self._dormant.e_sw == 0.0 or self._model.static_power == 0.0
+        """True when ``g`` is convex (zero-overhead sleep, or nothing to shed).
+
+        Both transition overheads matter: ``e_sw > 0`` adds the concave
+        sleep-vs-idle kink, and ``t_sw > 0`` alone (with ``e_sw == 0``)
+        makes the slack cost jump between ``static_power · slack`` and the
+        free sleep at ``slack == t_sw``, a discontinuity no convex
+        function has.
+        """
+        if self._model.static_power == 0.0:
+            return True
+        return self._dormant.e_sw == 0.0 and self._dormant.t_sw == 0.0
 
     def convex_lower_bound(self) -> "CriticalSpeedEnergyFunction":
         """The ``e_sw = 0`` relaxation: convex and a pointwise lower bound."""

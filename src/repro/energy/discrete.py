@@ -8,9 +8,10 @@ implements that policy plus the leakage-aware refinement: a dormant-enable
 processor never time-shares below its *discrete critical level* (the
 available level with minimum ``P(s)/s``); it runs there and sleeps.
 
-The resulting ``g(W)`` is piecewise linear and convex (one concave kink
-appears only when a positive sleep energy ``e_sw`` flips the slack policy
-from sleeping to idling; see :meth:`DiscreteEnergyFunction.is_convex`).
+The resulting ``g(W)`` is piecewise linear and convex unless a positive
+transition overhead (``e_sw > 0`` *or* ``t_sw > 0``) flips the slack
+policy between sleeping and idling mid-range, which introduces a concave
+kink (see :meth:`DiscreteEnergyFunction.is_convex`).
 """
 
 from __future__ import annotations
@@ -84,6 +85,11 @@ class DiscreteEnergyFunction(EnergyFunction):
         return self._dormant is not None
 
     @property
+    def dormant(self) -> DormantMode | None:
+        """Sleep-transition overheads (None for dormant-disable parts)."""
+        return self._dormant
+
+    @property
     def critical_level(self) -> float:
         """The available level with minimum energy per cycle."""
         return self._critical_level
@@ -95,10 +101,19 @@ class DiscreteEnergyFunction(EnergyFunction):
 
     @property
     def is_convex(self) -> bool:
-        """True unless a positive sleep energy introduces the idle kink."""
-        if self._dormant is None:
+        """True unless the sleep/idle switch introduces a kink in ``g``.
+
+        Any positive transition overhead breaks convexity when there is
+        static power to shed: ``e_sw > 0`` adds the classic concave kink
+        where sleeping starts to beat idling, and ``t_sw > 0`` (even with
+        ``e_sw == 0``) makes the slack cost jump from
+        ``static_power · slack`` to the sleep cost at ``slack == t_sw`` —
+        a discontinuous drop in ``g`` as the workload *decreases*, which
+        no convex function has.
+        """
+        if self._dormant is None or self._model.static_power == 0.0:
             return True
-        return self._dormant.e_sw == 0.0 or self._model.static_power == 0.0
+        return self._dormant.e_sw == 0.0 and self._dormant.t_sw == 0.0
 
     def convex_lower_bound(self) -> "DiscreteEnergyFunction":
         """Zero-overhead-sleep relaxation (pointwise lower bound, convex)."""

@@ -77,13 +77,16 @@ def _energy_fn_to_dict(fn: EnergyFunction) -> dict[str, Any]:
             "dormant": {"t_sw": fn.dormant.t_sw, "e_sw": fn.dormant.e_sw},
         }
     if isinstance(fn, DiscreteEnergyFunction):
-        return {
+        data: dict[str, Any] = {
             "kind": "discrete",
             "deadline": fn.deadline,
             "power_model": _power_model_to_dict(fn.power_model),
             "levels": list(fn.levels.speeds),
             "dormant_enable": fn.dormant_enable,
         }
+        if fn.dormant is not None:
+            data["dormant"] = {"t_sw": fn.dormant.t_sw, "e_sw": fn.dormant.e_sw}
+        return data
     raise TypeError(f"cannot serialise energy function {type(fn).__name__}")
 
 
@@ -103,11 +106,18 @@ def _energy_fn_from_dict(data: dict[str, Any]) -> EnergyFunction:
             ),
         )
     if kind == "discrete":
+        dormant: DormantMode | None = None
+        if data.get("dormant_enable"):
+            overheads = data.get("dormant", {})
+            dormant = DormantMode(
+                t_sw=overheads.get("t_sw", 0.0),
+                e_sw=overheads.get("e_sw", 0.0),
+            )
         return DiscreteEnergyFunction(
             model,
             SpeedLevels(data["levels"]),
             deadline,
-            dormant=DormantMode() if data.get("dormant_enable") else None,
+            dormant=dormant,
         )
     raise ValueError(f"unsupported energy function kind {kind!r}")
 

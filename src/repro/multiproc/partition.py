@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._validation import fits
+
 
 @dataclass(frozen=True)
 class Partition:
@@ -77,7 +79,7 @@ def _assign_min_load(
     rejected: list[int] = []
     for i in order:
         load, j = heap[0]
-        if capacity is not None and load + sizes[i] > capacity * (1 + 1e-12):
+        if capacity is not None and not fits(load + sizes[i], capacity):
             rejected.append(i)
             continue
         heapq.heapreplace(heap, (load + sizes[i], j))
@@ -142,14 +144,14 @@ def first_fit_partition(
     for i in sequence:
         placed = False
         for j, load in enumerate(loads):
-            if load + sizes[i] <= capacity * (1 + 1e-12):
+            if fits(load + sizes[i], capacity):
                 buckets[j].append(i)
                 loads[j] += sizes[i]
                 placed = True
                 break
         if placed:
             continue
-        if (m is None or len(buckets) < m) and sizes[i] <= capacity * (1 + 1e-12):
+        if (m is None or len(buckets) < m) and fits(sizes[i], capacity):
             buckets.append([i])
             loads.append(sizes[i])
         else:

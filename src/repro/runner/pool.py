@@ -19,7 +19,10 @@ The trial function contract:
 
 Executors are created lazily, keyed by worker count, reused across
 sweep points and experiments in the same process, and shut down at
-interpreter exit.
+interpreter exit.  A worker death (``BrokenProcessPool``) evicts the
+poisoned executor, rebuilds it, and retries the batch once before
+raising, so one crash never disables the pool for the rest of the
+process.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import functools
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.runner.metrics import current_collector
 
@@ -59,6 +63,18 @@ def _get_executor(jobs: int) -> ProcessPoolExecutor:
         executor = ProcessPoolExecutor(max_workers=jobs)
         _EXECUTORS[jobs] = executor
     return executor
+
+
+def _evict_executor(jobs: int) -> None:
+    """Drop (and best-effort shut down) the cached executor for *jobs*.
+
+    A :class:`BrokenProcessPool` poisons its executor permanently;
+    leaving it in the cache would fail every later ``map_trials`` call in
+    the process, so the broken instance must be evicted and replaced.
+    """
+    executor = _EXECUTORS.pop(jobs, None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _timed_call(trial_fn, seed_tuple, params):
@@ -102,9 +118,29 @@ def map_trials(
     if collector is not None:
         collector.record_pool(workers)
     call = functools.partial(_timed_call, trial_fn, params=params)
+    # A worker dying mid-batch (OOM-kill, segfault, os._exit in the trial
+    # fn) breaks the whole pool.  Evict the poisoned executor, rebuild it,
+    # and retry the batch once from scratch — trial fns are pure functions
+    # of (seed_tuple, params), so a rerun is safe.  A second failure is a
+    # deterministic crash in the trial fn itself: surface it clearly.
+    for attempt in (1, 2):
+        results = []
+        try:
+            # executor.map preserves input order: the deterministic merge.
+            for item in _get_executor(workers).map(call, seed_list):
+                results.append(item)
+            break
+        except BrokenProcessPool as exc:
+            _evict_executor(workers)
+            if attempt == 2:
+                raise RuntimeError(
+                    f"map_trials({getattr(trial_fn, '__name__', trial_fn)!r}) "
+                    f"lost a worker process twice in a row; the trial "
+                    f"function likely crashes the interpreter "
+                    f"(exit/abort/OOM) deterministically"
+                ) from exc
     fragments = []
-    # executor.map preserves input order: the deterministic merge.
-    for fragment, seconds in _get_executor(workers).map(call, seed_list):
+    for fragment, seconds in results:
         if collector is not None:
             collector.record_trial(seconds, label=label)
         fragments.append(fragment)

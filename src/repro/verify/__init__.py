@@ -1,0 +1,62 @@
+"""Differential verification harness for the REJECT-MIN solvers.
+
+Every headline number of the reproduction is a *normalised* ratio
+(heuristic cost over the fractional lower bound), so a silent solver bug
+corrupts every figure at once.  This package is the always-on defence:
+
+* :mod:`repro.verify.strategies` — adversarial random-instance
+  generators (boundary workloads, zero/huge penalties, overloaded and
+  trivially-feasible regimes, discrete level sets with leakage and
+  positive sleep overheads, multiprocessor instances), shared between
+  the fuzzing harness and the hypothesis test suite;
+* :mod:`repro.verify.invariants` — per-solution checkers (feasibility,
+  cost arithmetic, ``plan(W).energy == energy(W)`` consistency, the
+  lower/upper sandwich, the FPTAS additive bound) plus an empirical
+  convexity probe that validates each energy function's ``is_convex``
+  claim against sampled values;
+* :mod:`repro.verify.oracles` — differential cross-checks of every
+  heuristic and approximation against the exact oracles (exhaustive,
+  branch-and-bound, Pareto enumeration, the DPs on aligned instances,
+  and ``exhaustive_multiproc`` for the partitioned solvers);
+* :mod:`repro.verify.shrink` — greedy delta-debugging that minimises a
+  failing instance before it is reported;
+* :mod:`repro.verify.harness` — the fuzz driver behind
+  ``repro verify --budget N --seed S``, which writes failing instances
+  as reproducer JSON replayable with ``repro solve``.
+"""
+
+from repro.verify.harness import VerifyReport, run_verification
+from repro.verify.invariants import (
+    Violation,
+    check_convexity_claim,
+    check_fptas_bound,
+    check_sandwich,
+    check_solution,
+)
+from repro.verify.oracles import crosscheck, crosscheck_multiproc, crosscheck_uniproc
+from repro.verify.shrink import shrink_multiproc, shrink_problem
+from repro.verify.strategies import (
+    ALL_STRATEGIES,
+    MULTIPROC_STRATEGIES,
+    UNIPROC_STRATEGIES,
+    Strategy,
+)
+
+__all__ = [
+    "Strategy",
+    "ALL_STRATEGIES",
+    "UNIPROC_STRATEGIES",
+    "MULTIPROC_STRATEGIES",
+    "Violation",
+    "check_solution",
+    "check_sandwich",
+    "check_fptas_bound",
+    "check_convexity_claim",
+    "crosscheck",
+    "crosscheck_uniproc",
+    "crosscheck_multiproc",
+    "shrink_problem",
+    "shrink_multiproc",
+    "VerifyReport",
+    "run_verification",
+]

@@ -1,0 +1,130 @@
+"""Greedy delta-debugging of failing instances.
+
+A fuzzer-found counterexample routinely carries five irrelevant tasks
+and twelve noise digits.  :func:`shrink_problem` minimises it before it
+is reported: drop tasks one at a time while the failure predicate keeps
+holding, then simplify the surviving numbers (round cycles/penalties to
+fewer digits, zero out penalties).  The result is the instance that is
+written as the reproducer JSON, so the artefact a human opens is close
+to minimal.
+
+The predicate is arbitrary (typically ``lambda p: bool(crosscheck(p))``)
+and is treated as expensive: the loop is plain greedy descent, not a
+full ddmin partition search — task counts here are single digits, and
+one pass to a fixed point is enough.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.tasks import FrameTask, FrameTaskSet
+
+#: Hard ceiling on predicate evaluations per shrink.
+MAX_PROBES = 400
+
+#: Rounding ladder tried on every cycles/penalty value (digits).
+_ROUND_LADDER = (0, 1, 3)
+
+
+def _holds(predicate: Callable[[object], bool], candidate: object, budget: list[int]) -> bool:
+    """Evaluate *predicate*, charging *budget*; exhausted budget → False."""
+    if budget[0] <= 0:
+        return False
+    budget[0] -= 1
+    try:
+        return bool(predicate(candidate))
+    except Exception:  # noqa: BLE001 - a crash is also "still failing"
+        return True
+
+
+def _with_tasks(problem, tasks: list[FrameTask]):
+    if isinstance(problem, MultiprocRejectionProblem):
+        return MultiprocRejectionProblem(
+            tasks=FrameTaskSet(tasks), energy_fn=problem.energy_fn, m=problem.m
+        )
+    return RejectionProblem(tasks=FrameTaskSet(tasks), energy_fn=problem.energy_fn)
+
+
+def _shrink_tasks(problem, predicate, budget: list[int]):
+    """Drop tasks one at a time to a fixed point."""
+    tasks = list(problem.tasks)
+    changed = True
+    while changed and len(tasks) > 1:
+        changed = False
+        for i in range(len(tasks)):
+            candidate = _with_tasks(problem, tasks[:i] + tasks[i + 1 :])
+            if _holds(predicate, candidate, budget):
+                tasks.pop(i)
+                problem = candidate
+                changed = True
+                break
+    return problem
+
+
+def _shrink_values(problem, predicate, budget: list[int]):
+    """Round cycles/penalties and zero penalties where the failure survives."""
+    tasks = list(problem.tasks)
+    for i, task in enumerate(tasks):
+        for field in ("penalty", "cycles"):
+            value = getattr(tasks[i], field)
+            candidates = [round(value, d) for d in _ROUND_LADDER]
+            if field == "penalty":
+                candidates.insert(0, 0.0)
+            for simpler in candidates:
+                if simpler == value or (field == "cycles" and simpler <= 0.0):
+                    continue
+                trial = tasks[i].__class__(
+                    name=tasks[i].name,
+                    cycles=simpler if field == "cycles" else tasks[i].cycles,
+                    penalty=simpler if field == "penalty" else tasks[i].penalty,
+                )
+                candidate_tasks = tasks[:i] + [trial] + tasks[i + 1 :]
+                try:
+                    candidate = _with_tasks(problem, candidate_tasks)
+                except ValueError:
+                    continue
+                if _holds(predicate, candidate, budget):
+                    tasks = candidate_tasks
+                    problem = candidate
+                    break
+    return problem
+
+
+def shrink_problem(
+    problem: RejectionProblem,
+    predicate: Callable[[RejectionProblem], bool],
+    *,
+    max_probes: int = MAX_PROBES,
+) -> RejectionProblem:
+    """Minimise a failing uniprocessor instance.
+
+    *predicate* must return True while the instance still fails.  The
+    returned instance satisfies the predicate (it is only ever replaced
+    by candidates that do); when the budget runs out the best-so-far is
+    returned.
+    """
+    budget = [max_probes]
+    problem = _shrink_tasks(problem, predicate, budget)
+    return _shrink_values(problem, predicate, budget)
+
+
+def shrink_multiproc(
+    problem: MultiprocRejectionProblem,
+    predicate: Callable[[MultiprocRejectionProblem], bool],
+    *,
+    max_probes: int = MAX_PROBES,
+) -> MultiprocRejectionProblem:
+    """Minimise a failing multiprocessor instance (tasks, values, then m)."""
+    budget = [max_probes]
+    problem = _shrink_tasks(problem, predicate, budget)
+    problem = _shrink_values(problem, predicate, budget)
+    while problem.m > 1:
+        candidate = MultiprocRejectionProblem(
+            tasks=problem.tasks, energy_fn=problem.energy_fn, m=problem.m - 1
+        )
+        if not _holds(predicate, candidate, budget):
+            break
+        problem = candidate
+    return problem

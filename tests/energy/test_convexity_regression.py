@@ -1,0 +1,91 @@
+"""Regression tests for the ``is_convex`` t_sw blind spot.
+
+The old predicates claimed convexity whenever ``e_sw == 0`` (or there
+was no static power).  But with ``t_sw > 0`` and static power, the slack
+cost jumps from ``static_power * slack`` to the (free) sleep cost the
+moment ``slack == t_sw`` — a discontinuous drop no convex function has.
+These tests pin both the fixed predicates and the fact that the
+empirical probe in ``repro.verify`` catches the pre-fix claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    ContinuousEnergyFunction,
+    CriticalSpeedEnergyFunction,
+    DiscreteEnergyFunction,
+)
+from repro.power import DormantMode, PolynomialPowerModel
+from repro.power.discrete import SpeedLevels
+from repro.verify import check_convexity_claim
+
+MODEL = PolynomialPowerModel(beta0=0.2, beta1=1.52, alpha=3.0, s_max=1.0)
+LEAK_FREE = PolynomialPowerModel(beta0=0.0, beta1=1.52, alpha=3.0, s_max=1.0)
+LEVELS = SpeedLevels([0.4, 0.7, 1.0])
+TSW_ONLY = DormantMode(t_sw=0.3, e_sw=0.0)
+
+
+def _discrete(model=MODEL, dormant=TSW_ONLY):
+    return DiscreteEnergyFunction(model, LEVELS, 1.0, dormant=dormant)
+
+
+def _critical(model=MODEL, dormant=TSW_ONLY):
+    return CriticalSpeedEnergyFunction(model, 1.0, dormant=dormant)
+
+
+@pytest.mark.parametrize("make", [_discrete, _critical])
+class TestTswBreaksConvexity:
+    def test_predicate_is_fixed(self, make):
+        # e_sw == 0 is not enough: t_sw > 0 still breaks convexity.
+        assert not make().is_convex
+
+    def test_g_actually_jumps(self, make):
+        # Concrete witness: the slack cost is discontinuous where
+        # ``slack == t_sw``, so g jumps upward as the workload grows
+        # through that point — the sampled second difference flanking the
+        # jump must go clearly negative, which no convex function allows.
+        fn = make()
+        xs = np.linspace(0.0, fn.max_workload, 513)
+        ys = np.array([fn.energy(float(x)) for x in xs])
+        second = ys[:-2] - 2.0 * ys[1:-1] + ys[2:]
+        assert second.min() < -1e-6
+
+    def test_probe_flags_the_pre_fix_claim(self, make):
+        violations = check_convexity_claim(make(), claimed=True)
+        assert any(v.invariant == "convexity" for v in violations)
+
+    def test_probe_accepts_the_fixed_claim(self, make):
+        assert check_convexity_claim(make()) == []
+
+    def test_zero_overhead_sleep_is_still_convex(self, make):
+        fn = make(dormant=DormantMode(t_sw=0.0, e_sw=0.0))
+        assert fn.is_convex
+        assert check_convexity_claim(fn) == []
+
+    def test_no_static_power_is_still_convex(self, make):
+        # With nothing to shed, the sleep switch changes no energy.
+        fn = make(model=LEAK_FREE)
+        assert fn.is_convex
+        assert check_convexity_claim(fn) == []
+
+    def test_convex_lower_bound_is_a_pointwise_lower_bound(self, make):
+        fn = make()
+        bound = fn.convex_lower_bound()
+        assert bound.is_convex
+        for w in np.linspace(0.0, fn.max_workload, 101):
+            assert bound.energy(float(w)) <= fn.energy(float(w)) + 1e-12
+
+
+def test_continuous_has_no_dormant_hole():
+    # The ideal-processor audit: no sleep mode, convex by construction,
+    # and the probe agrees.
+    fn = ContinuousEnergyFunction(MODEL, 1.0)
+    assert fn.is_convex
+    assert check_convexity_claim(fn) == []
+
+
+def test_dormant_disable_discrete_is_convex():
+    fn = DiscreteEnergyFunction(MODEL, LEVELS, 1.0, dormant=None)
+    assert fn.is_convex
+    assert check_convexity_claim(fn) == []

@@ -114,3 +114,61 @@ class TestRunnerFlags:
         capsys.readouterr()
         assert main(["run", "fig_r1", "--quick", "--no-cache"]) == 0
         assert "cache=off" in capsys.readouterr().out
+
+
+class TestSolveErrors:
+    def test_eps_zero_rejected(self, capsys, tmp_path):
+        assert main(["solve", str(tmp_path / "x.json"), "--eps", "0"]) == 2
+        assert "--eps must be > 0" in capsys.readouterr().err
+
+    def test_eps_negative_rejected(self, capsys, tmp_path):
+        assert main(["solve", str(tmp_path / "x.json"), "--eps", "-0.5"]) == 2
+        assert "--eps must be > 0" in capsys.readouterr().err
+
+    def test_eps_nan_rejected(self, capsys, tmp_path):
+        assert main(["solve", str(tmp_path / "x.json"), "--eps", "nan"]) == 2
+        assert "--eps must be > 0" in capsys.readouterr().err
+
+    def test_missing_instance_file(self, capsys, tmp_path):
+        assert main(["solve", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "no such instance file" in err
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_malformed_json(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["solve", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read instance" in err
+
+    def test_wrong_schema(self, capsys, tmp_path):
+        bad = tmp_path / "schema.json"
+        bad.write_text('{"schema_version": 999, "tasks": []}')
+        assert main(["solve", str(bad)]) == 2
+        assert "cannot read instance" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_small_clean_run(self, capsys, tmp_path):
+        code = main(
+            ["verify", "--budget", "10", "--seed", "0",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10 trials" in out
+        assert "0 failing" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_quick_caps_budget(self, capsys, tmp_path):
+        code = main(
+            ["verify", "--quick", "--budget", "5000", "--seed", "0",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "40 trials" in capsys.readouterr().out
+
+    def test_budget_zero_rejected(self, capsys):
+        assert main(["verify", "--budget", "0"]) == 2
+        assert "--budget must be" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""End-to-end harness behaviour: clean runs, failures, reproducers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import RejectionProblem
+from repro.energy import DiscreteEnergyFunction
+from repro.io import load_instance
+from repro.power import DormantMode, PolynomialPowerModel
+from repro.power.discrete import SpeedLevels
+from repro.tasks import FrameTask, FrameTaskSet
+from repro.verify import Strategy, run_verification
+from repro.verify.strategies import UNIPROC_STRATEGIES
+
+
+def test_clean_run_reports_ok(tmp_path):
+    report = run_verification(budget=20, seed=0, out_dir=tmp_path)
+    assert report.ok
+    assert report.trials == 20
+    assert sum(report.per_strategy.values()) == 20
+    assert list(tmp_path.iterdir()) == []  # no reproducers for a clean run
+    assert "0 failing" in report.summary()
+
+
+def test_same_seed_is_deterministic():
+    a = run_verification(budget=15, seed=3)
+    b = run_verification(budget=15, seed=3)
+    assert a.per_strategy == b.per_strategy
+    assert [f.violations for f in a.failures] == [
+        f.violations for f in b.failures
+    ]
+
+
+def test_budget_must_be_positive():
+    with pytest.raises(ValueError, match="budget"):
+        run_verification(budget=0, seed=0)
+
+
+class _PreFixDiscrete(DiscreteEnergyFunction):
+    """Reproduces the old ``is_convex`` predicate (ignores ``t_sw``)."""
+
+    @property
+    def is_convex(self):
+        return self.dormant is None or (
+            self.dormant.e_sw == 0.0 or self.power_model.static_power == 0.0
+        )
+
+
+def _build_lying(rng: np.random.Generator) -> RejectionProblem:
+    fn = _PreFixDiscrete(
+        PolynomialPowerModel(beta0=0.2, beta1=1.52, alpha=3.0, s_max=1.0),
+        SpeedLevels([0.4, 0.7, 1.0]),
+        deadline=1.0,
+        dormant=DormantMode(t_sw=0.3, e_sw=0.0),
+    )
+    tasks = [
+        FrameTask(
+            name=f"t{i}",
+            cycles=float(rng.uniform(0.1, 0.4)),
+            penalty=float(rng.uniform(0.1, 0.6)),
+        )
+        for i in range(4)
+    ]
+    return RejectionProblem(tasks=FrameTaskSet(tasks), energy_fn=fn)
+
+
+def test_failing_strategy_produces_shrunk_reproducer(tmp_path):
+    lying = Strategy(name="lying", kind="uniproc", build=_build_lying)
+    lines = []
+    report = run_verification(
+        budget=2,
+        seed=0,
+        strategies=(lying,),
+        out_dir=tmp_path,
+        log=lines.append,
+    )
+    assert not report.ok
+    assert len(report.failures) == 2
+    assert lines  # progress lines were emitted
+    failure = report.failures[0]
+    assert failure.strategy == "lying"
+    assert any("convex" in v for v in failure.violations)
+
+    # The reproducer JSON round-trips through repro.io (the subclass
+    # collapses to a plain DiscreteEnergyFunction with the same numbers).
+    assert failure.reproducer is not None and failure.reproducer.exists()
+    replayed = load_instance(failure.reproducer)
+    assert replayed.energy_fn.dormant == DormantMode(t_sw=0.3, e_sw=0.0)
+    # The shrink kept only what the convexity violation needs: one task.
+    assert replayed.n == 1
+
+    meta = json.loads(failure.reproducer.with_suffix(".meta.json").read_text())
+    assert meta["strategy"] == "lying"
+    assert meta["violations"]
+    assert "repro solve" in meta["replay"]
+
+
+def test_no_shrink_keeps_generated_instance(tmp_path):
+    lying = Strategy(name="lying", kind="uniproc", build=_build_lying)
+    report = run_verification(
+        budget=1, seed=0, strategies=(lying,), out_dir=tmp_path, shrink=False
+    )
+    assert not report.ok
+    replayed = load_instance(report.failures[0].reproducer)
+    assert replayed.n == 4  # as generated
+
+
+def test_multiproc_strategies_covered_in_rotation():
+    report = run_verification(budget=len(UNIPROC_STRATEGIES) + 2, seed=0)
+    assert any(
+        name.startswith("multiproc") for name in report.per_strategy
+    )

@@ -1,0 +1,99 @@
+"""Differential property tests: every strategy × many seeds, no violations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rejection import RejectionProblem
+from repro.energy import DiscreteEnergyFunction
+from repro.power import DormantMode, PolynomialPowerModel
+from repro.power.discrete import SpeedLevels
+from repro.tasks import FrameTask, FrameTaskSet
+from repro.verify import (
+    ALL_STRATEGIES,
+    MULTIPROC_STRATEGIES,
+    UNIPROC_STRATEGIES,
+    crosscheck,
+    crosscheck_multiproc,
+    crosscheck_uniproc,
+)
+from repro.verify.oracles import MAX_ORACLE_N
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    index=st.integers(min_value=0, max_value=len(UNIPROC_STRATEGIES) - 1),
+)
+def test_uniproc_solvers_survive_the_differential(seed, index):
+    strategy = UNIPROC_STRATEGIES[index]
+    rng = np.random.default_rng(seed)
+    problem = strategy.build(rng)
+    violations = crosscheck_uniproc(problem, rng=rng)
+    assert violations == [], f"{strategy.name}: {[str(v) for v in violations]}"
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    index=st.integers(min_value=0, max_value=len(MULTIPROC_STRATEGIES) - 1),
+)
+def test_multiproc_solvers_survive_the_differential(seed, index):
+    strategy = MULTIPROC_STRATEGIES[index]
+    rng = np.random.default_rng(seed)
+    problem = strategy.build(rng)
+    violations = crosscheck_multiproc(problem, rng=rng)
+    assert violations == [], f"{strategy.name}: {[str(v) for v in violations]}"
+
+
+def test_dispatcher_routes_by_type():
+    uni = UNIPROC_STRATEGIES[0].build(np.random.default_rng(0))
+    multi = MULTIPROC_STRATEGIES[0].build(np.random.default_rng(0))
+    assert crosscheck(uni) == crosscheck_uniproc(uni)
+    assert crosscheck(multi) == crosscheck_multiproc(multi)
+
+
+def test_oracle_size_guard():
+    strategy = UNIPROC_STRATEGIES[0]
+    problem = strategy.build(np.random.default_rng(0))
+    tasks = [
+        FrameTask(name=f"t{i}", cycles=0.01, penalty=0.1)
+        for i in range(MAX_ORACLE_N + 1)
+    ]
+    big = RejectionProblem(
+        tasks=FrameTaskSet(tasks), energy_fn=problem.energy_fn
+    )
+    with pytest.raises(ValueError, match="too large"):
+        crosscheck_uniproc(big)
+
+
+def test_pre_fix_convexity_claim_is_caught_by_the_differential():
+    """A solver stack built on the old ``is_convex`` lie gets flagged.
+
+    This pins the bug class end-to-end: an energy function with
+    ``t_sw > 0``, ``e_sw == 0`` and static power that (falsely) claims
+    convexity — exactly what ``DiscreteEnergyFunction.is_convex``
+    reported before the fix — must not pass the cross-check.
+    """
+
+    class PreFixDiscrete(DiscreteEnergyFunction):
+        @property
+        def is_convex(self):  # the old predicate ignored t_sw
+            return self.dormant is None or (
+                self.dormant.e_sw == 0.0
+                or self.power_model.static_power == 0.0
+            )
+
+    fn = PreFixDiscrete(
+        PolynomialPowerModel(beta0=0.2, beta1=1.52, alpha=3.0, s_max=1.0),
+        SpeedLevels([0.4, 0.7, 1.0]),
+        deadline=1.0,
+        dormant=DormantMode(t_sw=0.3, e_sw=0.0),
+    )
+    assert fn.is_convex  # the lie the old code told
+    problem = RejectionProblem(
+        tasks=FrameTaskSet([FrameTask(name="a", cycles=0.5, penalty=0.4)]),
+        energy_fn=fn,
+    )
+    violations = crosscheck_uniproc(problem)
+    assert any(v.invariant == "convexity" for v in violations)

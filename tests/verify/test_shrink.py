@@ -1,0 +1,89 @@
+"""The shrinker minimises failing instances without losing the failure."""
+
+import numpy as np
+
+from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.energy import ContinuousEnergyFunction
+from repro.power import PolynomialPowerModel
+from repro.tasks import FrameTask, FrameTaskSet
+from repro.verify import shrink_multiproc, shrink_problem
+
+
+def _fn():
+    return ContinuousEnergyFunction(
+        PolynomialPowerModel(beta0=0.1, beta1=1.52, alpha=3.0, s_max=1.0),
+        deadline=1.0,
+    )
+
+
+def _problem(n=6):
+    rng = np.random.default_rng(7)
+    tasks = [
+        FrameTask(
+            name=f"t{i}",
+            cycles=float(rng.uniform(0.05, 0.3)),
+            penalty=float(rng.uniform(0.1, 0.9)),
+        )
+        for i in range(n)
+    ]
+    tasks[n // 2] = FrameTask(name="culprit", cycles=0.123456789, penalty=100.0)
+    return RejectionProblem(tasks=FrameTaskSet(tasks), energy_fn=_fn())
+
+
+def _fails(problem) -> bool:
+    return any(t.penalty >= 100.0 for t in problem.tasks)
+
+
+def test_shrink_drops_irrelevant_tasks():
+    small = shrink_problem(_problem(), _fails)
+    assert _fails(small)
+    assert small.n == 1
+    assert small.tasks[0].penalty >= 100.0
+
+
+def test_shrink_simplifies_values():
+    small = shrink_problem(_problem(), _fails)
+    # The culprit's noisy cycles should have been rounded away.
+    assert small.tasks[0].cycles == round(small.tasks[0].cycles, 3)
+
+
+def test_shrink_result_always_satisfies_predicate():
+    # A predicate nothing smaller satisfies: exactly the original n.
+    problem = _problem(4)
+    small = shrink_problem(problem, lambda p: p.n >= 4)
+    assert small.n == 4
+
+
+def test_shrink_budget_is_respected():
+    calls = []
+
+    def predicate(p):
+        calls.append(1)
+        return _fails(p)
+
+    shrink_problem(_problem(), predicate, max_probes=5)
+    assert len(calls) <= 5
+
+
+def test_shrink_multiproc_reduces_machine_count():
+    problem = MultiprocRejectionProblem(
+        tasks=_problem().tasks, energy_fn=_fn(), m=3
+    )
+    small = shrink_multiproc(problem, _fails)
+    assert _fails(small)
+    assert small.m == 1
+    assert small.n == 1
+
+
+def test_crashing_predicate_counts_as_failing():
+    problem = _problem(3)
+
+    def explosive(p):
+        if p.n < 3:
+            raise RuntimeError("boom")
+        return False
+
+    # Every removal candidate crashes the predicate, so every removal is
+    # treated as "still failing" and the shrink walks down to one task.
+    small = shrink_problem(problem, explosive)
+    assert small.n == 1

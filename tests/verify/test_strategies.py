@@ -1,0 +1,58 @@
+"""The generators emit well-formed, oracle-sized instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.core.rejection.multiproc import MAX_ENUM_ASSIGNMENTS
+from repro.verify import ALL_STRATEGIES, MULTIPROC_STRATEGIES, UNIPROC_STRATEGIES
+from repro.verify.oracles import MAX_ORACLE_N
+
+SEEDS = range(25)
+
+
+def test_registries_partition_cleanly():
+    assert set(ALL_STRATEGIES) == set(UNIPROC_STRATEGIES) | set(
+        MULTIPROC_STRATEGIES
+    )
+    names = [s.name for s in ALL_STRATEGIES]
+    assert len(names) == len(set(names))
+    assert all(s.kind == "uniproc" for s in UNIPROC_STRATEGIES)
+    assert all(s.kind == "multiproc" for s in MULTIPROC_STRATEGIES)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_builds_valid_oracle_sized_instances(strategy):
+    for seed in SEEDS:
+        problem = strategy.build(np.random.default_rng(seed))
+        if strategy.kind == "uniproc":
+            assert isinstance(problem, RejectionProblem)
+            assert 1 <= problem.n <= MAX_ORACLE_N
+        else:
+            assert isinstance(problem, MultiprocRejectionProblem)
+            assert (problem.m + 1) ** problem.n <= MAX_ENUM_ASSIGNMENTS
+        assert problem.capacity > 0
+        assert all(t.cycles > 0 for t in problem.tasks)
+        assert all(t.penalty >= 0 for t in problem.tasks)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_boundary_strategy_hits_the_capacity_edge(seed):
+    (strategy,) = [s for s in ALL_STRATEGIES if s.name == "boundary"]
+    problem = strategy.build(np.random.default_rng(seed))
+    cap = problem.capacity
+    edge = [
+        t
+        for t in problem.tasks
+        if t.cycles in (cap, np.nextafter(cap, np.inf), np.nextafter(cap, 0.0))
+    ]
+    assert edge, "boundary instances must contain an on-the-edge task"
+
+
+def test_same_seed_same_instance():
+    for strategy in ALL_STRATEGIES:
+        a = strategy.build(np.random.default_rng(42))
+        b = strategy.build(np.random.default_rng(42))
+        assert [(t.cycles, t.penalty) for t in a.tasks] == [
+            (t.cycles, t.penalty) for t in b.tasks
+        ]
