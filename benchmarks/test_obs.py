@@ -1,0 +1,84 @@
+"""Benchmark: the observability disabled path must cost ~nothing.
+
+Acceptance target (ISSUE 3): with no sink installed, entering and
+exiting a ``span()`` costs at most a small multiple of calling a plain
+no-op function — the instrumented solvers run at full speed unless the
+user asks for a trace.
+
+Measured with ``timeit`` best-of-repeats (min filters scheduler noise).
+The bound is deliberately loose (10x a function call): the point is to
+catch an accidental allocation or record-on-disabled regression, which
+shows up as 50-100x, not to micro-tune the constant.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+from repro.obs import counters as obs_counters
+from repro.obs.trace import active_sink, span
+
+#: Iterations per timing sample; best of REPEAT samples is compared.
+NUMBER = 200_000
+REPEAT = 5
+
+#: Disabled-path budget relative to one plain function call.
+MAX_OVERHEAD = 10.0
+
+
+def _plain() -> None:
+    pass
+
+
+def _best(stmt) -> float:
+    return min(timeit.repeat(stmt, number=NUMBER, repeat=REPEAT))
+
+
+def test_disabled_span_is_near_free(results_dir):
+    assert active_sink() is None, "benchmark requires tracing disabled"
+
+    def baseline():
+        _plain()
+
+    def spanned():
+        with span("bench.noop"):
+            pass
+
+    base = _best(baseline)
+    traced = _best(spanned)
+    ratio = traced / base
+    print(f"\nplain={base:.4f}s span={traced:.4f}s ratio={ratio:.2f}x "
+          f"({NUMBER} iterations)")
+    (results_dir / "obs_span_overhead.txt").write_text(
+        f"plain_s={base:.6f}\nspan_s={traced:.6f}\nratio={ratio:.3f}\n"
+        f"budget={MAX_OVERHEAD}\n"
+    )
+    assert ratio <= MAX_OVERHEAD
+
+
+def test_disabled_span_allocates_nothing():
+    # The no-op fast path returns one shared singleton: same object every
+    # call, attrs never materialised into per-span state.
+    first = span("a", n=1)
+    second = span("b", n=2)
+    assert first is second
+
+
+def test_disabled_counter_emit_is_near_free(results_dir):
+    assert obs_counters.active() is None
+
+    def baseline():
+        _plain()
+
+    def emitting():
+        obs_counters.emit("bench", calls=1, nodes=17)
+
+    base = _best(baseline)
+    counted = _best(emitting)
+    ratio = counted / base
+    print(f"\nplain={base:.4f}s emit={counted:.4f}s ratio={ratio:.2f}x")
+    (results_dir / "obs_emit_overhead.txt").write_text(
+        f"plain_s={base:.6f}\nemit_s={counted:.6f}\nratio={ratio:.3f}\n"
+    )
+    # emit builds a kwargs dict even when disabled; budget stays loose.
+    assert ratio <= MAX_OVERHEAD

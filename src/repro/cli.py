@@ -2,30 +2,37 @@
 
 Usage::
 
-    repro list                     # enumerate experiments
+    repro list                     # enumerate experiments (with blurbs)
     repro run fig_r1               # run one experiment at paper scale
     repro run all --quick          # smoke-run every experiment
     repro run fig_r2 --csv out/    # also write the table as CSV
     repro run fig_r1 --jobs 4      # fan trials out over 4 workers
     repro run all --no-cache       # force recomputation
     repro run tab_r4 --timings     # print the per-run timing report
+    repro run fig_r1 --trace-out trace.jsonl   # record solver spans
+    repro run all --quick --log-json           # machine-readable summaries
 
     repro generate inst.json --n 12 --load 1.5 --seed 7   # random instance
     repro solve inst.json --algorithm fptas --eps 0.05    # solve it
     repro solve inst.json --algorithm pareto_exact -o sol.json
+    repro solve inst.json --algorithm fptas --explain     # + solver counters
 
     repro verify --budget 200 --seed 0       # differential solver fuzzing
     repro verify --quick --seed 0            # CI smoke (small budget)
     repro verify --out-dir failures/         # write failing reproducers
+
+    repro stats trace.jsonl                  # digest a span trace
+    repro stats results/manifests/fig_r1-0123456789ab.json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, experiment_description
 
 #: Algorithms reachable from ``repro solve``; fptas additionally honours
 #: ``--eps``.
@@ -90,6 +97,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-experiment timing/cache report",
     )
+    run.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append span records (JSONL) for the run to FILE",
+    )
+    run.add_argument(
+        "--log-json",
+        action="store_true",
+        help="print the per-run summary as one JSON line instead of text",
+    )
 
     generate = sub.add_parser(
         "generate", help="write a random rejection instance as JSON"
@@ -127,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the solution as JSON here (default: print summary)",
     )
+    solve.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the solver's work counters (nodes, cells, states, ...)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -162,6 +186,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report failing instances as generated, without minimisation",
+    )
+    verify.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append per-trial/per-oracle span records (JSONL) to FILE",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a span trace or run manifest",
+        description=(
+            "Digest an observability artifact: a JSONL span trace written "
+            "with --trace-out, or a run manifest from results/manifests/. "
+            "Prints per-phase time totals, the slowest trials, and "
+            "aggregated solver counters."
+        ),
+    )
+    stats.add_argument(
+        "source", type=Path, help="trace .jsonl or manifest .json path"
+    )
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="K",
+        help="how many slowest trials to list (default 5)",
     )
     return parser
 
@@ -215,11 +267,14 @@ def _cmd_solve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs import counters as obs_counters
+
     solver = getattr(rejection, SOLVERS[args.algorithm])
-    if args.algorithm == "fptas":
-        solution = solver(problem, eps=args.eps)
-    else:
-        solution = solver(problem)
+    with obs_counters.counting() as registry:
+        if args.algorithm == "fptas":
+            solution = solver(problem, eps=args.eps)
+        else:
+            solution = solver(problem)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         with open(args.output, "w") as fh:
@@ -232,6 +287,16 @@ def _cmd_solve(args) -> int:
         f"(energy={solution.energy:.6g}, penalty={solution.penalty:.6g}); "
         f"rejected: {rejected}"
     )
+    if args.explain:
+        counters = registry.snapshot()
+        if counters:
+            print("-- solver counters --")
+            for name in sorted(counters):
+                value = counters[name]
+                rendered = f"{value:g}" if value != int(value) else f"{int(value)}"
+                print(f"{name:30s} {rendered}")
+        else:
+            print("-- solver counters -- (none emitted)")
     return 0
 
 
@@ -245,15 +310,45 @@ def _cmd_verify(args) -> int:
         )
         return 2
     budget = min(args.budget, 40) if args.quick else args.budget
-    report = run_verification(
-        budget=budget,
-        seed=args.seed,
-        out_dir=args.out_dir,
-        shrink=not args.no_shrink,
-        log=lambda line: print(line, file=sys.stderr),
-    )
+    with _maybe_tracing(args.trace_out):
+        report = run_verification(
+            budget=budget,
+            seed=args.seed,
+            out_dir=args.out_dir,
+            shrink=not args.no_shrink,
+            log=lambda line: print(line, file=sys.stderr),
+        )
     print(report.summary())
+    if args.trace_out is not None:
+        print(f"(trace written to {args.trace_out})")
     return 0 if report.ok else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import stats_report
+
+    try:
+        print(stats_report(args.source, top=args.top))
+    except FileNotFoundError:
+        print(f"no such file: {args.source}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot digest {args.source}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+@contextlib.contextmanager
+def _maybe_tracing(trace_out: Path | None):
+    """Install a JSONL span sink for the body when *trace_out* is set."""
+    if trace_out is None:
+        yield
+        return
+    from repro.obs import JsonlSink, tracing
+
+    trace_out.parent.mkdir(parents=True, exist_ok=True)
+    with JsonlSink(trace_out) as sink, tracing(sink):
+        yield
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -261,8 +356,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
+        width = max(len(name) for name in ALL_EXPERIMENTS)
         for name in ALL_EXPERIMENTS:
-            print(name)
+            blurb = experiment_description(name)
+            print(f"{name:<{width}}  {blurb}" if blurb else name)
         return 0
 
     if args.command == "generate":
@@ -273,6 +370,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "verify":
         return _cmd_verify(args)
+
+    if args.command == "stats":
+        return _cmd_stats(args)
 
     if args.jobs < 1:
         print(
@@ -292,25 +392,34 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    import json
+
     from repro.runner import run_experiment
 
-    for name, runner in selected:
-        table, metrics = run_experiment(
-            name,
-            run_fn=runner,
-            quick=args.quick,
-            seed=args.seed,
-            jobs=args.jobs,
-            use_cache=not args.no_cache,
-        )
-        print(table.render())
-        print()
-        if args.timings:
-            print(metrics.report())
+    with _maybe_tracing(args.trace_out):
+        for name, runner in selected:
+            table, metrics = run_experiment(
+                name,
+                run_fn=runner,
+                quick=args.quick,
+                seed=args.seed,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+            )
+            print(table.render())
             print()
-        if args.csv is not None:
-            path = table.to_csv(args.csv / f"{name}.csv")
-            print(f"(csv written to {path})")
+            if args.log_json:
+                print(json.dumps(metrics.as_dict(), sort_keys=True))
+            else:
+                print(metrics.summary_line())
+            if args.timings:
+                print(metrics.report())
+                print()
+            if args.csv is not None:
+                path = table.to_csv(args.csv / f"{name}.csv")
+                print(f"(csv written to {path})")
+    if args.trace_out is not None:
+        print(f"(trace written to {args.trace_out})")
     return 0
 
 

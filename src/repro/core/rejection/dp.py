@@ -24,6 +24,8 @@ import numpy as np
 
 from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 
 #: Refuse to allocate DP tables beyond this many cells (per stage).
 MAX_TABLE_CELLS = 50_000_000
@@ -77,17 +79,24 @@ def dp_cycles(
     _check_table((w_max + 1), "dp_cycles")
 
     # dp[w] = min rejected penalty with accepted cycles exactly w units.
-    dp = np.full(w_max + 1, np.inf)
-    dp[0] = 0.0
-    decisions: list[np.ndarray] = []
-    for u, task in zip(units, problem.tasks):
-        reject = dp + task.penalty
-        accept = np.full_like(dp, np.inf)
-        if u <= w_max:
-            accept[u:] = dp[: w_max + 1 - u]
-        take = accept < reject
-        dp = np.where(take, accept, reject)
-        decisions.append(take)
+    with span("solve.dp_cycles", n=problem.n, width=w_max + 1):
+        dp = np.full(w_max + 1, np.inf)
+        dp[0] = 0.0
+        decisions: list[np.ndarray] = []
+        for u, task in zip(units, problem.tasks):
+            reject = dp + task.penalty
+            accept = np.full_like(dp, np.inf)
+            if u <= w_max:
+                accept[u:] = dp[: w_max + 1 - u]
+            take = accept < reject
+            dp = np.where(take, accept, reject)
+            decisions.append(take)
+    obs_counters.emit(
+        "dp_cycles",
+        calls=1,
+        width=w_max + 1,
+        cells=(w_max + 1) * problem.n,
+    )
 
     reachable = np.isfinite(dp)
     if not reachable.any():  # pragma: no cover - dp[0] is always finite
@@ -166,7 +175,14 @@ def dp_penalty(problem: RejectionProblem, *, quantum: float = 1.0) -> RejectionS
     cycles = [t.cycles for t in problem.tasks]
     total = sum(cycles)
     cap = problem.capacity
-    dp, decisions = _dp_over_penalties(units, cycles)
+    with span("solve.dp_penalty", n=problem.n, width=sum(units) + 1):
+        dp, decisions = _dp_over_penalties(units, cycles)
+    obs_counters.emit(
+        "dp_penalty",
+        calls=1,
+        width=sum(units) + 1,
+        cells=(sum(units) + 1) * problem.n,
+    )
 
     g = problem.energy_fn
     best_cost = math.inf

@@ -20,6 +20,8 @@ from repro._validation import fits
 from repro.core.rejection.greedy import greedy_marginal
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.core.rejection.relaxation import _minimize_convex, _require_convex
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 
 #: Hard guard: beyond this, subset enumeration is a programming error.
 MAX_EXHAUSTIVE_TASKS = 24
@@ -57,13 +59,17 @@ def exhaustive(problem: RejectionProblem) -> RejectionSolution:
 
     best_mask = 0
     best_cost = math.inf
-    for mask in range(size):
-        w = workload[mask]
-        if not fits(w, cap):
-            continue
-        cost = g.energy(min(w, cap)) + (total_penalty - accepted_penalty[mask])
-        if cost < best_cost:
-            best_cost, best_mask = cost, mask
+    with span("solve.exhaustive", n=n):
+        for mask in range(size):
+            w = workload[mask]
+            if not fits(w, cap):
+                continue
+            cost = g.energy(min(w, cap)) + (
+                total_penalty - accepted_penalty[mask]
+            )
+            if cost < best_cost:
+                best_cost, best_mask = cost, mask
+    obs_counters.emit("exhaustive", calls=1, subsets=size)
 
     accepted = [i for i in range(n) if best_mask >> i & 1]
     return problem.solution(accepted, algorithm="exhaustive")
@@ -152,14 +158,17 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
 
     n = problem.n
     chosen: list[bool] = [False] * n
+    nodes = pruned = incumbents = 0
 
     def dfs(depth: int, workload: float, rejected_penalty: float) -> None:
-        nonlocal best_cost, best_accept_ranks
+        nonlocal best_cost, best_accept_ranks, nodes, pruned, incumbents
+        nodes += 1
         if depth == n:
             cost = exact_g(min(workload, cap)) + rejected_penalty
             if cost < best_cost - 1e-15:
                 best_cost = cost
                 best_accept_ranks = [k for k in range(n) if chosen[k]]
+                incumbents += 1
             return
         bound = _suffix_fractional_value(
             g_energy,
@@ -173,6 +182,7 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
             depth,
         )
         if bound >= best_cost - 1e-12:
+            pruned += 1
             return
         # Reject branch first (matches the relaxation's preference).
         dfs(depth + 1, workload, rejected_penalty + penalties[depth])
@@ -181,7 +191,15 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
             dfs(depth + 1, workload + cycles[depth], rejected_penalty)
             chosen[depth] = False
 
-    dfs(0, 0.0, 0.0)
+    with span("solve.branch_and_bound", n=n):
+        dfs(0, 0.0, 0.0)
+    obs_counters.emit(
+        "branch_and_bound",
+        calls=1,
+        nodes=nodes,
+        pruned=pruned,
+        incumbents=incumbents,
+    )
 
     if best_accept_ranks is None:
         # The greedy incumbent was already optimal.

@@ -41,6 +41,8 @@ from repro.core.rejection.problem import (
     RejectionSolution,
     best_solution,
 )
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 
 
 def fptas(
@@ -107,8 +109,22 @@ def fptas(
         )
     units = [int(math.floor(problem.tasks[i].penalty / scale)) for i in candidates]
     cycles = [problem.tasks[i].cycles for i in candidates]
-    _check_table(sum(units) + 1, "fptas")
-    dp, decisions = _dp_over_penalties(units, cycles)
+    states = sum(units) + 1
+    _check_table(states, "fptas")
+    obs_counters.emit(
+        "fptas",
+        calls=1,
+        scale=scale,
+        states=states,
+        cells=states * len(candidates),
+        candidates=len(candidates),
+        forced_accept=len(forced_accept),
+        forced_reject=len(forced_reject),
+    )
+    with span(
+        "solve.fptas", n=problem.n, eps=eps, states=states
+    ):
+        dp, decisions = _dp_over_penalties(units, cycles)
 
     g = problem.energy_fn
     total = base_workload + sum(cycles)
@@ -145,6 +161,7 @@ def fptas(
         additive_bound=eps * upper,
     )
     if seed.cost < scaled.cost:
+        obs_counters.add("fptas.seed_won")
         return problem.solution(
             seed.accepted,
             algorithm="fptas",

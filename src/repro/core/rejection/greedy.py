@@ -28,6 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 
 #: Relative tolerance for "strict" cost improvements; guards fp jitter.
 _IMPROVE_RTOL = 1e-12
@@ -72,18 +74,33 @@ def greedy_density(problem: RejectionProblem) -> RejectionSolution:
     """
     accepted = set(_acceptable_indices(problem))
     order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
-    _restore_feasibility(problem, accepted, order)
-    g = problem.energy_fn
-    workload = problem.workload(accepted)
-    for i in order:
-        if i not in accepted:
-            continue
-        task = problem.tasks[i]
-        saving = g.energy(workload) - g.energy(max(workload - task.cycles, 0.0))
-        if not _improves(saving, task.penalty):
-            break
-        accepted.discard(i)
-        workload -= task.cycles
+    candidates = len(accepted)
+    with span("solve.greedy_density", n=problem.n):
+        _restore_feasibility(problem, accepted, order)
+        forced = candidates - len(accepted)
+        g = problem.energy_fn
+        workload = problem.workload(accepted)
+        scanned = improved = 0
+        for i in order:
+            if i not in accepted:
+                continue
+            task = problem.tasks[i]
+            scanned += 1
+            saving = g.energy(workload) - g.energy(
+                max(workload - task.cycles, 0.0)
+            )
+            if not _improves(saving, task.penalty):
+                break
+            accepted.discard(i)
+            workload -= task.cycles
+            improved += 1
+    obs_counters.emit(
+        "greedy_density",
+        calls=1,
+        scanned=scanned,
+        forced_rejections=forced,
+        improving_rejections=improved,
+    )
     return problem.solution(accepted, algorithm="greedy_density")
 
 
@@ -97,25 +114,37 @@ def greedy_marginal(problem: RejectionProblem) -> RejectionSolution:
     """
     accepted = set(_acceptable_indices(problem))
     density_order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
-    _restore_feasibility(problem, accepted, density_order)
-    g = problem.energy_fn
-    workload = problem.workload(accepted)
-    while accepted:
-        current = g.energy(workload)
-        best_index = None
-        best_delta = 0.0
-        for i in accepted:
-            task = problem.tasks[i]
-            saving = current - g.energy(max(workload - task.cycles, 0.0))
-            delta = task.penalty - saving
-            if _improves(saving, task.penalty) and (
-                best_index is None or delta < best_delta
-            ):
-                best_index, best_delta = i, delta
-        if best_index is None:
-            break
-        accepted.discard(best_index)
-        workload -= problem.tasks[best_index].cycles
+    with span("solve.greedy_marginal", n=problem.n):
+        _restore_feasibility(problem, accepted, density_order)
+        g = problem.energy_fn
+        workload = problem.workload(accepted)
+        rounds = evaluations = rejections = 0
+        while accepted:
+            rounds += 1
+            current = g.energy(workload)
+            best_index = None
+            best_delta = 0.0
+            for i in accepted:
+                task = problem.tasks[i]
+                saving = current - g.energy(max(workload - task.cycles, 0.0))
+                delta = task.penalty - saving
+                evaluations += 1
+                if _improves(saving, task.penalty) and (
+                    best_index is None or delta < best_delta
+                ):
+                    best_index, best_delta = i, delta
+            if best_index is None:
+                break
+            accepted.discard(best_index)
+            workload -= problem.tasks[best_index].cycles
+            rejections += 1
+    obs_counters.emit(
+        "greedy_marginal",
+        calls=1,
+        rounds=rounds,
+        evaluations=evaluations,
+        rejections=rejections,
+    )
     return problem.solution(accepted, algorithm="greedy_marginal")
 
 

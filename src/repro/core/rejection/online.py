@@ -47,6 +47,8 @@ import numpy as np
 from repro._validation import fits, require_positive
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.energy.base import EnergyFunction
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 from repro.tasks.model import FrameTask
 
 
@@ -165,11 +167,21 @@ def run_online(
     energy_fn = problem.energy_fn
     accepted: list[int] = []
     workload = 0.0
-    for i in sequence:
-        task = problem.tasks[i]
-        if not fits(workload + task.cycles, cap):
-            continue  # cannot admit: would break feasibility forever
-        if policy.admit(task, workload, energy_fn):
-            accepted.append(i)
-            workload += task.cycles
+    infeasible = 0
+    with span("solve.online", n=problem.n, policy=policy.name):
+        for i in sequence:
+            task = problem.tasks[i]
+            if not fits(workload + task.cycles, cap):
+                infeasible += 1
+                continue  # cannot admit: would break feasibility forever
+            if policy.admit(task, workload, energy_fn):
+                accepted.append(i)
+                workload += task.cycles
+    obs_counters.emit(
+        "online",
+        calls=1,
+        arrivals=len(sequence),
+        admitted=len(accepted),
+        infeasible=infeasible,
+    )
     return problem.solution(accepted, algorithm=f"online:{policy.name}")

@@ -25,6 +25,8 @@ import math
 
 from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 
 #: Refuse to grow the frontier beyond this many states.
 MAX_FRONTIER = 2_000_000
@@ -84,6 +86,48 @@ def _merge_prune(
     return merged
 
 
+def _build_frontier(
+    problem: RejectionProblem, *, label: str, guard_hint: str = ""
+) -> list[_State]:
+    """Run the dominance-pruned sweep; emits frontier-size counters.
+
+    Shared by :func:`pareto_frontier` and :func:`pareto_exact` (they
+    differ only in how the final frontier is consumed).
+    """
+    cap = problem.capacity
+    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
+    states = 1
+    peak = 1
+    with span(f"solve.{label}", n=problem.n):
+        for task in problem.tasks:
+            reject_branch = [
+                _State(s.workload, s.penalty + task.penalty, s, False)
+                for s in frontier
+            ]
+            accept_branch = [
+                _State(s.workload + task.cycles, s.penalty, s, True)
+                for s in frontier
+                if fits(s.workload + task.cycles, cap)
+            ]
+            states += len(reject_branch) + len(accept_branch)
+            frontier = _merge_prune(reject_branch, accept_branch)
+            if len(frontier) > peak:
+                peak = len(frontier)
+            if len(frontier) > MAX_FRONTIER:
+                raise ValueError(
+                    f"Pareto frontier exceeded {MAX_FRONTIER} states"
+                    + guard_hint
+                )
+    obs_counters.emit(
+        label,
+        calls=1,
+        states=states,
+        peak_frontier=peak,
+        final_frontier=len(frontier),
+    )
+    return frontier
+
+
 def pareto_frontier(
     problem: RejectionProblem,
 ) -> list[tuple[float, float, float]]:
@@ -95,22 +139,7 @@ def pareto_frontier(
     Useful for "what would accepting more work cost me" exploration.
     """
     cap = problem.capacity
-    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
-    for task in problem.tasks:
-        reject_branch = [
-            _State(s.workload, s.penalty + task.penalty, s, False)
-            for s in frontier
-        ]
-        accept_branch = [
-            _State(s.workload + task.cycles, s.penalty, s, True)
-            for s in frontier
-            if fits(s.workload + task.cycles, cap)
-        ]
-        frontier = _merge_prune(reject_branch, accept_branch)
-        if len(frontier) > MAX_FRONTIER:
-            raise ValueError(
-                f"Pareto frontier exceeded {MAX_FRONTIER} states"
-            )
+    frontier = _build_frontier(problem, label="pareto_frontier")
     g = problem.energy_fn
     return [
         (s.workload, s.penalty, g.energy(min(s.workload, cap)) + s.penalty)
@@ -127,23 +156,11 @@ def pareto_exact(problem: RejectionProblem) -> RejectionSolution:
     instance; fall back to the FPTAS).
     """
     cap = problem.capacity
-    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
-    for task in problem.tasks:
-        reject_branch = [
-            _State(s.workload, s.penalty + task.penalty, s, False)
-            for s in frontier
-        ]
-        accept_branch = [
-            _State(s.workload + task.cycles, s.penalty, s, True)
-            for s in frontier
-            if fits(s.workload + task.cycles, cap)
-        ]
-        frontier = _merge_prune(reject_branch, accept_branch)
-        if len(frontier) > MAX_FRONTIER:
-            raise ValueError(
-                f"Pareto frontier exceeded {MAX_FRONTIER} states; "
-                "use fptas() for this instance"
-            )
+    frontier = _build_frontier(
+        problem,
+        label="pareto_exact",
+        guard_hint="; use fptas() for this instance",
+    )
 
     g = problem.energy_fn
     best_state: _State | None = None

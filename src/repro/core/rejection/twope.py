@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from repro._validation import fits, require_nonnegative, require_positive
 from repro.core.rejection.problem import CostBreakdown
 from repro.energy.base import EnergyFunction
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 from repro.tasks.model import FrameTaskSet
 
 #: Enumeration guard for the 3^n oracle.
@@ -202,29 +204,37 @@ def exhaustive_twope(problem: TwoPeProblem) -> TwoPeSolution:
     horizon = g.deadline
     best_cost = math.inf
     best = None
-    for placement in itertools.product((REJECT, DVS, PE), repeat=problem.n):
-        dvs = pe = penalty = 0.0
-        any_pe = False
-        ok = True
-        for task, where in zip(problem.tasks, placement):
-            if where == DVS:
-                dvs += task.cycles
-                if not fits(dvs, cap):
-                    ok = False
-                    break
-            elif where == PE:
-                pe += task.pe_utilization
-                any_pe = True
-                if pe > 1.0 + 1e-12:
-                    ok = False
-                    break
-            else:
-                penalty += task.penalty
-        if not ok:
-            continue
-        cost = g.energy(min(dvs, cap)) + problem.pe_energy(pe, any_pe) + penalty
-        if cost < best_cost:
-            best_cost, best = cost, placement
+    obs_counters.emit("exhaustive_twope", calls=1, placements=count)
+    with span("solve.exhaustive_twope", n=problem.n):
+        for placement in itertools.product(
+            (REJECT, DVS, PE), repeat=problem.n
+        ):
+            dvs = pe = penalty = 0.0
+            any_pe = False
+            ok = True
+            for task, where in zip(problem.tasks, placement):
+                if where == DVS:
+                    dvs += task.cycles
+                    if not fits(dvs, cap):
+                        ok = False
+                        break
+                elif where == PE:
+                    pe += task.pe_utilization
+                    any_pe = True
+                    if pe > 1.0 + 1e-12:
+                        ok = False
+                        break
+                else:
+                    penalty += task.penalty
+            if not ok:
+                continue
+            cost = (
+                g.energy(min(dvs, cap))
+                + problem.pe_energy(pe, any_pe)
+                + penalty
+            )
+            if cost < best_cost:
+                best_cost, best = cost, placement
     if best is None:  # pragma: no cover - all-reject is always valid
         raise AssertionError("no valid placement")
     return _solution(problem, best, "exhaustive_twope")
@@ -299,35 +309,48 @@ def greedy_twope(problem: TwoPeProblem) -> TwoPeSolution:
         )
 
     current = evaluate(placement)
-    for _ in range(10 * problem.n + 10):
-        best_cost = current
-        best_placement: list[int] | None = None
-        for i in range(problem.n):
-            here = placement[i]
-            for where in (REJECT, DVS, PE):
-                if where == here:
-                    continue
-                placement[i] = where
-                candidate = evaluate(placement)
-                placement[i] = here
-                if candidate < best_cost - 1e-12:
-                    best_cost = candidate
-                    best_placement = list(placement)
-                    best_placement[i] = where
-        for i in range(problem.n):
-            for j in range(i + 1, problem.n):
-                if placement[i] == placement[j]:
-                    continue
-                placement[i], placement[j] = placement[j], placement[i]
-                candidate = evaluate(placement)
-                if candidate < best_cost - 1e-12:
-                    best_cost = candidate
-                    best_placement = list(placement)
-                placement[i], placement[j] = placement[j], placement[i]
-        if best_placement is None:
-            break
-        placement = best_placement
-        current = best_cost
+    sweeps = moves = evaluations = 0
+    with span("solve.greedy_twope", n=problem.n):
+        for _ in range(10 * problem.n + 10):
+            sweeps += 1
+            best_cost = current
+            best_placement: list[int] | None = None
+            for i in range(problem.n):
+                here = placement[i]
+                for where in (REJECT, DVS, PE):
+                    if where == here:
+                        continue
+                    placement[i] = where
+                    candidate = evaluate(placement)
+                    evaluations += 1
+                    placement[i] = here
+                    if candidate < best_cost - 1e-12:
+                        best_cost = candidate
+                        best_placement = list(placement)
+                        best_placement[i] = where
+            for i in range(problem.n):
+                for j in range(i + 1, problem.n):
+                    if placement[i] == placement[j]:
+                        continue
+                    placement[i], placement[j] = placement[j], placement[i]
+                    candidate = evaluate(placement)
+                    evaluations += 1
+                    if candidate < best_cost - 1e-12:
+                        best_cost = candidate
+                        best_placement = list(placement)
+                    placement[i], placement[j] = placement[j], placement[i]
+            if best_placement is None:
+                break
+            placement = best_placement
+            moves += 1
+            current = best_cost
+    obs_counters.emit(
+        "greedy_twope",
+        calls=1,
+        sweeps=sweeps,
+        moves=moves,
+        evaluations=evaluations,
+    )
     return _solution(problem, placement, "greedy_twope")
 
 

@@ -48,4 +48,15 @@ ALL_EXPERIMENTS = {
     "tab_r4": tab_r4.run,
 }
 
-__all__ = ["ALL_EXPERIMENTS"]
+def experiment_description(name: str) -> str:
+    """First line of the experiment module's docstring ('' if absent)."""
+    import sys
+
+    run_fn = ALL_EXPERIMENTS[name]
+    doc = getattr(sys.modules.get(run_fn.__module__), "__doc__", None)
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].strip()
+
+
+__all__ = ["ALL_EXPERIMENTS", "experiment_description"]

@@ -1,0 +1,50 @@
+"""Zero-dependency observability: spans, counters, manifests, stats.
+
+Three layers, each usable on its own (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — ``span("phase", **attrs)`` /
+  ``@traced`` wall-time tracing; a shared no-op unless a sink is
+  installed with ``tracing(JsonlSink(path))``;
+* :mod:`repro.obs.counters` — thread-safe solver counter registry
+  (``counting()`` installs, ``emit()`` flushes local tallies), merged
+  across the process-pool boundary in seed order;
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.stats` — per-run JSON
+  manifests under ``results/manifests/`` and the ``repro stats``
+  report over traces or manifests.
+
+The cardinal rule: **observability never changes results**.  Spans and
+counters are write-only side channels; every experiment table is
+byte-identical with tracing on, off, or sampled in workers.
+"""
+
+from repro.obs.counters import Counters, counting, emit
+from repro.obs.manifest import (
+    default_manifest_dir,
+    load_manifest,
+    manifest_path,
+    write_manifest,
+)
+from repro.obs.stats import stats_report
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "Counters",
+    "JsonlSink",
+    "MemorySink",
+    "counting",
+    "default_manifest_dir",
+    "emit",
+    "load_manifest",
+    "manifest_path",
+    "span",
+    "stats_report",
+    "traced",
+    "tracing",
+    "write_manifest",
+]

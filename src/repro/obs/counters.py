@@ -1,0 +1,114 @@
+"""Thread-safe solver counter registry.
+
+Algorithms report *what they did* — branch-and-bound nodes, DP cells,
+FPTAS scaling, greedy sweeps, Pareto frontier sizes — as named counters.
+The hot loops keep plain local integers (no locking, no lookups) and
+flush once per call through :func:`emit`/:func:`add`, which are no-ops
+unless a registry has been installed with :func:`counting`.
+
+Counter names are ``<algorithm>.<metric>`` (``branch_and_bound.nodes``,
+``fptas.states``); every instrumented solver also bumps
+``<algorithm>.calls`` so sums can be turned into per-call means.
+
+The registry is a plain summing map behind a lock, so it is safe to
+share between threads; across *process* boundaries it cannot be shared,
+so :mod:`repro.runner.pool` installs a fresh registry around each trial,
+ships its :meth:`Counters.snapshot` back with the trial result, and
+merges the payloads in seed order — which is why ``--jobs 4`` and
+``--jobs 1`` aggregate to identical totals (addition replays in the
+same order).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counters", "active", "add", "counting", "emit"]
+
+
+class Counters:
+    """A named summing registry (thread-safe)."""
+
+    __slots__ = ("_lock", "_data")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Add *value* (default 1) to counter *name*."""
+        with self._lock:
+            self._data[name] = self._data.get(name, 0) + value
+
+    def merge(self, mapping: dict) -> None:
+        """Add every counter of *mapping* into this registry."""
+        with self._lock:
+            for name, value in mapping.items():
+                self._data[name] = self._data.get(name, 0) + value
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of the current totals."""
+        with self._lock:
+            return dict(self._data)
+
+    def __bool__(self) -> bool:
+        with self._lock:
+            return bool(self._data)
+
+
+#: The installed registry; ``None`` (the default) disables counting.
+_ACTIVE: Counters | None = None
+
+
+def active() -> Counters | None:
+    """The registry installed by the innermost :func:`counting`."""
+    return _ACTIVE
+
+
+class _counting:
+    """Context manager installing a registry as the counter sink."""
+
+    __slots__ = ("_registry", "_previous")
+
+    def __init__(self, registry: Counters | None) -> None:
+        self._registry = registry if registry is not None else Counters()
+
+    def __enter__(self) -> Counters:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._registry
+        return self._registry
+
+    def __exit__(self, *exc) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False
+
+
+def counting(registry: Counters | None = None) -> _counting:
+    """``with counting() as reg:`` — collect counters for the body.
+
+    Installs *registry* (a fresh one when ``None``) as the active sink;
+    the previous sink is restored on exit, so contexts nest (innermost
+    wins — emits are never double-counted).
+    """
+    return _counting(registry)
+
+
+def add(name: str, value: float = 1) -> None:
+    """Bump one counter in the active registry (no-op when none)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.add(name, value)
+
+
+def emit(prefix: str, **values: float) -> None:
+    """Flush a solver's local tallies as ``<prefix>.<key>`` counters.
+
+    No-op when no registry is installed — solvers call this exactly once
+    per invocation, so the disabled-path cost is one ``is None`` check.
+    """
+    registry = _ACTIVE
+    if registry is not None:
+        for key, value in values.items():
+            registry.add(f"{prefix}.{key}", value)

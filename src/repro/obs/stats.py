@@ -1,0 +1,160 @@
+"""The ``repro stats`` report: digest a trace or a run manifest.
+
+Accepts either artifact the observability layer produces —
+
+* a **trace** (``repro run --trace-out trace.jsonl``): JSON-lines span
+  records, one per timed phase, including one synthetic ``trial`` span
+  per executed trial whose duration equals the manifest's recorded
+  trial time;
+* a **manifest** (``results/manifests/<experiment>-<key12>.json``): one
+  JSON object per run.
+
+and renders per-phase wall-time breakdowns, the top-k slowest trials,
+and counter totals.  The per-trial totals printed from a trace and from
+the matching manifest agree exactly: both sides record the same
+in-worker measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.manifest import MANIFEST_FORMAT, load_manifest
+
+__all__ = ["load_stats_source", "stats_report"]
+
+
+def load_stats_source(path: str | Path) -> tuple[str, object]:
+    """Classify *path* as ``("manifest", dict)`` or ``("trace", records)``.
+
+    A manifest is a single JSON object with the manifest format marker;
+    anything parseable as JSON lines of span records is a trace.  Raises
+    ``ValueError`` for everything else.
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        whole = json.loads(text)
+    except json.JSONDecodeError:
+        whole = None
+    if isinstance(whole, dict):
+        if whole.get("format") == MANIFEST_FORMAT:
+            return "manifest", load_manifest(path)
+        if "name" in whole and "dur" in whole:  # single-record trace
+            return "trace", [whole]
+        raise ValueError(f"{path} is neither a run manifest nor a trace")
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not a JSON span record") from exc
+        if not isinstance(record, dict) or "name" not in record or "dur" not in record:
+            raise ValueError(
+                f"{path}:{lineno}: span records need 'name' and 'dur' fields"
+            )
+        records.append(record)
+    if not records:
+        raise ValueError(f"{path} contains no span records")
+    return "trace", records
+
+
+def _phase_table(durations: dict[str, list[float]]) -> list[str]:
+    """Aligned count/total/mean/max rows, longest total first."""
+    rows = [
+        (name, len(ds), sum(ds), sum(ds) / len(ds), max(ds))
+        for name, ds in durations.items()
+    ]
+    rows.sort(key=lambda r: r[2], reverse=True)
+    width = max((len(r[0]) for r in rows), default=5)
+    lines = [
+        f"{'phase'.ljust(width)}  {'count':>7}  {'total s':>10}  "
+        f"{'mean s':>10}  {'max s':>10}"
+    ]
+    for name, count, total, mean, peak in rows:
+        lines.append(
+            f"{name.ljust(width)}  {count:>7}  {total:>10.4f}  "
+            f"{mean:>10.6f}  {peak:>10.6f}"
+        )
+    return lines
+
+
+def _counter_lines(counters: dict) -> list[str]:
+    width = max((len(name) for name in counters), default=7)
+    lines = []
+    for name in sorted(counters):
+        value = counters[name]
+        text = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name.ljust(width)}  {text}")
+    return lines
+
+
+def _span_label(record: dict) -> str:
+    """Grouping key: trial spans group by their trial label."""
+    if record["name"] == "trial":
+        label = record.get("attrs", {}).get("label")
+        return f"trial[{label}]" if label else "trial"
+    return record["name"]
+
+
+def _trace_report(records: list[dict], top: int) -> str:
+    durations: dict[str, list[float]] = {}
+    for record in records:
+        durations.setdefault(_span_label(record), []).append(float(record["dur"]))
+    trials = [r for r in records if r["name"] == "trial"]
+    lines = [f"-- stats: trace ({len(records)} spans) --", ""]
+    lines += _phase_table(durations)
+    if trials:
+        total = sum(float(r["dur"]) for r in trials)
+        lines += [
+            "",
+            f"trials: {len(trials)}, trial time (sum) {total:.4f} s",
+            f"top {min(top, len(trials))} slowest trials:",
+        ]
+        for record in sorted(trials, key=lambda r: r["dur"], reverse=True)[:top]:
+            label = record.get("attrs", {}).get("label", "trial")
+            lines.append(f"  {float(record['dur']):.6f} s  {label}")
+    return "\n".join(lines)
+
+
+def _manifest_report(data: dict, top: int) -> str:
+    trial_seconds = [(label, float(dur)) for label, dur in data["trial_seconds"]]
+    lines = [
+        f"-- stats: manifest {data['experiment']} --",
+        f"key           : {data['key']}",
+        f"code          : {data.get('code', '?')[:12]}",
+        f"params        : {json.dumps(data.get('params', {}), sort_keys=True)}",
+        f"seed          : {data.get('seed')}",
+        f"cache         : {data['cache']}",
+        f"jobs          : {data.get('jobs', 1)}",
+        f"wall time     : {float(data.get('wall_seconds', 0.0)):.4f} s",
+        f"trials        : {data.get('trials', len(trial_seconds))}",
+    ]
+    if trial_seconds:
+        durations: dict[str, list[float]] = {}
+        for label, dur in trial_seconds:
+            durations.setdefault(label, []).append(dur)
+        total = sum(dur for _, dur in trial_seconds)
+        lines += [f"trial time    : {total:.4f} s (sum)", ""]
+        lines += _phase_table(durations)
+        lines += ["", f"top {min(top, len(trial_seconds))} slowest trials:"]
+        ranked = sorted(trial_seconds, key=lambda pair: pair[1], reverse=True)
+        for label, dur in ranked[:top]:
+            lines.append(f"  {dur:.6f} s  {label}")
+    counters = data.get("counters") or {}
+    if counters:
+        lines += ["", "counter totals:"]
+        lines += [f"  {line}" for line in _counter_lines(counters)]
+    return "\n".join(lines)
+
+
+def stats_report(path: str | Path, *, top: int = 5) -> str:
+    """Render the stats report for a trace JSONL or manifest JSON file."""
+    kind, data = load_stats_source(path)
+    if kind == "manifest":
+        return _manifest_report(data, top)
+    return _trace_report(data, top)

@@ -1,0 +1,230 @@
+"""Span-based wall-time tracing.
+
+The library's hot paths (solvers, trial functions, the verify harness)
+mark their phases with :func:`span`::
+
+    with span("solve.branch_and_bound", n=problem.n):
+        ...
+
+or decorate whole functions with :func:`traced`.  When no sink is
+installed — the default — ``span()`` returns a shared no-op context
+manager: the cost is one module-global read plus the ``with`` protocol,
+and **nothing is allocated or recorded** (the guard in
+``benchmarks/test_obs.py`` pins this).  Installing a sink with
+:func:`tracing` turns every span into one JSON-ready record::
+
+    {"name": ..., "t0": <epoch s>, "dur": <s>, "depth": <nesting>,
+     "pid": <os.getpid()>, "attrs": {...}}
+
+Sinks
+-----
+
+:class:`JsonlSink`
+    Appends one JSON line per record to a file (lock-protected, so
+    threads may share it).  This is what ``repro run --trace-out``
+    installs.
+:class:`MemorySink`
+    Collects records in a list.  Worker processes use it to capture
+    spans that :mod:`repro.runner.pool` ships back to the parent, where
+    they are re-emitted into the parent's sink in seed order.
+
+Nesting depth is tracked per thread, so concurrent threads sharing one
+sink never corrupt each other's span stacks.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "active_sink",
+    "emit_record",
+    "span",
+    "traced",
+    "tracing",
+]
+
+#: The installed sink; ``None`` (the default) disables tracing entirely.
+_SINK = None
+
+_DEPTH = threading.local()
+
+
+class JsonlSink:
+    """Append span records to *path* as JSON lines (thread-safe)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a")
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        """Write one record as a JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySink:
+    """Collect span records in memory (``.records``)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def drain(self) -> list[dict]:
+        """Return the collected records and clear the buffer."""
+        out, self.records = self.records, []
+        return out
+
+
+def active_sink():
+    """The installed sink, or ``None`` when tracing is disabled."""
+    return _SINK
+
+
+def emit_record(record: dict) -> None:
+    """Emit a pre-built record into the active sink (no-op when none).
+
+    Used by the runner to re-emit spans captured in worker processes and
+    to write the synthetic per-trial spans whose durations must match
+    the manifest's trial timings exactly.
+    """
+    sink = _SINK
+    if sink is not None:
+        sink.emit(record)
+
+
+class _tracing:
+    """Context manager installing *sink* as the active span sink."""
+
+    __slots__ = ("_sink", "_previous")
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+
+    def __enter__(self):
+        global _SINK
+        self._previous = _SINK
+        _SINK = self._sink
+        return self._sink
+
+    def __exit__(self, *exc) -> bool:
+        global _SINK
+        _SINK = self._previous
+        return False
+
+
+def tracing(sink) -> _tracing:
+    """``with tracing(sink):`` — record spans into *sink* for the body."""
+    return _tracing(sink)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: records one wall-time measurement on exit."""
+
+    __slots__ = ("name", "attrs", "_t0", "_start", "_depth")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._depth = getattr(_DEPTH, "value", 0)
+        _DEPTH.value = self._depth + 1
+        self._t0 = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = time.perf_counter() - self._start
+        _DEPTH.value = self._depth
+        sink = _SINK
+        if sink is not None:  # sink may have been uninstalled mid-span
+            sink.emit(
+                {
+                    "name": self.name,
+                    "t0": self._t0,
+                    "dur": dur,
+                    "depth": self._depth,
+                    "pid": os.getpid(),
+                    "attrs": self.attrs,
+                }
+            )
+        return False
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named phase.
+
+    With no sink installed this returns a shared no-op object and
+    records nothing; with a sink it measures wall time and emits one
+    record (``attrs`` ride along verbatim — keep them JSON-safe).
+    """
+    if _SINK is None:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def traced(fn=None, *, name: str | None = None):
+    """Decorator form of :func:`span`.
+
+    ``@traced`` uses the function's qualified name; ``@traced(name=...)``
+    overrides it.  When tracing is disabled the wrapper adds a single
+    ``is None`` check on top of the call.
+    """
+
+    def decorate(func):
+        label = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if _SINK is None:
+                return func(*args, **kwargs)
+            with _Span(label, {}):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

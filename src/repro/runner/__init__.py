@@ -26,6 +26,7 @@ import time
 from collections.abc import Callable
 
 from repro.analysis.tables import ExperimentTable
+from repro.obs.manifest import write_manifest
 from repro.runner import cache
 from repro.runner.cache import cache_key, code_fingerprint
 from repro.runner.metrics import RunMetrics, collecting, current_collector
@@ -83,7 +84,8 @@ def run_experiment(
         table = cache.load(key)
         if table is not None:
             metrics.cache = "hit"
-            metrics.wall_seconds = time.perf_counter() - start
+            metrics.wall_seconds = _elapsed(start)
+            _write_run_manifest(metrics, key, params, seed)
             table.notes.append(metrics.summary_note())
             return table, metrics
         metrics.cache = "miss"
@@ -94,6 +96,38 @@ def run_experiment(
         table = run_fn(jobs=jobs, **params)
     if use_cache:
         cache.store(key, table)
-    metrics.wall_seconds = time.perf_counter() - start
+    metrics.wall_seconds = _elapsed(start)
+    _write_run_manifest(metrics, key, params, seed)
     table.notes.append(metrics.summary_note())
     return table, metrics
+
+
+def _elapsed(start: float) -> float:
+    """Wall time since *start*, clamped strictly positive.
+
+    Cache hits can resolve within a single clock tick on coarse
+    ``perf_counter`` platforms; reports must still show a real duration.
+    """
+    return max(time.perf_counter() - start, 1e-9)
+
+
+def _write_run_manifest(
+    metrics: RunMetrics, key: str, params: dict, seed: int | None
+) -> None:
+    """Write the run manifest and record its path; never fail the run."""
+    try:
+        path = write_manifest(
+            experiment=metrics.experiment,
+            key=key,
+            code=code_fingerprint(),
+            params=params,
+            seed=seed,
+            cache=metrics.cache,
+            jobs=metrics.jobs,
+            wall_seconds=metrics.wall_seconds,
+            trial_seconds=metrics.trial_seconds,
+            counters=metrics.counters,
+        )
+    except OSError:
+        return  # manifest dir unwritable: observability must not break runs
+    metrics.manifest = str(path)

@@ -1,12 +1,18 @@
 """Run-time instrumentation for the experiment runner.
 
 A :class:`RunMetrics` collector travels with one ``run_experiment``
-invocation and accumulates per-trial wall times, the worker count used
-for each fan-out, and the cache outcome.  Experiments do not thread the
-collector through their signatures: :func:`repro.runner.pool.map_trials`
-looks up the *active* collector (installed with :func:`collecting`) and
-records into it, so the same experiment code is instrumented when driven
-by the runner and free of overhead when called directly.
+invocation and accumulates per-trial wall times, per-trial solver
+counters (merged from the :mod:`repro.obs` payloads the pool ships
+back), the worker count used for each fan-out, and the cache outcome.
+Experiments do not thread the collector through their signatures:
+:func:`repro.runner.pool.map_trials` looks up the *active* collector
+(installed with :func:`collecting`) and records into it, so the same
+experiment code is instrumented when driven by the runner and free of
+overhead when called directly.
+
+Collectors nest: :func:`collecting` keeps a stack and ``map_trials``
+records into the **innermost** collector only, so an experiment driven
+inside another instrumented scope never double-records its trials.
 """
 
 from __future__ import annotations
@@ -30,11 +36,17 @@ class RunMetrics:
     cache:
         Cache outcome: ``"hit"``, ``"miss"``, or ``"off"``.
     wall_seconds:
-        End-to-end wall time of the run (including cache I/O).
+        End-to-end wall time of the run (including cache I/O); always
+        strictly positive, cache hits included.
     trial_seconds:
         ``(label, seconds)`` per executed trial, in merge order.
     pool_jobs:
         Worker counts actually used by each ``map_trials`` fan-out.
+    counters:
+        Aggregated solver counters (:mod:`repro.obs.counters` payloads
+        merged in seed order; identical totals for any ``jobs``).
+    manifest:
+        Path of the run manifest written for this run, when one was.
     """
 
     experiment: str
@@ -43,10 +55,20 @@ class RunMetrics:
     wall_seconds: float = 0.0
     trial_seconds: list[tuple[str, float]] = field(default_factory=list)
     pool_jobs: list[int] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    manifest: str | None = None
 
-    def record_trial(self, seconds: float, label: str | None = None) -> None:
-        """Record one trial's in-worker wall time."""
+    def record_trial(
+        self,
+        seconds: float,
+        label: str | None = None,
+        counters: dict | None = None,
+    ) -> None:
+        """Record one trial's in-worker wall time (+ counter payload)."""
         self.trial_seconds.append((label or self.experiment, seconds))
+        if counters:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
 
     def record_pool(self, jobs: int) -> None:
         """Record the worker count one fan-out actually used."""
@@ -74,6 +96,27 @@ class RunMetrics:
             f"trials={self.trials} wall={self.wall_seconds:.3f}s"
         )
 
+    def summary_line(self) -> str:
+        """The always-printed CLI one-liner for this run."""
+        return (
+            f"{self.experiment}: cache={self.cache} trials={self.trials} "
+            f"wall={self.wall_seconds:.3f}s jobs={self.jobs}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the ``--log-json`` record)."""
+        return {
+            "experiment": self.experiment,
+            "cache": self.cache,
+            "jobs": self.jobs,
+            "trials": self.trials,
+            "wall_seconds": self.wall_seconds,
+            "trial_total_seconds": self.trial_total_seconds,
+            "workers": self.max_workers,
+            "counters": dict(self.counters),
+            "manifest": self.manifest,
+        }
+
     def report(self) -> str:
         """The multi-line ``--timings`` report."""
         lines = [
@@ -97,25 +140,30 @@ class RunMetrics:
                     f"parallel speedup : {total / self.wall_seconds:.2f}x "
                     "(trial-sum / wall)"
                 )
+        if self.manifest:
+            lines.append(f"manifest         : {self.manifest}")
         return "\n".join(lines)
 
 
-#: The collector ``map_trials`` records into, when one is installed.
-_ACTIVE: RunMetrics | None = None
+#: Stack of installed collectors; ``map_trials`` records into the top.
+_STACK: list[RunMetrics] = []
 
 
 def current_collector() -> RunMetrics | None:
     """The collector installed by the innermost :func:`collecting`."""
-    return _ACTIVE
+    return _STACK[-1] if _STACK else None
 
 
 @contextlib.contextmanager
 def collecting(metrics: RunMetrics):
-    """Install *metrics* as the active collector for the ``with`` body."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = metrics
+    """Install *metrics* as the active collector for the ``with`` body.
+
+    Contexts nest; only the innermost collector records, so wrapping an
+    already-instrumented run in another ``collecting`` scope does not
+    double-record its trials.
+    """
+    _STACK.append(metrics)
     try:
         yield metrics
     finally:
-        _ACTIVE = previous
+        _STACK.pop()

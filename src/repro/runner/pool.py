@@ -17,6 +17,15 @@ The trial function contract:
   generators, no module-level RNG state;
 * ``params`` and the returned fragment are plain picklable data.
 
+Observability rides the same rails: each trial runs under a fresh
+:mod:`repro.obs.counters` registry (and, when the parent has a trace
+sink installed, an in-memory span buffer), and the worker ships the
+snapshot back with the fragment.  The parent merges counter payloads
+into its active registry and the metrics collector — and re-emits
+captured spans plus one synthetic ``trial`` span per trial — **in seed
+order**, so ``--jobs N`` aggregates to exactly the totals of a serial
+run.
+
 Executors are created lazily, keyed by worker count, reused across
 sweep points and experiments in the same process, and shut down at
 interpreter exit.  A worker death (``BrokenProcessPool``) evicts the
@@ -29,11 +38,14 @@ from __future__ import annotations
 
 import atexit
 import functools
+import os
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.runner.metrics import current_collector
 
 __all__ = ["map_trials", "trial_seeds", "shutdown_pools"]
@@ -77,11 +89,50 @@ def _evict_executor(jobs: int) -> None:
         executor.shutdown(wait=False, cancel_futures=True)
 
 
-def _timed_call(trial_fn, seed_tuple, params):
-    """Worker-side wrapper: run one trial, return (fragment, seconds)."""
+def _timed_call(
+    trial_fn,
+    seed_tuple,
+    params,
+    capture_spans: bool = False,
+    label: str | None = None,
+):
+    """Worker-side wrapper: run one trial under a fresh obs capture.
+
+    Returns ``(fragment, seconds, counters, spans)`` where *counters* is
+    the trial's counter snapshot (``None`` when the trial emitted none)
+    and *spans* the captured span records plus one synthetic ``trial``
+    span whose duration is exactly *seconds* — the same number the
+    metrics collector records, so a trace and its manifest always agree
+    on per-trial time (``None`` unless *capture_spans*).
+    """
+    sink = obs_trace.MemorySink() if capture_spans else None
+    t0 = time.time()
     start = time.perf_counter()
-    fragment = trial_fn(seed_tuple, params)
-    return fragment, time.perf_counter() - start
+    with obs_counters.counting() as registry:
+        if sink is not None:
+            with obs_trace.tracing(sink):
+                fragment = trial_fn(seed_tuple, params)
+        else:
+            fragment = trial_fn(seed_tuple, params)
+    seconds = time.perf_counter() - start
+    counters = registry.snapshot() or None
+    spans = None
+    if sink is not None:
+        sink.emit(
+            {
+                "name": "trial",
+                "t0": t0,
+                "dur": seconds,
+                "depth": 0,
+                "pid": os.getpid(),
+                "attrs": {
+                    "label": label,
+                    "seed": [int(part) for part in seed_tuple],
+                },
+            }
+        )
+        spans = sink.records
+    return fragment, seconds, counters, spans
 
 
 def map_trials(
@@ -102,22 +153,47 @@ def map_trials(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     seed_list = [tuple(int(part) for part in seed) for seed in seeds]
     collector = current_collector()
+    registry = obs_counters.active()
+    sink = obs_trace.active_sink()
+
+    def merge(item) -> object:
+        """Fold one trial's payloads into the parent-side consumers."""
+        fragment, seconds, counters, spans = item
+        if collector is not None:
+            collector.record_trial(seconds, label=label, counters=counters)
+        if registry is not None and counters:
+            registry.merge(counters)
+        if sink is not None and spans:
+            for record in spans:
+                sink.emit(record)
+        return fragment
 
     if jobs == 1 or len(seed_list) <= 1:
         if collector is not None:
             collector.record_pool(1)
-        fragments = []
-        for seed_tuple in seed_list:
-            fragment, seconds = _timed_call(trial_fn, seed_tuple, params)
-            if collector is not None:
-                collector.record_trial(seconds, label=label)
-            fragments.append(fragment)
-        return fragments
+        return [
+            merge(
+                _timed_call(
+                    trial_fn,
+                    seed_tuple,
+                    params,
+                    capture_spans=sink is not None,
+                    label=label,
+                )
+            )
+            for seed_tuple in seed_list
+        ]
 
     workers = min(jobs, len(seed_list))
     if collector is not None:
         collector.record_pool(workers)
-    call = functools.partial(_timed_call, trial_fn, params=params)
+    call = functools.partial(
+        _timed_call,
+        trial_fn,
+        params=params,
+        capture_spans=sink is not None,
+        label=label,
+    )
     # A worker dying mid-batch (OOM-kill, segfault, os._exit in the trial
     # fn) breaks the whole pool.  Evict the poisoned executor, rebuild it,
     # and retry the batch once from scratch — trial fns are pure functions
@@ -139,9 +215,4 @@ def map_trials(
                     f"function likely crashes the interpreter "
                     f"(exit/abort/OOM) deterministically"
                 ) from exc
-    fragments = []
-    for fragment, seconds in results:
-        if collector is not None:
-            collector.record_trial(seconds, label=label)
-        fragments.append(fragment)
-    return fragments
+    return [merge(item) for item in results]

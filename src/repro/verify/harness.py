@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
 from repro.io import instance_to_dict, save_instance
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
 from repro.verify.oracles import crosscheck
 from repro.verify.shrink import shrink_multiproc, shrink_problem
 from repro.verify.strategies import ALL_STRATEGIES, Strategy
@@ -46,6 +48,7 @@ class VerifyReport:
     trials: int = 0
     per_strategy: dict[str, int] = field(default_factory=dict)
     failures: list[VerifyFailure] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -149,21 +152,60 @@ def run_verification(
         raise ValueError(f"budget must be positive, got {budget!r}")
     report = VerifyReport(seed=seed)
     out_path = Path(out_dir) if out_dir is not None else None
-    for trial in range(budget):
-        strategy = strategies[trial % len(strategies)]
-        rng = np.random.default_rng([seed, trial])
-        problem = strategy.build(rng)
-        report.trials += 1
-        report.per_strategy[strategy.name] = (
-            report.per_strategy.get(strategy.name, 0) + 1
-        )
-        try:
-            violations = crosscheck(problem, rng=rng)
-        except Exception as exc:  # noqa: BLE001 - harness must not die
-            violations = [f"harness: crosscheck crashed: {exc!r}"]
-        if not violations:
-            continue
-        if shrink:
+    parent_registry = obs_counters.active()
+    with obs_counters.counting() as registry:
+        for trial in range(budget):
+            strategy = strategies[trial % len(strategies)]
+            rng = np.random.default_rng([seed, trial])
+            report.trials += 1
+            report.per_strategy[strategy.name] = (
+                report.per_strategy.get(strategy.name, 0) + 1
+            )
+            obs_counters.add(f"verify.{strategy.name}.trials")
+            with span("verify.trial", strategy=strategy.name, trial=trial):
+                problem = strategy.build(rng)
+                try:
+                    violations = crosscheck(problem, rng=rng)
+                except Exception as exc:  # noqa: BLE001 - harness must not die
+                    violations = [f"harness: crosscheck crashed: {exc!r}"]
+            if not violations:
+                continue
+            obs_counters.add("verify.findings")
+            obs_counters.add(
+                f"verify.{strategy.name}.violations", len(violations)
+            )
+            _handle_failure(
+                report,
+                problem,
+                violations,
+                strategy=strategy,
+                seed=seed,
+                trial=trial,
+                out_path=out_path,
+                shrink=shrink,
+                log=log,
+            )
+    report.counters = registry.snapshot()
+    if parent_registry is not None:
+        parent_registry.merge(report.counters)
+    return report
+
+
+def _handle_failure(
+    report: VerifyReport,
+    problem,
+    violations: list,
+    *,
+    strategy: Strategy,
+    seed: int,
+    trial: int,
+    out_path: Path | None,
+    shrink: bool,
+    log: Callable[[str], None] | None,
+) -> None:
+    """Shrink, persist, and record one failing trial."""
+    if shrink:
+        with span("verify.shrink", strategy=strategy.name, trial=trial):
             if isinstance(problem, MultiprocRejectionProblem):
                 problem = shrink_multiproc(problem, _still_fails)
             else:
@@ -171,29 +213,30 @@ def run_verification(
             try:
                 final = crosscheck(problem)
             except Exception as exc:  # noqa: BLE001
-                final = [f"harness: crosscheck crashed on shrunk instance: {exc!r}"]
-            if final:
-                violations = final
-        reproducer = None
-        if out_path is not None:
-            reproducer = _write_reproducer(
-                problem,
-                out_path,
-                strategy=strategy.name,
-                seed=seed,
-                trial=trial,
-                violations=violations,
-            )
-        failure = VerifyFailure(
+                final = [
+                    f"harness: crosscheck crashed on shrunk instance: {exc!r}"
+                ]
+        if final:
+            violations = final
+    reproducer = None
+    if out_path is not None:
+        reproducer = _write_reproducer(
+            problem,
+            out_path,
             strategy=strategy.name,
+            seed=seed,
             trial=trial,
-            violations=tuple(str(v) for v in violations),
-            reproducer=reproducer,
+            violations=violations,
         )
-        report.failures.append(failure)
-        if log is not None:
-            log(
-                f"FAIL [{strategy.name} trial {trial}]: "
-                f"{failure.violations[0]}"
-            )
-    return report
+    failure = VerifyFailure(
+        strategy=strategy.name,
+        trial=trial,
+        violations=tuple(str(v) for v in violations),
+        reproducer=reproducer,
+    )
+    report.failures.append(failure)
+    if log is not None:
+        log(
+            f"FAIL [{strategy.name} trial {trial}]: "
+            f"{failure.violations[0]}"
+        )

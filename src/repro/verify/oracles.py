@@ -50,6 +50,7 @@ from repro.core.rejection import (
     reject_random,
 )
 from repro.core.rejection.multiproc import MAX_ENUM_ASSIGNMENTS
+from repro.obs.trace import span
 from repro.verify.invariants import (
     Violation,
     check_convexity_claim,
@@ -77,7 +78,8 @@ def _run(
 ) -> object | None:
     """Run one solver, converting an unexpected exception to a violation."""
     try:
-        return call()
+        with span("verify.oracle", oracle=name):
+            return call()
     except Exception as exc:  # noqa: BLE001 - every crash is a finding
         violations.append(
             Violation("crash", f"{name} raised {type(exc).__name__}: {exc}")
@@ -150,7 +152,8 @@ def crosscheck_uniproc(
         dp_solvers.append(("dp_penalty", lambda: dp_penalty(problem)))
     for name, call in dp_solvers:
         try:
-            sol = call()
+            with span("verify.oracle", oracle=name):
+                sol = call()
         except ValueError as exc:
             if "DP cells" in str(exc):  # table guard, not a bug
                 continue

@@ -32,9 +32,10 @@ def _isolated_cache(tmp_path, monkeypatch):
     """Point the runner's result cache at a throwaway directory.
 
     Keeps every test cache-cold and stops CLI/runner tests from writing
-    into the repository's ``results/.cache``.
+    into the repository's ``results/.cache`` or ``results/manifests``.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "repro-manifests"))
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+"""Counter registry: summing, nesting, merging, thread safety."""
+
+import threading
+
+from repro.obs import counters
+
+
+class TestRegistry:
+    def test_add_and_snapshot(self):
+        reg = counters.Counters()
+        reg.add("a.calls")
+        reg.add("a.calls")
+        reg.add("a.work", 2.5)
+        assert reg.snapshot() == {"a.calls": 2, "a.work": 2.5}
+
+    def test_merge_sums(self):
+        reg = counters.Counters()
+        reg.add("x", 1)
+        reg.merge({"x": 2, "y": 3})
+        assert reg.snapshot() == {"x": 3, "y": 3}
+
+    def test_bool(self):
+        reg = counters.Counters()
+        assert not reg
+        reg.add("x")
+        assert reg
+
+    def test_thread_safety(self):
+        reg = counters.Counters()
+
+        def bump():
+            for _ in range(1000):
+                reg.add("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot() == {"n": 4000}
+
+
+class TestModuleApi:
+    def test_disabled_by_default(self):
+        assert counters.active() is None
+        counters.add("ignored")  # must be a silent no-op
+        counters.emit("ignored", calls=1)
+
+    def test_counting_installs_and_restores(self):
+        assert counters.active() is None
+        with counters.counting() as reg:
+            assert counters.active() is reg
+            counters.add("hit")
+        assert counters.active() is None
+        assert reg.snapshot() == {"hit": 1}
+
+    def test_emit_prefixes_names(self):
+        with counters.counting() as reg:
+            counters.emit("solver", calls=1, nodes=17)
+        assert reg.snapshot() == {"solver.calls": 1, "solver.nodes": 17}
+
+    def test_nested_counting_innermost_wins(self):
+        with counters.counting() as outer:
+            counters.add("outer.only")
+            with counters.counting() as inner:
+                counters.add("inner.only")
+            counters.add("outer.again")
+        assert inner.snapshot() == {"inner.only": 1}
+        assert outer.snapshot() == {"outer.only": 1, "outer.again": 1}
+
+    def test_explicit_registry_reused(self):
+        reg = counters.Counters()
+        with counters.counting(reg):
+            counters.add("a")
+        with counters.counting(reg):
+            counters.add("a")
+        assert reg.snapshot() == {"a": 2}

@@ -1,0 +1,350 @@
+"""Observability end-to-end: solvers, pool transport, runner, CLI.
+
+The cardinal rule under test throughout: instrumentation never changes
+results — tables, solutions, and costs are identical with tracing and
+counting on or off, serial or pooled.
+"""
+
+import json
+
+from repro.cli import main
+from repro.core.rejection import (
+    RejectionProblem,
+    branch_and_bound,
+    dp_cycles,
+    fptas,
+    greedy_marginal,
+    pareto_exact,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.obs import MemorySink, counters, manifest, stats, tracing
+from repro.power import xscale_power_model
+from repro.runner import run_experiment
+from repro.runner.metrics import RunMetrics, collecting
+from repro.runner.pool import map_trials, trial_seeds
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+
+def _problem(n=6):
+    tasks = FrameTaskSet(
+        FrameTask(name=f"t{i}", cycles=0.2 + 0.07 * i, penalty=0.3 + 0.1 * i)
+        for i in range(n)
+    )
+    return RejectionProblem(
+        tasks=tasks,
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline=1.0),
+    )
+
+
+def _int_problem(n=6):
+    tasks = FrameTaskSet(
+        FrameTask(name=f"t{i}", cycles=float(i + 1), penalty=float(2 * i + 1))
+        for i in range(n)
+    )
+    return RejectionProblem(
+        tasks=tasks,
+        energy_fn=ContinuousEnergyFunction(
+            xscale_power_model(), deadline=30.0
+        ),
+    )
+
+
+class TestSolverCounters:
+    def test_branch_and_bound_reports_nodes(self):
+        with counters.counting() as reg:
+            branch_and_bound(_problem())
+        snap = reg.snapshot()
+        assert snap["branch_and_bound.calls"] == 1
+        assert snap["branch_and_bound.nodes"] >= 6
+        # incumbents may stay 0 when the greedy seed is already optimal
+        assert snap["branch_and_bound.incumbents"] >= 0
+        assert snap["branch_and_bound.pruned"] >= 0
+        assert set(snap) >= {
+            "branch_and_bound.incumbents",
+            "branch_and_bound.pruned",
+        }
+
+    def test_dp_reports_cells(self):
+        with counters.counting() as reg:
+            dp_cycles(_int_problem())
+        snap = reg.snapshot()
+        assert snap["dp_cycles.calls"] == 1
+        assert snap["dp_cycles.cells"] == snap["dp_cycles.width"] * 6
+
+    def test_fptas_reports_scaled_states(self):
+        with counters.counting() as reg:
+            fptas(_problem(), eps=0.1)
+        snap = reg.snapshot()
+        assert snap["fptas.calls"] == 1
+        assert snap["fptas.states"] >= 1
+        assert snap["fptas.scale"] > 0
+
+    def test_pareto_reports_frontier(self):
+        with counters.counting() as reg:
+            pareto_exact(_problem())
+        snap = reg.snapshot()
+        assert snap["pareto_exact.calls"] == 1
+        assert snap["pareto_exact.peak_frontier"] >= 1
+        assert snap["pareto_exact.states"] >= snap["pareto_exact.final_frontier"]
+
+    def test_greedy_reports_rounds(self):
+        with counters.counting() as reg:
+            greedy_marginal(_problem())
+        snap = reg.snapshot()
+        assert snap["greedy_marginal.calls"] == 1
+        assert snap["greedy_marginal.evaluations"] >= 1
+
+
+class TestObservabilityNeverChangesResults:
+    def test_solutions_identical_with_and_without_instrumentation(self):
+        problem = _problem()
+        baseline = {
+            name: solver(problem)
+            for name, solver in (
+                ("bb", branch_and_bound),
+                ("pareto", pareto_exact),
+                ("greedy", greedy_marginal),
+            )
+        }
+        sink = MemorySink()
+        with tracing(sink), counters.counting():
+            observed = {
+                name: solver(problem)
+                for name, solver in (
+                    ("bb", branch_and_bound),
+                    ("pareto", pareto_exact),
+                    ("greedy", greedy_marginal),
+                )
+            }
+        for name, solution in baseline.items():
+            assert observed[name].cost == solution.cost
+            assert observed[name].accepted == solution.accepted
+        assert sink.records  # the spans really were recorded
+
+
+def _counting_trial(seed_tuple, params):
+    """Module-level trial fn (picklable) that emits counters and a span."""
+    from repro.obs import counters as obs_counters
+    from repro.obs.trace import span
+
+    with span("inner.work", trial=seed_tuple[1]):
+        value = seed_tuple[1] * 0.5
+    obs_counters.emit("demo", calls=1, value=value)
+    return seed_tuple[1]
+
+
+class TestPoolTransport:
+    def _run(self, jobs):
+        metrics = RunMetrics(experiment="demo", jobs=jobs)
+        with counters.counting() as reg, collecting(metrics):
+            out = map_trials(
+                _counting_trial,
+                trial_seeds(0, 8),
+                {},
+                jobs=jobs,
+                label="demo",
+            )
+        return out, reg.snapshot(), metrics
+
+    def test_counters_merge_jobs4_equals_jobs1(self):
+        out1, snap1, metrics1 = self._run(1)
+        out4, snap4, metrics4 = self._run(4)
+        assert out1 == out4 == list(range(8))
+        assert snap1 == snap4  # exact equality, floats included
+        assert snap1["demo.calls"] == 8
+        assert snap1["demo.value"] == sum(t * 0.5 for t in range(8))
+        assert metrics1.counters == metrics4.counters == snap1
+
+    def test_spans_ship_back_in_seed_order(self):
+        sink = MemorySink()
+        with tracing(sink):
+            map_trials(
+                _counting_trial,
+                trial_seeds(0, 4),
+                {},
+                jobs=2,
+                label="demo",
+            )
+        trials = [r for r in sink.records if r["name"] == "trial"]
+        assert [r["attrs"]["seed"] for r in trials] == [
+            [0, 0], [0, 1], [0, 2], [0, 3]
+        ]
+        inner = [r for r in sink.records if r["name"] == "inner.work"]
+        assert [r["attrs"]["trial"] for r in inner] == [0, 1, 2, 3]
+
+    def test_no_sink_means_no_span_payloads(self):
+        metrics = RunMetrics(experiment="demo", jobs=1)
+        with collecting(metrics):
+            out = map_trials(
+                _counting_trial, trial_seeds(0, 3), {}, jobs=1, label="demo"
+            )
+        assert out == [0, 1, 2]
+        assert metrics.trials == 3
+
+
+class TestRunnerManifests:
+    def test_run_writes_manifest_and_stats_agree(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        from repro.obs import JsonlSink
+
+        with JsonlSink(trace_path) as sink, tracing(sink):
+            table, metrics = run_experiment(
+                "fig_r1", quick=True, seed=11, use_cache=False
+            )
+        assert metrics.manifest is not None
+        data = manifest.load_manifest(metrics.manifest)
+        assert data["experiment"] == "fig_r1"
+        assert data["cache"] == "off"
+        assert data["trials"] == metrics.trials > 0
+        assert data["counters"]  # instrumented solvers really counted
+
+        # Acceptance: per-trial totals from the trace match the manifest.
+        _, records = stats.load_stats_source(trace_path)
+        trace_total = sum(
+            r["dur"] for r in records if r["name"] == "trial"
+        )
+        manifest_total = sum(dur for _, dur in data["trial_seconds"])
+        assert manifest_total > 0
+        assert abs(trace_total - manifest_total) <= 0.01 * manifest_total
+
+    def test_cache_hit_also_writes_manifest(self):
+        run_experiment("fig_r1", quick=True, seed=11)
+        table, metrics = run_experiment("fig_r1", quick=True, seed=11)
+        assert metrics.cache == "hit"
+        assert metrics.wall_seconds > 0
+        data = manifest.load_manifest(metrics.manifest)
+        assert data["cache"] == "hit"
+        assert data["trials"] == 0
+
+    def test_tables_identical_with_and_without_tracing(self):
+        plain, _ = run_experiment(
+            "fig_r1", quick=True, seed=5, use_cache=False
+        )
+        sink = MemorySink()
+        with tracing(sink):
+            traced_table, _ = run_experiment(
+                "fig_r1", quick=True, seed=5, use_cache=False
+            )
+        assert traced_table.rows == plain.rows
+        assert traced_table.columns == plain.columns
+
+
+class TestCliSurface:
+    def test_run_prints_summary_line_by_default(self, capsys):
+        assert main(["run", "fig_r1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.startswith("fig_r1: cache=miss trials=")
+            for line in out.splitlines()
+        )
+
+    def test_run_log_json(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--log-json"]) == 0
+        out = capsys.readouterr().out
+        payloads = [
+            json.loads(line)
+            for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(payloads) == 1
+        record = payloads[0]
+        assert record["experiment"] == "fig_r1"
+        assert record["cache"] == "miss"
+        assert record["trials"] > 0
+        assert record["manifest"]
+        assert record["counters"]
+
+    def test_run_trace_out_then_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["run", "fig_r1", "--quick", "--trace-out", str(trace_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert trace_path.exists()
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- stats: trace" in out
+        assert "trial[fig_r1" in out  # labels carry the sweep point
+
+    def test_stats_on_manifest(self, capsys):
+        assert main(["run", "fig_r1", "--quick", "--log-json"]) == 0
+        record = json.loads(
+            [
+                line
+                for line in capsys.readouterr().out.splitlines()
+                if line.startswith("{")
+            ][0]
+        )
+        assert main(["stats", record["manifest"]]) == 0
+        out = capsys.readouterr().out
+        assert "-- stats: manifest fig_r1 --" in out
+        assert "counter totals:" in out
+
+    def test_stats_missing_file(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_stats_garbage_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "cannot digest" in capsys.readouterr().err
+
+    def test_solve_explain_prints_counters(self, capsys, tmp_path):
+        instance = tmp_path / "inst.json"
+        assert main(["generate", str(instance), "--n", "8", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "solve",
+                    str(instance),
+                    "--algorithm",
+                    "branch_and_bound",
+                    "--explain",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "-- solver counters --" in out
+        assert "branch_and_bound.nodes" in out
+
+    def test_verify_trace_out(self, capsys, tmp_path):
+        trace_path = tmp_path / "verify.jsonl"
+        code = main(
+            [
+                "verify",
+                "--budget",
+                "4",
+                "--seed",
+                "0",
+                "--out-dir",
+                str(tmp_path / "failures"),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        _, records = stats.load_stats_source(trace_path)
+        names = {r["name"] for r in records}
+        assert "verify.trial" in names
+        assert "verify.oracle" in names
+
+
+class TestVerifyCounters:
+    def test_report_carries_counters(self):
+        from repro.verify import run_verification
+
+        report = run_verification(budget=4, seed=0, out_dir=None)
+        assert report.counters.get("verify.findings", 0) == 0
+        trial_totals = [
+            value
+            for name, value in report.counters.items()
+            if name.startswith("verify.") and name.endswith(".trials")
+        ]
+        assert sum(trial_totals) == 4

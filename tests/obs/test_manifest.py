@@ -1,0 +1,75 @@
+"""Run manifests: write/load round-trip, schema validation, locations."""
+
+import json
+
+import pytest
+
+from repro.obs import manifest
+
+
+def _write(tmp_path, **overrides):
+    payload = dict(
+        experiment="fig_rX",
+        key="abcdef0123456789",
+        code="deadbeefcafe",
+        params={"quick": True},
+        seed=7,
+        cache="miss",
+        jobs=2,
+        wall_seconds=1.25,
+        trial_seconds=[("fig_rX", 0.5), ("fig_rX", 0.75)],
+        counters={"solver.calls": 2.0},
+        manifest_dir=tmp_path,
+    )
+    payload.update(overrides)
+    return manifest.write_manifest(**payload)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = _write(tmp_path)
+        assert path == tmp_path / "fig_rX-abcdef012345.json"
+        data = manifest.load_manifest(path)
+        assert data["experiment"] == "fig_rX"
+        assert data["key"] == "abcdef0123456789"
+        assert data["cache"] == "miss"
+        assert data["jobs"] == 2
+        assert data["trials"] == 2
+        assert data["trial_seconds"] == [["fig_rX", 0.5], ["fig_rX", 0.75]]
+        assert data["counters"] == {"solver.calls": 2.0}
+        assert data["format"] == manifest.MANIFEST_FORMAT
+        assert data["created"] > 0
+
+    def test_rerun_overwrites_same_path(self, tmp_path):
+        first = _write(tmp_path, wall_seconds=1.0)
+        second = _write(tmp_path, wall_seconds=2.0)
+        assert first == second
+        assert manifest.load_manifest(first)["wall_seconds"] == 2.0
+        assert len(list(tmp_path.iterdir())) == 1  # no leftover temp files
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 999}))
+        with pytest.raises(ValueError, match="format"):
+            manifest.load_manifest(path)
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": manifest.MANIFEST_FORMAT, "experiment": "x"})
+        )
+        with pytest.raises(ValueError, match="missing"):
+            manifest.load_manifest(path)
+
+
+class TestLocations:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "custom"))
+        assert manifest.default_manifest_dir() == tmp_path / "custom"
+        path = _write(None, manifest_dir=None)
+        assert path.parent == tmp_path / "custom"
+
+    def test_default_under_results(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MANIFEST_DIR", raising=False)
+        d = manifest.default_manifest_dir()
+        assert d.parts[-2:] == ("results", "manifests")

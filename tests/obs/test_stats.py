@@ -1,0 +1,168 @@
+"""``repro stats`` source loading and report rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import manifest, stats
+
+
+def _trace_file(tmp_path, records):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def _record(name, dur, **attrs):
+    return {
+        "name": name,
+        "t0": 0.0,
+        "dur": dur,
+        "depth": 0,
+        "pid": 1,
+        "attrs": attrs,
+    }
+
+
+class TestLoadSource:
+    def test_classifies_trace(self, tmp_path):
+        path = _trace_file(tmp_path, [_record("solve.x", 0.5)])
+        kind, records = stats.load_stats_source(path)
+        assert kind == "trace"
+        assert len(records) == 1
+
+    def test_classifies_manifest(self, tmp_path):
+        path = manifest.write_manifest(
+            experiment="fig_rX",
+            key="0123456789abcdef",
+            code="c0de",
+            params={},
+            seed=None,
+            cache="off",
+            jobs=1,
+            wall_seconds=0.1,
+            trial_seconds=[],
+            counters={},
+            manifest_dir=tmp_path,
+        )
+        kind, data = stats.load_stats_source(path)
+        assert kind == "manifest"
+        assert data["experiment"] == "fig_rX"
+
+    def test_rejects_garbage_line_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_record("ok", 0.1)) + "\nnot json\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            stats.load_stats_source(path)
+
+    def test_rejects_record_without_dur(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(_record("ok", 0.1)) + "\n" + '{"name": "x"}\n'
+        )
+        with pytest.raises(ValueError, match="'name' and 'dur'"):
+            stats.load_stats_source(path)
+
+    def test_rejects_single_object_that_is_neither(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}\n')
+        with pytest.raises(ValueError, match="neither"):
+            stats.load_stats_source(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no span records"):
+            stats.load_stats_source(path)
+
+
+class TestTraceReport:
+    def test_phase_table_and_trial_totals(self, tmp_path):
+        records = [
+            _record("solve.fptas", 0.25),
+            _record("solve.fptas", 0.75),
+            _record("trial", 2.0, label="fig_r1", seed=[0, 0]),
+            _record("trial", 1.0, label="fig_r1", seed=[0, 1]),
+        ]
+        report = stats.stats_report(_trace_file(tmp_path, records))
+        assert "-- stats: trace (4 spans) --" in report
+        assert "solve.fptas" in report
+        assert "trial[fig_r1]" in report
+        assert "trials: 2, trial time (sum) 3.0000 s" in report
+        assert "2.000000 s  fig_r1" in report  # slowest first
+
+    def test_top_limits_trial_listing(self, tmp_path):
+        records = [
+            _record("trial", float(k + 1), label=f"t{k}") for k in range(6)
+        ]
+        report = stats.stats_report(_trace_file(tmp_path, records), top=2)
+        assert "top 2 slowest trials:" in report
+        assert "t5" in report and "t4" in report
+        assert "  1.000000 s" not in report
+
+
+class TestManifestReport:
+    def test_renders_header_trials_counters(self, tmp_path):
+        path = manifest.write_manifest(
+            experiment="fig_rX",
+            key="0123456789abcdef",
+            code="deadbeefcafe00",
+            params={"quick": True},
+            seed=3,
+            cache="miss",
+            jobs=4,
+            wall_seconds=1.5,
+            trial_seconds=[("fig_rX", 0.5), ("fig_rX", 1.0)],
+            counters={"fptas.calls": 2, "fptas.states": 100.0},
+            manifest_dir=tmp_path,
+        )
+        report = stats.stats_report(path)
+        assert "-- stats: manifest fig_rX --" in report
+        assert "cache         : miss" in report
+        assert "jobs          : 4" in report
+        assert "trial time    : 1.5000 s (sum)" in report
+        assert "fptas.states" in report
+        assert "counter totals:" in report
+
+
+class TestTraceManifestAgreement:
+    def test_trial_totals_match_exactly(self, tmp_path):
+        """The acceptance bar: trace and manifest report the same trial time.
+
+        The runner writes both from the *same* measurement, so the match
+        is exact, well inside the 1% acceptance tolerance.
+        """
+        trial_seconds = [("fig_rX", 0.125), ("fig_rX", 0.25), ("fig_rX", 0.5)]
+        records = [
+            _record("trial", dur, label=label) for label, dur in trial_seconds
+        ]
+        trace_path = _trace_file(tmp_path, records)
+        manifest_path = manifest.write_manifest(
+            experiment="fig_rX",
+            key="0123456789abcdef",
+            code="c0de",
+            params={},
+            seed=None,
+            cache="miss",
+            jobs=1,
+            wall_seconds=1.0,
+            trial_seconds=trial_seconds,
+            counters={},
+            manifest_dir=tmp_path,
+        )
+        trace_total = sum(
+            r["dur"]
+            for r in stats.load_stats_source(trace_path)[1]
+            if r["name"] == "trial"
+        )
+        kind, data = stats.load_stats_source(manifest_path)
+        manifest_total = sum(dur for _, dur in data["trial_seconds"])
+        assert trace_total == manifest_total
+
+
+def test_single_record_trace_is_accepted(tmp_path):
+    path = tmp_path / "one.jsonl"
+    path.write_text(json.dumps(_record("solo", 0.5)))
+    kind, records = stats.load_stats_source(path)
+    assert kind == "trace"
+    assert len(records) == 1

@@ -1,0 +1,135 @@
+"""Span tracing: no-op path, sinks, nesting, round-trips."""
+
+import json
+import threading
+
+from repro.obs import trace
+
+
+class TestDisabledPath:
+    def test_span_without_sink_is_shared_noop(self):
+        a = trace.span("x", n=3)
+        b = trace.span("y")
+        assert a is b  # the shared singleton: nothing allocated
+
+    def test_noop_span_records_nothing(self):
+        sink = trace.MemorySink()
+        with trace.span("outside"):
+            pass
+        assert trace.active_sink() is None
+        assert sink.records == []
+
+    def test_emit_record_without_sink_is_noop(self):
+        trace.emit_record({"name": "x", "dur": 1.0})  # must not raise
+
+    def test_traced_without_sink_calls_through(self):
+        @trace.traced
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+
+
+class TestMemorySink:
+    def test_span_records_name_duration_attrs(self):
+        sink = trace.MemorySink()
+        with trace.tracing(sink):
+            with trace.span("phase", n=7):
+                pass
+        (record,) = sink.records
+        assert record["name"] == "phase"
+        assert record["attrs"] == {"n": 7}
+        assert record["dur"] >= 0.0
+        assert record["depth"] == 0
+        assert isinstance(record["pid"], int)
+
+    def test_nesting_depth(self):
+        sink = trace.MemorySink()
+        with trace.tracing(sink):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+
+    def test_nesting_depth_is_per_thread(self):
+        sink = trace.MemorySink()
+        seen = []
+
+        def worker():
+            with trace.span("t"):
+                seen.append(True)
+
+        with trace.tracing(sink):
+            with trace.span("main-outer"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["t"]["depth"] == 0  # fresh thread, fresh stack
+
+    def test_tracing_restores_previous_sink(self):
+        outer, inner = trace.MemorySink(), trace.MemorySink()
+        with trace.tracing(outer):
+            with trace.tracing(inner):
+                with trace.span("x"):
+                    pass
+            with trace.span("y"):
+                pass
+        assert [r["name"] for r in inner.records] == ["x"]
+        assert [r["name"] for r in outer.records] == ["y"]
+
+    def test_drain_empties_buffer(self):
+        sink = trace.MemorySink()
+        with trace.tracing(sink), trace.span("x"):
+            pass
+        assert len(sink.drain()) == 1
+        assert sink.records == []
+
+    def test_traced_decorator_uses_qualname_and_override(self):
+        sink = trace.MemorySink()
+
+        @trace.traced
+        def plain():
+            return 1
+
+        @trace.traced(name="custom")
+        def named():
+            return 2
+
+        with trace.tracing(sink):
+            plain()
+            named()
+        names = [r["name"] for r in sink.records]
+        assert names[1] == "custom"
+        assert "plain" in names[0]
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with trace.JsonlSink(path) as sink, trace.tracing(sink):
+            with trace.span("alpha", k=1):
+                with trace.span("beta"):
+                    pass
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        # inner span exits (and is written) first
+        assert [r["name"] for r in records] == ["beta", "alpha"]
+        assert records[1]["attrs"] == {"k": 1}
+        for record in records:
+            assert set(record) == {"name", "t0", "dur", "depth", "pid", "attrs"}
+
+    def test_appends_across_sessions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with trace.JsonlSink(path) as sink, trace.tracing(sink):
+                with trace.span("x"):
+                    pass
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = trace.JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()

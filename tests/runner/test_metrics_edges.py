@@ -1,0 +1,107 @@
+"""Regression tests for RunMetrics edge cases.
+
+Two bugs the observability PR fixed:
+
+* nested ``collecting()`` scopes double-recorded every trial (both the
+  inner and outer collector saw the same ``record_trial``);
+* cache hits could report ``wall_seconds == 0.0`` on coarse clocks,
+  which broke the speedup line and read as "the run took no time".
+"""
+
+import time
+
+from repro.runner import run_experiment
+from repro.runner.metrics import RunMetrics, collecting, current_collector
+from repro.runner.pool import map_trials, trial_seeds
+
+
+def _sleepless_trial(seed_tuple, params):
+    return seed_tuple[1]
+
+
+class TestNestedCollecting:
+    def test_innermost_collector_wins(self):
+        outer = RunMetrics(experiment="outer")
+        inner = RunMetrics(experiment="inner")
+        with collecting(outer):
+            with collecting(inner):
+                map_trials(_sleepless_trial, trial_seeds(0, 3), {}, jobs=1)
+            map_trials(_sleepless_trial, trial_seeds(0, 2), {}, jobs=1)
+        assert inner.trials == 3  # not 5: no double-record
+        assert outer.trials == 2
+
+    def test_stack_restores_after_exception(self):
+        outer = RunMetrics(experiment="outer")
+        try:
+            with collecting(outer):
+                with collecting(RunMetrics(experiment="inner")):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_collector() is None
+
+    def test_no_collector_outside_scopes(self):
+        assert current_collector() is None
+        with collecting(RunMetrics(experiment="x")) as metrics:
+            assert current_collector() is metrics
+        assert current_collector() is None
+
+
+class TestCacheHitWallTime:
+    def test_cache_hit_reports_positive_wall_seconds(self):
+        run_experiment("fig_r1", quick=True, seed=3)
+        _, metrics = run_experiment("fig_r1", quick=True, seed=3)
+        assert metrics.cache == "hit"
+        assert metrics.trials == 0
+        assert metrics.wall_seconds > 0
+
+    def test_miss_wall_seconds_positive_too(self):
+        _, metrics = run_experiment(
+            "fig_r1", quick=True, seed=4, use_cache=False
+        )
+        assert metrics.cache == "off"
+        assert metrics.wall_seconds > 0
+
+
+class TestRecordTrial:
+    def test_counters_merge_across_trials(self):
+        metrics = RunMetrics(experiment="x")
+        metrics.record_trial(0.1, counters={"a.calls": 1, "a.work": 2.5})
+        metrics.record_trial(0.2, counters={"a.calls": 1})
+        assert metrics.counters == {"a.calls": 2, "a.work": 2.5}
+        assert metrics.trials == 2
+
+    def test_summary_line_fields(self):
+        metrics = RunMetrics(experiment="fig_r9", jobs=3, cache="miss")
+        metrics.wall_seconds = 1.5
+        line = metrics.summary_line()
+        assert line.startswith("fig_r9: cache=miss trials=0 wall=1.500s")
+        assert "jobs=3" in line
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        metrics = RunMetrics(experiment="x", jobs=2, cache="hit")
+        metrics.record_trial(0.25, label="x", counters={"c": 1})
+        payload = json.loads(json.dumps(metrics.as_dict()))
+        assert payload["experiment"] == "x"
+        assert payload["trials"] == 1
+        assert payload["counters"] == {"c": 1}
+
+    def test_report_includes_manifest_when_set(self):
+        metrics = RunMetrics(experiment="x")
+        assert "manifest" not in metrics.report()
+        metrics.manifest = "results/manifests/x-abc.json"
+        assert "manifest" in metrics.report()
+
+
+def test_trial_seconds_measured_not_zero():
+    metrics = RunMetrics(experiment="x")
+
+    def _sleepy(seed_tuple, params):
+        time.sleep(0.01)
+        return None
+
+    with collecting(metrics):
+        map_trials(_sleepy, trial_seeds(0, 1), {}, jobs=1)
+    assert metrics.trial_total_seconds >= 0.01

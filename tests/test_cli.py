@@ -10,8 +10,15 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out.splitlines()
-        assert out == list(ALL_EXPERIMENTS)
+        assert [line.split()[0] for line in out] == list(ALL_EXPERIMENTS)
         assert len(out) == 17  # Fig R1-R13 + Tab R1-R4
+
+    def test_list_shows_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # every experiment line carries the module docstring's first line
+        assert "average normalized cost vs number of tasks" in out
+        assert "runtime scaling" in out
 
     def test_run_one_quick(self, capsys):
         assert main(["run", "fig_r1", "--quick"]) == 0
@@ -91,7 +98,8 @@ class TestRunnerFlags:
         strip = lambda text: [
             line
             for line in text.splitlines()
-            if not line.startswith("# runner:")
+            # runner notes and the summary line carry wall time / jobs
+            if not line.startswith("# runner:") and "wall=" not in line
         ]
         assert strip(serial) == strip(parallel)
 
