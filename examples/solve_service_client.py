@@ -1,0 +1,143 @@
+"""Scenario: talking to the solve service from a plain HTTP client.
+
+Spawns ``repro serve`` as a subprocess (ephemeral port, fixed capacity
+so the rejection demo is deterministic), then walks the whole request
+surface with nothing but ``urllib``:
+
+* a synchronous solve (full solution in the response),
+* the identical resubmission — answered from the content cache,
+* an async solve: 202 + ticket, polled via ``GET /result/<id>``,
+* a request too big for the configured capacity — a principled 429,
+* the ``/metrics`` admission/cache bookkeeping at the end.
+
+Run:  python examples/solve_service_client.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.rejection import RejectionProblem
+from repro.energy import ContinuousEnergyFunction
+from repro.io import instance_to_dict
+from repro.power import xscale_power_model
+from repro.tasks import frame_instance
+
+
+def http(method: str, url: str, body: dict | None = None) -> tuple[int, dict]:
+    """One JSON exchange; returns (status, payload) without raising."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data, {"Content-Type": "application/json"}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:  # 4xx/5xx still carry JSON
+        return exc.code, json.load(exc)
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",              # ephemeral: the banner names it
+            "--workers", "1",
+            "--capacity", "20000",      # small on purpose (rejection demo)
+            "--rate", "1e9",            # skip calibration for a fast start
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline().strip()  # repro serve: listening on ...
+    print(banner)
+    url = banner.split("listening on ", 1)[1].split()[0]
+    return proc, url
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    problem = RejectionProblem(
+        tasks=frame_instance(rng, n_tasks=10, load=1.6),
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline=1.0),
+    )
+    instance = instance_to_dict(problem)
+
+    proc, url = start_server()
+    try:
+        print("\n-- synchronous solve ------------------------------------")
+        body = {"instance": instance, "algorithm": "fptas", "eps": 0.1}
+        status, first = http("POST", f"{url}/solve", body)
+        solution = first["solution"]
+        print(f"HTTP {status}  cache={first['cache']}  "
+              f"cost={solution['cost']:.4f}  "
+              f"rejected={', '.join(solution['rejected']) or '-'}")
+
+        print("\n-- identical resubmission -------------------------------")
+        status, again = http("POST", f"{url}/solve", body)
+        print(f"HTTP {status}  cache={again['cache']}  "
+              f"(same solution: {again['solution'] == solution})")
+
+        print("\n-- async mode: ticket + poll ----------------------------")
+        status, ticket = http(
+            "POST", f"{url}/solve",
+            {"instance": instance, "algorithm": "greedy_marginal",
+             "mode": "async"},
+        )
+        print(f"HTTP {status}  ticket={ticket['id']}")
+        while True:
+            status, result = http("GET", f"{url}/result/{ticket['id']}")
+            if status != 202:
+                break
+            time.sleep(0.02)
+        print(f"HTTP {status}  status={result['status']}  "
+              f"algorithm={result['solution']['algorithm']}")
+
+        print("\n-- a request the capacity cannot hold -------------------")
+        # fptas at eps=0.001 is ~1M work units against 20k of capacity:
+        # the admission controller answers 429 instead of queueing it.
+        status, rejected = http(
+            "POST", f"{url}/solve",
+            {"instance": instance, "algorithm": "fptas", "eps": 0.001},
+        )
+        print(f"HTTP {status}  status={rejected['status']}  "
+              f"reason={rejected['reason']}")
+
+        print("\n-- /metrics bookkeeping ---------------------------------")
+        _, metrics = http("GET", f"{url}/metrics")
+        admission = metrics["admission"]
+        cache = metrics["cache"]
+        print(f"admitted={admission['admitted']}  "
+              f"rejected={admission['rejected']}  "
+              f"cache hits={cache['hits']} misses={cache['misses']}")
+        counters = metrics["counters"]
+        accounted = sum(
+            counters.get(f"service.solve.{key}", 0)
+            for key in ("cached", "admitted", "rejected",
+                        "invalid", "unavailable")
+        )
+        print(f"solve.total={counters['service.solve.total']:.0f} "
+              f"== accounted={accounted:.0f}")
+    finally:
+        proc.send_signal(signal.SIGTERM)  # drains in-flight requests
+        proc.wait(timeout=60)
+    print("\nserver drained and exited cleanly")
+
+
+if __name__ == "__main__":
+    main()

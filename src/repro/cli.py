@@ -23,6 +23,12 @@ Usage::
 
     repro stats trace.jsonl                  # digest a span trace
     repro stats results/manifests/fig_r1-0123456789ab.json
+
+    repro serve --port 8722 --workers 2          # batching solve server
+    repro serve --policy threshold --theta 1.0   # admission control (429s)
+    repro bench-serve --requests 200 --seed 0    # seeded load generator
+
+    repro --version
 """
 
 from __future__ import annotations
@@ -48,15 +54,41 @@ SOLVERS = {
 }
 
 
+class _Parser(argparse.ArgumentParser):
+    """Argparse with PR-2-style one-line errors on stderr + exit 2."""
+
+    def error(self, message: str) -> None:  # noqa: D102 - argparse hook
+        self.exit(2, f"{self.prog}: {message}\n")
+
+
+def _version_string() -> str:
+    """The installed distribution version, else the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description=(
             "Reproduction harness for 'Energy-efficient real-time task "
             "scheduling with task rejection' (DATE 2007)"
         ),
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_version_string()}",
+    )
+    sub = parser.add_subparsers(
+        dest="command", required=True, parser_class=_Parser
+    )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -215,6 +247,140 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="how many slowest trials to list (default 5)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batching solve server",
+        description=(
+            "Serve solve requests over HTTP/JSON with paper-faithful "
+            "admission control: each request is priced as a frame task "
+            "against the measured worker-pool capacity, and an online "
+            "rejection policy decides accept (solve, micro-batched) or "
+            "429 (reject). Endpoints: POST /solve, GET /result/<id>, "
+            "GET /healthz, GET /metrics. See docs/service.md."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8722, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="solver processes"
+    )
+    serve.add_argument(
+        "--policy",
+        default="accept",
+        choices=("accept", "threshold", "reject_all"),
+        help="admission policy (threshold = marginal-energy rule)",
+    )
+    serve.add_argument(
+        "--theta",
+        type=float,
+        default=1.0,
+        help="threshold policy acceptance parameter (> 0)",
+    )
+    serve.add_argument(
+        "--reserve",
+        action="store_true",
+        help="threshold policy: price marginals at the capacity-filling "
+        "anchor (holds headroom back under overload)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=float,
+        default=None,
+        metavar="UNITS",
+        help="admission capacity in work units "
+        "(default: measured worker throughput x workers x window)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="UNITS_PER_S",
+        help="single-worker service rate override (default: measured)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="admission window: seconds of throughput held as backlog",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="largest micro-batch"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch assembly window in milliseconds",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="result-cache LRU bound",
+    )
+    serve.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append request/batch span records (JSONL) to FILE",
+    )
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="load-generate against a running solve server",
+        description=(
+            "Fire a seeded stream of random solve requests at a repro "
+            "serve instance and report throughput, latency percentiles, "
+            "reject rate, and cache hits per pass. The same seed "
+            "produces the same requests, so pass 2 exercises the "
+            "server's content-addressed cache."
+        ),
+    )
+    bench.add_argument("--host", default="127.0.0.1", help="server address")
+    bench.add_argument("--port", type=int, default=8722, help="server port")
+    bench.add_argument(
+        "--requests", type=int, default=200, help="requests per pass"
+    )
+    bench.add_argument("--seed", type=int, default=0, help="request-stream seed")
+    bench.add_argument(
+        "--passes", type=int, default=2, help="identical passes to run"
+    )
+    bench.add_argument(
+        "--mode",
+        default="closed",
+        choices=("closed", "open"),
+        help="closed loop (fixed concurrency) or open loop (fixed rate)",
+    )
+    bench.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop client connections",
+    )
+    bench.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate (requests/second)",
+    )
+    bench.add_argument(
+        "--algorithm",
+        default="greedy_marginal",
+        help="solver requested for every instance",
+    )
+    bench.add_argument(
+        "--eps", type=float, default=0.1, help="FPTAS accuracy parameter"
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON line per pass instead of text",
+    )
     return parser
 
 
@@ -338,6 +504,127 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.rejection.online import RejectAll, ThresholdPolicy
+    from repro.service import SolveService
+
+    if args.workers < 1:
+        print(
+            f"--workers must be a positive integer, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.policy == "threshold" and not args.theta > 0:
+        print(f"--theta must be > 0, got {args.theta}", file=sys.stderr)
+        return 2
+    if args.capacity is not None and not args.capacity > 0:
+        print(f"--capacity must be > 0, got {args.capacity}", file=sys.stderr)
+        return 2
+    policy = None
+    if args.policy == "threshold":
+        policy = ThresholdPolicy(args.theta, reserve=args.reserve)
+    elif args.policy == "reject_all":
+        policy = RejectAll()
+    service = SolveService(
+        policy=policy,
+        workers=args.workers,
+        capacity_units=args.capacity,
+        rate_units_per_s=args.rate,
+        window_s=args.window,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        cache_entries=args.cache_entries,
+    )
+
+    async def _run() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"(policy={service.metrics_dict()['service']['policy']}, "
+            f"workers={service.workers}, "
+            f"capacity={service.capacity_units:.0f} units)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        await stop.wait()
+        print("repro serve: draining in-flight requests ...", flush=True)
+        await service.stop(drain=True)
+
+    with _maybe_tracing(args.trace_out):
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:  # pragma: no cover - non-posix fallback
+            pass
+    if args.trace_out is not None:
+        print(f"(trace written to {args.trace_out})")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+
+    from repro.service.loadgen import format_stats, run_load
+    from repro.service.models import SOLVER_NAMES
+
+    if args.requests < 1:
+        print(
+            f"--requests must be a positive integer, got {args.requests}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.passes < 1:
+        print(
+            f"--passes must be a positive integer, got {args.passes}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm not in SOLVER_NAMES:
+        print(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {', '.join(SOLVER_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        results = run_load(
+            args.host,
+            args.port,
+            requests=args.requests,
+            seed=args.seed,
+            passes=args.passes,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            algorithm=args.algorithm,
+            eps=args.eps,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for stats in results:
+        print(
+            json.dumps(stats.as_dict(), sort_keys=True)
+            if args.json
+            else format_stats(stats)
+        )
+        if stats.server_errors or stats.transport_errors:
+            failed = True
+    return 1 if failed else 0
+
+
 @contextlib.contextmanager
 def _maybe_tracing(trace_out: Path | None):
     """Install a JSONL span sink for the body when *trace_out* is set."""
@@ -353,7 +640,12 @@ def _maybe_tracing(trace_out: Path | None):
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse raises for --help/--version (0) and for parse errors
+        # (2, after the parser's one-line stderr message).
+        return int(exc.code or 0)
 
     if args.command == "list":
         width = max(len(name) for name in ALL_EXPERIMENTS)
@@ -373,6 +665,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stats":
         return _cmd_stats(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
 
     if args.jobs < 1:
         print(

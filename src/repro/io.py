@@ -5,9 +5,16 @@ with other tools, and replayed bit-exactly:
 
 * :func:`save_instance` / :func:`load_instance` — a frame-based
   rejection instance: tasks + platform (power model, deadline, energy
-  model kind, dormant parameters);
+  model kind, dormant parameters).  Both uniprocessor
+  (:class:`~repro.core.rejection.problem.RejectionProblem`) and
+  partitioned-multiprocessor
+  (:class:`~repro.core.rejection.multiproc.MultiprocRejectionProblem`)
+  instances round-trip; a multiprocessor payload carries
+  ``"processors": m`` and uniprocessor payloads are unchanged, so files
+  written by earlier versions still load;
 * :func:`solution_to_dict` — a solved instance's decision + cost
-  breakdown + speed plan, ready for ``json.dump``.
+  breakdown + speed plan (uniprocessor) or per-processor assignment
+  (multiprocessor), ready for ``json.dump``.
 
 The schema is deliberately explicit (no pickling, no class names) so a
 non-Python consumer can read it; ``schema_version`` guards evolution.
@@ -19,7 +26,12 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.rejection import RejectionProblem, RejectionSolution
+from repro.core.rejection import (
+    MultiprocRejectionProblem,
+    MultiprocRejectionSolution,
+    RejectionProblem,
+    RejectionSolution,
+)
 from repro.energy import (
     ContinuousEnergyFunction,
     CriticalSpeedEnergyFunction,
@@ -122,9 +134,20 @@ def _energy_fn_from_dict(data: dict[str, Any]) -> EnergyFunction:
     raise ValueError(f"unsupported energy function kind {kind!r}")
 
 
-def instance_to_dict(problem: RejectionProblem) -> dict[str, Any]:
-    """The JSON-ready representation of a rejection instance."""
-    return {
+def instance_to_dict(
+    problem: RejectionProblem | MultiprocRejectionProblem,
+) -> dict[str, Any]:
+    """The JSON-ready representation of a rejection instance.
+
+    A :class:`MultiprocRejectionProblem` additionally carries
+    ``"processors": m``; uniprocessor payloads omit the key entirely, so
+    the uniprocessor schema is byte-identical to earlier versions.
+    """
+    if not isinstance(problem, (RejectionProblem, MultiprocRejectionProblem)):
+        raise TypeError(
+            f"cannot serialise instance of type {type(problem).__name__}"
+        )
+    data: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "tasks": [
             {"name": t.name, "cycles": t.cycles, "penalty": t.penalty}
@@ -132,10 +155,20 @@ def instance_to_dict(problem: RejectionProblem) -> dict[str, Any]:
         ],
         "energy_fn": _energy_fn_to_dict(problem.energy_fn),
     }
+    if isinstance(problem, MultiprocRejectionProblem):
+        data["processors"] = int(problem.m)
+    return data
 
 
-def instance_from_dict(data: dict[str, Any]) -> RejectionProblem:
-    """Rebuild a rejection instance from :func:`instance_to_dict` output."""
+def instance_from_dict(
+    data: dict[str, Any],
+) -> RejectionProblem | MultiprocRejectionProblem:
+    """Rebuild a rejection instance from :func:`instance_to_dict` output.
+
+    Payloads with a ``"processors"`` key come back as
+    :class:`MultiprocRejectionProblem`; all others as
+    :class:`RejectionProblem`.
+    """
     version = data.get("schema_version")
     if version != SCHEMA_VERSION:
         raise ValueError(
@@ -146,12 +179,18 @@ def instance_from_dict(data: dict[str, Any]) -> RejectionProblem:
         FrameTask(name=t["name"], cycles=t["cycles"], penalty=t["penalty"])
         for t in data["tasks"]
     )
-    return RejectionProblem(
-        tasks=tasks, energy_fn=_energy_fn_from_dict(data["energy_fn"])
-    )
+    energy_fn = _energy_fn_from_dict(data["energy_fn"])
+    if "processors" in data:
+        m = data["processors"]
+        if not isinstance(m, int) or isinstance(m, bool):
+            raise ValueError(f"processors must be an integer, got {m!r}")
+        return MultiprocRejectionProblem(tasks=tasks, energy_fn=energy_fn, m=m)
+    return RejectionProblem(tasks=tasks, energy_fn=energy_fn)
 
 
-def save_instance(problem: RejectionProblem, path: str | Path) -> Path:
+def save_instance(
+    problem: RejectionProblem | MultiprocRejectionProblem, path: str | Path
+) -> Path:
     """Write *problem* to *path* as JSON and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -161,14 +200,24 @@ def save_instance(problem: RejectionProblem, path: str | Path) -> Path:
     return path
 
 
-def load_instance(path: str | Path) -> RejectionProblem:
+def load_instance(
+    path: str | Path,
+) -> RejectionProblem | MultiprocRejectionProblem:
     """Read a rejection instance written by :func:`save_instance`."""
     with open(path) as fh:
         return instance_from_dict(json.load(fh))
 
 
-def solution_to_dict(solution: RejectionSolution) -> dict[str, Any]:
-    """JSON-ready dump of a solution (decision, costs, speed plan)."""
+def solution_to_dict(
+    solution: RejectionSolution | MultiprocRejectionSolution,
+) -> dict[str, Any]:
+    """JSON-ready dump of a solution.
+
+    Uniprocessor solutions carry the optimal speed plan; multiprocessor
+    solutions carry the per-processor assignment and loads instead.
+    """
+    if isinstance(solution, MultiprocRejectionSolution):
+        return _multiproc_solution_to_dict(solution)
     plan = solution.speed_plan()
     return {
         "schema_version": SCHEMA_VERSION,
@@ -188,4 +237,32 @@ def solution_to_dict(solution: RejectionSolution) -> dict[str, Any]:
             for seg in plan.segments
         ],
         "meta": {k: v for k, v in solution.meta.items()},
+    }
+
+
+def _multiproc_solution_to_dict(
+    solution: MultiprocRejectionSolution,
+) -> dict[str, Any]:
+    problem = solution.problem
+    tasks = problem.tasks
+    sizes = [t.cycles for t in tasks]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "algorithm": solution.algorithm,
+        "cost": solution.cost,
+        "energy": solution.breakdown.energy,
+        "penalty": solution.breakdown.penalty,
+        "processors": problem.m,
+        "accepted": sorted(
+            tasks[i].name
+            for i in range(problem.n)
+            if i not in solution.rejected
+        ),
+        "rejected": sorted(tasks[i].name for i in solution.rejected),
+        "acceptance_ratio": solution.acceptance_ratio,
+        "assignment": [
+            sorted(tasks[i].name for i in bucket)
+            for bucket in solution.partition.assignments
+        ],
+        "loads": solution.partition.loads(sizes),
     }

@@ -48,7 +48,13 @@ from repro.obs import counters as obs_counters
 from repro.obs import trace as obs_trace
 from repro.runner.metrics import current_collector
 
-__all__ = ["map_trials", "trial_seeds", "shutdown_pools"]
+__all__ = [
+    "evict_executor",
+    "get_executor",
+    "map_trials",
+    "shutdown_pools",
+    "trial_seeds",
+]
 
 #: Live executors, keyed by worker count.
 _EXECUTORS: dict[int, ProcessPoolExecutor] = {}
@@ -69,7 +75,18 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
-def _get_executor(jobs: int) -> ProcessPoolExecutor:
+def get_executor(jobs: int) -> ProcessPoolExecutor:
+    """The persistent executor for *jobs* workers (created on first use).
+
+    Executors are shared process-wide: the experiment runner and the
+    solve service (:mod:`repro.service`) draw from the same cache, so a
+    warm pool survives across callers and is shut down once at
+    interpreter exit.  Callers that see a :class:`BrokenProcessPool`
+    must call :func:`evict_executor` before retrying — the broken
+    instance is poisoned permanently.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     executor = _EXECUTORS.get(jobs)
     if executor is None:
         executor = ProcessPoolExecutor(max_workers=jobs)
@@ -77,7 +94,7 @@ def _get_executor(jobs: int) -> ProcessPoolExecutor:
     return executor
 
 
-def _evict_executor(jobs: int) -> None:
+def evict_executor(jobs: int) -> None:
     """Drop (and best-effort shut down) the cached executor for *jobs*.
 
     A :class:`BrokenProcessPool` poisons its executor permanently;
@@ -203,11 +220,11 @@ def map_trials(
         results = []
         try:
             # executor.map preserves input order: the deterministic merge.
-            for item in _get_executor(workers).map(call, seed_list):
+            for item in get_executor(workers).map(call, seed_list):
                 results.append(item)
             break
         except BrokenProcessPool as exc:
-            _evict_executor(workers)
+            evict_executor(workers)
             if attempt == 2:
                 raise RuntimeError(
                     f"map_trials({getattr(trial_fn, '__name__', trial_fn)!r}) "

@@ -1,0 +1,47 @@
+"""repro.service — a batching solve server with admission control.
+
+The serving layer maps each incoming solve request onto the paper's own
+task model (estimated work = cycles, client weight = rejection penalty)
+and runs a real :class:`~repro.core.rejection.online.OnlinePolicy` as
+the admission controller: overload produces principled ``429`` rejection
+— density-ordered shedding, exactly like the offline heuristics — and
+never unbounded queueing.  Admitted requests are micro-batched onto the
+persistent worker pool shared with the experiment runner, and repeated
+instances are answered from a content-addressed cache keyed like the
+runner's on-disk cache.
+
+Entry points: ``repro serve`` (the server) and ``repro bench-serve``
+(the seeded open/closed-loop load generator).  See ``docs/service.md``.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.batching import BatchEntry, MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.loadgen import PassStats, run_load
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.models import (
+    SOLVER_NAMES,
+    RequestError,
+    SolveRequest,
+    estimate_cost,
+    parse_solve_request,
+)
+from repro.service.server import SolveService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatchEntry",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "PassStats",
+    "RequestError",
+    "ResultCache",
+    "SOLVER_NAMES",
+    "ServiceMetrics",
+    "SolveRequest",
+    "SolveService",
+    "estimate_cost",
+    "parse_solve_request",
+    "run_load",
+]

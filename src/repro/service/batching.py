@@ -1,0 +1,171 @@
+"""Micro-batching of admitted requests onto the worker pool.
+
+Admitted requests queue as :class:`BatchEntry` objects; the batcher's
+loop pulls the first entry, then keeps absorbing arrivals until the
+batch is full (``max_batch``) or the assembly window (``max_wait_s``,
+measured from the first entry) closes — the classic latency/throughput
+knob: one worker round-trip amortises pickling and IPC over the whole
+batch.  Batches dispatch concurrently (the pool itself queues excess),
+so a slow batch never blocks assembly of the next one.
+
+Assembly is deterministic in arrival order: the same entry sequence
+with the same ``max_batch`` always produces the same batch compositions
+(``batch_log`` records them, and the unit tests pin it).  Entries shed
+by the admission controller after queueing are skipped at assembly
+time — their futures were already failed with 429.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Coroutine
+
+from repro.obs import counters as obs_counters
+
+__all__ = ["BatchEntry", "MicroBatcher"]
+
+_CLOSE = object()
+
+
+@dataclass
+class BatchEntry:
+    """One admitted request waiting for (or undergoing) a solve."""
+
+    req_id: str
+    payload: dict[str, Any]
+    future: asyncio.Future
+    cache_key: str | None = None
+    shed: bool = field(default=False)
+
+
+class MicroBatcher:
+    """Assemble admitted entries into batches and dispatch them.
+
+    Parameters
+    ----------
+    dispatch:
+        ``async fn(entries)`` that runs the batch and resolves each
+        entry's future.  Exceptions from it fail the batch's futures.
+    max_batch:
+        Largest batch shipped in one worker round-trip.
+    max_wait_s:
+        Assembly window measured from the batch's first entry; ``0``
+        dispatches every entry on its own (no batching delay).
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[list[BatchEntry]], Coroutine],
+        *,
+        max_batch: int = 8,
+        max_wait_s: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self._dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._loop_task: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+        #: Batch compositions (req_id lists) in dispatch order.
+        self.batch_log: list[list[str]] = []
+
+    def start(self) -> None:
+        """Start the assembly loop (idempotent)."""
+        if self._loop_task is None:
+            self._loop_task = asyncio.get_running_loop().create_task(
+                self._run()
+            )
+
+    async def put(self, entry: BatchEntry) -> None:
+        """Enqueue one admitted entry."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        await self._queue.put(entry)
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop assembling; flush the queue and await in-flight batches.
+
+        With ``drain=False`` queued entries are failed immediately with
+        a 503 payload instead of being solved.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self._queue.put(_CLOSE)
+        if self._loop_task is not None:
+            await self._loop_task
+        if not drain:
+            while not self._queue.empty():
+                entry = self._queue.get_nowait()
+                if isinstance(entry, BatchEntry) and not entry.future.done():
+                    entry.future.set_result(
+                        (503, {"status": "error", "error": "shutting down"})
+                    )
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        closing = False
+        while not closing:
+            first = await self._queue.get()
+            if first is _CLOSE:
+                break
+            batch = [first]
+            window_end = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                timeout = window_end - loop.time()
+                if timeout <= 0:
+                    # Window closed: still absorb entries already queued
+                    # (keeps assembly deterministic under a full queue).
+                    if self._queue.empty():
+                        break
+                    nxt = self._queue.get_nowait()
+                else:
+                    try:
+                        nxt = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+                if nxt is _CLOSE:
+                    closing = True
+                    break
+                batch.append(nxt)
+            self._fire(batch)
+        # Drain leftovers that arrived with (or raced) the close marker.
+        leftovers: list[BatchEntry] = []
+        while not self._queue.empty():
+            entry = self._queue.get_nowait()
+            if entry is not _CLOSE:
+                leftovers.append(entry)
+        for i in range(0, len(leftovers), self.max_batch):
+            self._fire(leftovers[i : i + self.max_batch])
+
+    def _fire(self, batch: list[BatchEntry]) -> None:
+        live = [e for e in batch if not e.shed and not e.future.done()]
+        if not live:
+            return
+        self.batch_log.append([e.req_id for e in live])
+        obs_counters.emit(
+            "service.batch", dispatched=1, requests=len(live)
+        )
+        task = asyncio.get_running_loop().create_task(self._guarded(live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _guarded(self, batch: list[BatchEntry]) -> None:
+        try:
+            await self._dispatch(batch)
+        except Exception as exc:  # noqa: BLE001 - must not kill the loop
+            for entry in batch:
+                if not entry.future.done():
+                    entry.future.set_result(
+                        (500, {"status": "error", "error": str(exc)})
+                    )

@@ -1,0 +1,73 @@
+"""Content-addressed result cache for the solve service.
+
+Keys reuse :func:`repro.runner.cache.cache_key` — the same canonical
+JSON serialisation and code fingerprint the experiment runner uses — so
+two byte-different but content-identical instance payloads hash alike,
+and any edit to the ``repro`` sources invalidates served results the
+same way it invalidates experiment tables.
+
+Entries live in memory for the server's lifetime (results are small
+JSON dicts; a bounded LRU keeps the footprint flat under sustained
+unique traffic).  Hits and misses are reported both through the
+instance counters (``/metrics``) and the :mod:`repro.obs` registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import counters as obs_counters
+from repro.runner.cache import cache_key
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded in-memory LRU over solved request results."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._data: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(instance: dict[str, Any], algorithm: str, eps: float) -> str:
+        """Content hash of one solve: instance + solver + accuracy."""
+        return cache_key(
+            f"service:{algorithm}", {"instance": instance, "eps": eps}
+        )
+
+    def get(self, key: str) -> dict | None:
+        """The cached solution dict, or ``None`` (counted either way)."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            obs_counters.emit("service.cache", misses=1)
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        obs_counters.emit("service.cache", hits=1)
+        return entry
+
+    def put(self, key: str, solution: dict) -> None:
+        """Store *solution* under *key*, evicting the LRU on overflow."""
+        self._data[key] = solution
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot for ``/metrics``."""
+        return {
+            "entries": len(self._data),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,325 @@
+"""Load generator for the solve server (``repro bench-serve``).
+
+Drives a running ``repro serve`` with a seeded stream of random
+instances and reports throughput, latency percentiles, and the
+reject/cache mix — the serving analogue of the paper's acceptance-ratio
+sweeps.  Two shapes:
+
+* **closed loop** (default): ``concurrency`` clients, each with a
+  persistent keep-alive connection, issue the next request as soon as
+  the previous one answers — measures sustainable throughput;
+* **open loop**: requests fire at a fixed arrival ``rate`` regardless
+  of completions — the tool for demonstrating overload (arrival rate >
+  measured capacity ⇒ the admission policy must shed with 429s).
+
+Everything is derived from ``--seed``: the same seed produces the same
+instance payloads in the same order, so a second pass over the same
+seed is answered from the server's content-addressed cache — the CI
+smoke asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["PassStats", "format_stats", "make_bodies", "run_load"]
+
+
+@dataclass
+class PassStats:
+    """Outcome of one load pass."""
+
+    pass_no: int
+    requests: int
+    elapsed_s: float
+    ok: int = 0
+    rejected: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    cache_hits: int = 0
+    transport_errors: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall time."""
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def reject_rate(self) -> float:
+        """Fraction of requests answered 429."""
+        return self.rejected / self.requests if self.requests else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Exact client-side latency quantile in milliseconds."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        idx = min(int(math.ceil(q * len(ordered))) - 1, len(ordered) - 1)
+        return ordered[max(idx, 0)] * 1e3
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (no raw samples)."""
+        return {
+            "pass": self.pass_no,
+            "requests": self.requests,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "reject_rate": self.reject_rate,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "transport_errors": self.transport_errors,
+            "cache_hits": self.cache_hits,
+            "p50_ms": self.quantile_ms(0.5),
+            "p99_ms": self.quantile_ms(0.99),
+        }
+
+
+def format_stats(stats: PassStats) -> str:
+    """One human-readable summary line per pass (stable, grep-friendly)."""
+    return (
+        f"pass {stats.pass_no}: {stats.requests} requests in "
+        f"{stats.elapsed_s:.2f}s  throughput={stats.throughput_rps:.1f} req/s"
+        f"  ok={stats.ok} rejected={stats.rejected} "
+        f"4xx={stats.client_errors} 5xx={stats.server_errors} "
+        f"transport_errors={stats.transport_errors} "
+        f"cache_hits={stats.cache_hits}  "
+        f"p50={stats.quantile_ms(0.5):.1f}ms p99={stats.quantile_ms(0.99):.1f}ms"
+    )
+
+
+def make_bodies(
+    seed: int,
+    count: int,
+    *,
+    algorithm: str = "greedy_marginal",
+    eps: float = 0.1,
+    n_min: int = 6,
+    n_max: int = 12,
+) -> list[dict[str, Any]]:
+    """The seeded request-body stream (same seed ⇒ same bodies)."""
+    from repro.core.rejection import RejectionProblem
+    from repro.energy import ContinuousEnergyFunction
+    from repro.io import instance_to_dict
+    from repro.power import xscale_power_model
+    from repro.tasks import frame_instance
+
+    rng = np.random.default_rng(seed)
+    energy_fn = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+    bodies: list[dict[str, Any]] = []
+    for _ in range(count):
+        n = int(rng.integers(n_min, n_max + 1))
+        load = float(rng.uniform(0.8, 2.2))
+        problem = RejectionProblem(
+            tasks=frame_instance(rng, n_tasks=n, load=load),
+            energy_fn=energy_fn,
+        )
+        bodies.append(
+            {
+                "instance": instance_to_dict(problem),
+                "algorithm": algorithm,
+                "eps": eps,
+                "weight": float(rng.uniform(0.5, 2.0)),
+                "deadline_s": 30.0,
+            }
+        )
+    return bodies
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    reader: asyncio.StreamReader | None = None,
+    writer: asyncio.StreamWriter | None = None,
+) -> tuple[int, dict]:
+    """One HTTP/1.1 JSON exchange; reuses (reader, writer) when given.
+
+    Returns ``(status, payload)``.  This tiny client exists so the load
+    generator, the test-suite, and the docs all speak to the server the
+    same way without external dependencies.
+    """
+    own_connection = writer is None
+    if own_connection:
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if own_connection else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ConnectionError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await reader.readexactly(length) if length else b""
+        return status, json.loads(raw.decode() or "null")
+    finally:
+        if own_connection:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def _classify(stats: PassStats, status: int, payload: dict) -> None:
+    if status == 200:
+        stats.ok += 1
+        if payload.get("cache") == "hit":
+            stats.cache_hits += 1
+    elif status == 429:
+        stats.rejected += 1
+    elif 400 <= status < 500:
+        stats.client_errors += 1
+    elif status >= 500:
+        stats.server_errors += 1
+    else:
+        stats.ok += 1
+
+
+async def _closed_loop_pass(
+    host: str,
+    port: int,
+    bodies: list[dict],
+    stats: PassStats,
+    concurrency: int,
+) -> None:
+    queue: asyncio.Queue = asyncio.Queue()
+    for body in bodies:
+        queue.put_nowait(body)
+
+    async def client() -> None:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            while not queue.empty():
+                queue.get_nowait()
+                stats.transport_errors += 1
+            return
+        try:
+            while True:
+                try:
+                    body = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                start = time.perf_counter()
+                try:
+                    status, payload = await http_json(
+                        host,
+                        port,
+                        "POST",
+                        "/solve",
+                        body,
+                        reader=reader,
+                        writer=writer,
+                    )
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    stats.transport_errors += 1
+                    reader, writer = await asyncio.open_connection(host, port)
+                    continue
+                stats.latencies_s.append(time.perf_counter() - start)
+                _classify(stats, status, payload)
+        finally:
+            writer.close()
+
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+
+
+async def _open_loop_pass(
+    host: str,
+    port: int,
+    bodies: list[dict],
+    stats: PassStats,
+    rate: float,
+) -> None:
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+
+    async def one(i: int, body: dict) -> None:
+        delay = t0 + i / rate - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        start = time.perf_counter()
+        try:
+            status, payload = await http_json(host, port, "POST", "/solve", body)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            stats.transport_errors += 1
+            return
+        stats.latencies_s.append(time.perf_counter() - start)
+        _classify(stats, status, payload)
+
+    await asyncio.gather(*(one(i, b) for i, b in enumerate(bodies)))
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    requests: int = 200,
+    seed: int = 0,
+    passes: int = 2,
+    mode: str = "closed",
+    concurrency: int = 8,
+    rate: float = 200.0,
+    algorithm: str = "greedy_marginal",
+    eps: float = 0.1,
+) -> list[PassStats]:
+    """Run *passes* identical seeded passes; returns per-pass stats.
+
+    Every pass regenerates the same request stream from *seed*, so the
+    server's content cache turns pass 2+ into (mostly) hits.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    bodies = make_bodies(seed, requests, algorithm=algorithm, eps=eps)
+
+    async def _run() -> list[PassStats]:
+        results: list[PassStats] = []
+        for pass_no in range(1, passes + 1):
+            stats = PassStats(
+                pass_no=pass_no, requests=len(bodies), elapsed_s=0.0
+            )
+            start = time.perf_counter()
+            if mode == "closed":
+                await _closed_loop_pass(
+                    host, port, bodies, stats, concurrency
+                )
+            else:
+                await _open_loop_pass(host, port, bodies, stats, rate)
+            stats.elapsed_s = time.perf_counter() - start
+            results.append(stats)
+        return results
+
+    return asyncio.run(_run())

@@ -1,0 +1,111 @@
+"""Per-endpoint latency histograms and status counts for ``/metrics``.
+
+A fixed log-spaced bucket layout (100 µs … 60 s) keeps memory constant
+no matter how much traffic the server sees; p50/p99 are read back from
+the buckets with linear interpolation, which is plenty for a serving
+dashboard (the load generator computes exact percentiles client-side
+from its own samples).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Bucket upper bounds in seconds: 1e-4 … ~60 s, 4 buckets per decade.
+_BUCKET_BOUNDS = tuple(
+    10.0 ** (exp / 4.0) for exp in range(-16, 8)
+) + (float("inf"),)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated quantiles."""
+
+    __slots__ = ("counts", "count", "sum_s")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(_BUCKET_BOUNDS)
+        self.count = 0
+        self.sum_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample."""
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        self.count += 1
+        self.sum_s += seconds
+
+    def quantile(self, q: float) -> float:
+        """Approximate latency at quantile *q* (0 < q < 1), in seconds."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            bucket = self.counts[i]
+            if seen + bucket >= target and bucket > 0:
+                lo = 0.0 if i == 0 else _BUCKET_BOUNDS[i - 1]
+                hi = bound if math.isfinite(bound) else lo * 2 or 60.0
+                return lo + (hi - lo) * (target - seen) / bucket
+            seen += bucket
+        return _BUCKET_BOUNDS[-2]
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (nonzero buckets only)."""
+        return {
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "p50_ms": self.quantile(0.5) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "buckets": {
+                ("+inf" if math.isinf(b) else f"{b:.6g}"): c
+                for b, c in zip(_BUCKET_BOUNDS, self.counts)
+                if c
+            },
+        }
+
+
+class ServiceMetrics:
+    """Per-endpoint request accounting (status codes + latency)."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._statuses: dict[str, dict[int, int]] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one served request."""
+        hist = self._histograms.get(endpoint)
+        if hist is None:
+            hist = self._histograms[endpoint] = LatencyHistogram()
+        hist.observe(seconds)
+        by_status = self._statuses.setdefault(endpoint, {})
+        by_status[status] = by_status.get(status, 0) + 1
+
+    @property
+    def total_requests(self) -> int:
+        """Requests served across all endpoints."""
+        return sum(h.count for h in self._histograms.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump for ``/metrics``."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "total_requests": self.total_requests,
+            "endpoints": {
+                endpoint: {
+                    "statuses": {
+                        str(code): n
+                        for code, n in sorted(
+                            self._statuses.get(endpoint, {}).items()
+                        )
+                    },
+                    "latency": hist.as_dict(),
+                }
+                for endpoint, hist in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,542 @@
+"""The batching solve server (``repro serve``).
+
+A zero-dependency asyncio HTTP/JSON server that turns the reproduction
+into something that can take traffic.  The request path is the paper's
+REJECT-MIN loop in miniature:
+
+1. ``POST /solve`` carries an :func:`repro.io.instance_to_dict` payload
+   plus solver choice, client deadline, and weight;
+2. a content-addressed cache (:mod:`repro.service.cache`, keyed exactly
+   like the experiment runner's) answers repeats without solving;
+3. the admission controller (:mod:`repro.service.admission`) prices the
+   request's estimated work against the pool's measured capacity with a
+   real :class:`~repro.core.rejection.online.OnlinePolicy` — saturation
+   produces ``429``, not timeouts;
+4. admitted requests are micro-batched
+   (:mod:`repro.service.batching`) onto the persistent process pool
+   shared with the experiment runner
+   (:func:`repro.runner.pool.get_executor`).
+
+``GET /healthz`` reports liveness, ``GET /metrics`` dumps admission /
+cache / batching statistics, per-endpoint latency histograms, and the
+full :mod:`repro.obs` counter registry (worker-side solver counters are
+merged in, the same way pooled trials merge).  Every request runs under
+an :func:`repro.obs.trace.span`.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, JSON bodies,
+keep-alive) — enough for the load generator, the example client, and
+curl; it is not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.obs import counters as obs_counters
+from repro.obs.trace import span
+from repro.runner.pool import evict_executor, get_executor
+from repro.service import worker as worker_mod
+from repro.service.admission import AdmissionController
+from repro.service.batching import BatchEntry, MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.models import RequestError, parse_solve_request
+
+__all__ = ["SolveService"]
+
+#: Largest accepted request head+body (instances are small; this is a
+#: safety valve, not a tuning knob).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+class _HttpError(Exception):
+    """Malformed HTTP input; the connection is answered and closed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SolveService:
+    """One server instance: admission + batching + cache + metrics.
+
+    Parameters
+    ----------
+    policy:
+        Admission policy (default: accept everything that fits).
+    workers:
+        Worker processes in the solve pool.
+    capacity_units:
+        Backlog cap in work units; default: measured worker throughput
+        × ``workers`` × ``window_s``.
+    rate_units_per_s:
+        Single-worker service rate override (work units/second);
+        default: measured by :func:`repro.service.worker.calibrate` at
+        startup.
+    window_s:
+        Admission window — how many seconds of measured throughput the
+        controller is willing to hold as backlog.
+    max_batch, max_wait_s:
+        Micro-batching knobs (see :class:`MicroBatcher`).
+    cache_entries:
+        Result-cache LRU bound.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy=None,
+        workers: int = 2,
+        capacity_units: float | None = None,
+        rate_units_per_s: float | None = None,
+        window_s: float = 1.0,
+        max_batch: int = 8,
+        max_wait_s: float = 0.005,
+        cache_entries: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not window_s > 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self._policy = policy
+        self.workers = int(workers)
+        self._capacity_override = capacity_units
+        self._rate_override = rate_units_per_s
+        self.window_s = float(window_s)
+        self._max_batch = max_batch
+        self._max_wait_s = max_wait_s
+        self._cache = ResultCache(max_entries=cache_entries)
+        self._metrics = ServiceMetrics()
+        self._registry = obs_counters.Counters()
+        self._counting = None
+        self._controller: AdmissionController | None = None
+        self._batcher: MicroBatcher | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._queued: dict[str, BatchEntry] = {}
+        self._tickets: OrderedDict[str, asyncio.Future] = OrderedDict()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._draining = False
+        self._stopped = False
+        self._seq = itertools.count(1)
+        self.host: str | None = None
+        self.port: int | None = None
+
+    @property
+    def capacity_units(self) -> float | None:
+        """The admission capacity (known once :meth:`start` calibrated)."""
+        return (
+            self._controller.capacity_units
+            if self._controller is not None
+            else self._capacity_override
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind, calibrate capacity, and start serving; returns (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._counting = obs_counters.counting(self._registry)
+        self._counting.__enter__()
+        loop = asyncio.get_running_loop()
+        executor = get_executor(self.workers)
+        rate = self._rate_override
+        if rate is None:
+            with span("service.calibrate"):
+                rate = await loop.run_in_executor(
+                    executor, worker_mod.calibrate
+                )
+        capacity = self._capacity_override
+        if capacity is None:
+            capacity = rate * self.workers * self.window_s
+        self._controller = AdmissionController(
+            self._policy,
+            capacity_units=capacity,
+            rate_units_per_s=rate,
+        )
+        self._batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=self._max_batch,
+            max_wait_s=self._max_wait_s,
+        )
+        self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, host, port, limit=MAX_BODY_BYTES
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with *drain*, finish every in-flight request.
+
+        New ``/solve`` requests are answered 503 from the moment drain
+        begins; queued and running batches complete and their (sync)
+        responses are written before connections are closed.  The worker
+        pool itself is left warm — it is process-global and shut down at
+        interpreter exit.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._batcher is not None:
+            await self._batcher.close(drain=drain)
+        if drain:
+            # Handlers still writing responses for just-resolved futures.
+            for _ in range(1000):
+                if self._active_requests == 0:
+                    break
+                await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._counting is not None:
+            self._counting.__exit__(None, None, None)
+            self._counting = None
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        {"status": "error", "error": str(exc)},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self._active_requests += 1
+                try:
+                    status, payload = await self._route(method, path, body)
+                finally:
+                    self._active_requests -= 1
+                await self._write_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # clean EOF between requests
+        except asyncio.LimitOverrunError:
+            raise _HttpError(431, "request head too large") from None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length", "0")
+        try:
+            n_bytes = int(length)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {length!r}") from None
+        if n_bytes < 0 or n_bytes > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = b""
+        if n_bytes:
+            try:
+                body = await reader.readexactly(n_bytes)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        reason = {
+            200: "OK",
+            202: "Accepted",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            413: "Payload Too Large",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"{_JSON_HEADERS}"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- routing --------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        endpoint = path if not path.startswith("/result/") else "/result"
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        with span("service.request", method=method, path=endpoint):
+            try:
+                status, payload = await self._route_inner(method, path, body)
+            except Exception as exc:  # noqa: BLE001 - must answer something
+                obs_counters.emit("service.errors", internal=1)
+                status, payload = 500, {"status": "error", "error": str(exc)}
+        self._metrics.observe(endpoint, status, loop.time() - started)
+        obs_counters.emit("service.http", requests=1)
+        obs_counters.add(f"service.http.status_{status}")
+        return status, payload
+
+    async def _route_inner(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"status": "error", "error": "GET only"}
+            return 200, self._health()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"status": "error", "error": "GET only"}
+            return 200, self.metrics_dict()
+        if path == "/solve":
+            if method != "POST":
+                return 405, {"status": "error", "error": "POST only"}
+            return await self._solve(body)
+        if path.startswith("/result/"):
+            if method != "GET":
+                return 405, {"status": "error", "error": "GET only"}
+            return self._result(path[len("/result/") :])
+        return 404, {"status": "error", "error": f"no route for {path}"}
+
+    def _health(self) -> dict:
+        controller = self._controller
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight_units": controller.inflight_units if controller else 0.0,
+            "utilisation": controller.utilisation if controller else 0.0,
+            "uptime_s": self._metrics.as_dict()["uptime_s"],
+        }
+
+    def metrics_dict(self) -> dict:
+        """The full ``/metrics`` payload (also used by tests and CI)."""
+        batcher = self._batcher
+        return {
+            "service": {
+                "workers": self.workers,
+                "policy": self._controller.policy.name
+                if self._controller
+                else None,
+                "draining": self._draining,
+            },
+            "requests": self._metrics.as_dict(),
+            "admission": self._controller.stats() if self._controller else {},
+            "cache": self._cache.stats(),
+            "batch": {
+                "dispatched": len(batcher.batch_log) if batcher else 0,
+                "max_batch": self._max_batch,
+                "max_wait_s": self._max_wait_s,
+            },
+            "counters": self._registry.snapshot(),
+        }
+
+    # -- the solve path -------------------------------------------------
+
+    async def _solve(self, body: bytes) -> tuple[int, dict]:
+        obs_counters.emit("service.solve", total=1)
+        try:
+            parsed = json.loads(body.decode() or "null")
+            request = parse_solve_request(parsed, f"r{next(self._seq):08d}")
+        except (RequestError, ValueError) as exc:
+            obs_counters.emit("service.solve", invalid=1)
+            return 400, {"status": "error", "error": str(exc)}
+        key = self._cache.key(request.instance, request.algorithm, request.eps)
+        cached = self._cache.get(key)
+        if cached is not None:
+            obs_counters.emit("service.solve", cached=1)
+            return 200, {
+                "status": "done",
+                "id": request.req_id,
+                "cache": "hit",
+                "solution": cached,
+            }
+        if self._draining:
+            obs_counters.emit("service.solve", unavailable=1)
+            return 503, {"status": "error", "error": "draining"}
+        decision = self._controller.offer(
+            request.req_id,
+            request.cost_units,
+            request.weight,
+            deadline_s=request.deadline_s,
+        )
+        if not decision.admitted:
+            obs_counters.emit("service.solve", rejected=1)
+            return 429, {
+                "status": "rejected",
+                "id": request.req_id,
+                "reason": decision.reason,
+                "utilisation": self._controller.utilisation,
+            }
+        obs_counters.emit("service.solve", admitted=1)
+        for victim_id in decision.shed:
+            victim = self._queued.pop(victim_id, None)
+            if victim is not None:
+                victim.shed = True
+                if not victim.future.done():
+                    victim.future.set_result(
+                        (
+                            429,
+                            {
+                                "status": "rejected",
+                                "id": victim_id,
+                                "reason": "shed",
+                            },
+                        )
+                    )
+        entry = BatchEntry(
+            req_id=request.req_id,
+            payload=request.worker_payload(),
+            future=asyncio.get_running_loop().create_future(),
+            cache_key=key,
+        )
+        self._queued[request.req_id] = entry
+        await self._batcher.put(entry)
+        if request.mode == "async":
+            self._tickets[request.req_id] = entry.future
+            while len(self._tickets) > 10_000:
+                self._tickets.popitem(last=False)
+            return 202, {"status": "accepted", "id": request.req_id}
+        status, payload = await entry.future
+        return status, payload
+
+    def _result(self, req_id: str) -> tuple[int, dict]:
+        future = self._tickets.get(req_id)
+        if future is None:
+            return 404, {"status": "error", "error": f"unknown id {req_id!r}"}
+        if not future.done():
+            return 202, {"status": "pending", "id": req_id}
+        status, payload = future.result()
+        return status, payload
+
+    # -- batch dispatch -------------------------------------------------
+
+    async def _dispatch(self, entries: list[BatchEntry]) -> None:
+        for entry in entries:
+            self._controller.dispatched(entry.req_id)
+            self._queued.pop(entry.req_id, None)
+        payloads = [entry.payload for entry in entries]
+        loop = asyncio.get_running_loop()
+        results = None
+        with span("service.batch", requests=len(entries)):
+            for attempt in (1, 2):
+                try:
+                    results = await loop.run_in_executor(
+                        get_executor(self.workers),
+                        worker_mod.solve_batch,
+                        payloads,
+                    )
+                    break
+                except BrokenProcessPool:
+                    evict_executor(self.workers)
+                    obs_counters.emit("service.batch", pool_rebuilds=1)
+                    if attempt == 2:
+                        results = [
+                            {
+                                "req_id": e.req_id,
+                                "ok": False,
+                                "error": "worker pool crashed twice",
+                                "error_kind": "solver",
+                                "counters": None,
+                            }
+                            for e in entries
+                        ]
+        for entry, result in zip(entries, results):
+            self._controller.release(entry.req_id)
+            counters = result.get("counters")
+            if counters:
+                self._registry.merge(counters)
+            if entry.future.done():
+                continue
+            if result["ok"]:
+                solution = result["solution"]
+                if entry.cache_key is not None:
+                    self._cache.put(entry.cache_key, solution)
+                entry.future.set_result(
+                    (
+                        200,
+                        {
+                            "status": "done",
+                            "id": entry.req_id,
+                            "cache": "miss",
+                            "solution": solution,
+                        },
+                    )
+                )
+            else:
+                kind = result.get("error_kind", "solver")
+                status = 400 if kind == "bad_request" else 500
+                obs_counters.emit("service.solve", failed=1)
+                entry.future.set_result(
+                    (
+                        status,
+                        {
+                            "status": "error",
+                            "id": entry.req_id,
+                            "error": result.get("error", "solve failed"),
+                        },
+                    )
+                )

@@ -1,0 +1,123 @@
+"""Worker-side functions for the solve service's process pool.
+
+Everything here is module-level and operates on plain picklable dicts —
+the same contract :mod:`repro.runner.pool` imposes on trial functions —
+so the service can ship batches to the persistent
+``ProcessPoolExecutor`` it shares with the experiment runner.
+
+Per-request solver counters are captured with a fresh
+:mod:`repro.obs.counters` registry (exactly like pooled trials) and
+shipped back for the parent to merge, so ``/metrics`` aggregates
+branch-and-bound nodes, FPTAS states, etc. across worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.obs import counters as obs_counters
+
+__all__ = ["calibrate", "solve_batch", "solve_payload"]
+
+
+def solve_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Solve one request payload; never raises.
+
+    Returns ``{"req_id", "ok", "solution" | "error"/"error_kind",
+    "counters", "seconds"}``.  ``error_kind`` is ``"bad_request"`` for
+    malformed instances (HTTP 400) and ``"solver"`` for everything else
+    (HTTP 500).
+    """
+    from repro.core.rejection import MultiprocRejectionProblem
+    from repro.io import instance_from_dict, solution_to_dict
+    from repro.runner.cache import cache_key
+    from repro.service.models import RequestError, resolve_solver
+
+    req_id = payload.get("req_id")
+    start = time.perf_counter()
+    counters: dict[str, float] | None = None
+    try:
+        with obs_counters.counting() as registry:
+            problem = instance_from_dict(payload["instance"])
+            algorithm = payload["algorithm"]
+            solver = resolve_solver(algorithm)
+            if isinstance(problem, MultiprocRejectionProblem) != (
+                algorithm in _MULTIPROC
+            ):
+                raise RequestError(
+                    f"{algorithm!r} does not match the instance kind"
+                )
+            if algorithm == "fptas":
+                solution = solver(problem, eps=payload.get("eps", 0.1))
+            elif algorithm == "rand_reject":
+                # Deterministic: derive the stream from the instance
+                # content so identical payloads produce identical
+                # (cacheable) results in every worker process.
+                key = cache_key("service:rand_reject", payload["instance"])
+                seed = int(key[:8], 16)
+                solution = solver(problem, rng=np.random.default_rng(seed))
+            else:
+                solution = solver(problem)
+        counters = registry.snapshot() or None
+        return {
+            "req_id": req_id,
+            "ok": True,
+            "solution": solution_to_dict(solution),
+            "counters": counters,
+            "seconds": time.perf_counter() - start,
+        }
+    except (RequestError, ValueError, KeyError, TypeError) as exc:
+        kind = "bad_request"
+        message = str(exc) or type(exc).__name__
+    except Exception as exc:  # pragma: no cover - defensive
+        kind = "solver"
+        message = f"{type(exc).__name__}: {exc}"
+    return {
+        "req_id": req_id,
+        "ok": False,
+        "error": message,
+        "error_kind": kind,
+        "counters": counters,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+_MULTIPROC = frozenset(
+    {"ltf_reject", "rand_reject", "global_greedy_reject", "exhaustive_multiproc"}
+)
+
+
+def solve_batch(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Solve a micro-batch sequentially inside one worker round-trip."""
+    return [solve_payload(payload) for payload in payloads]
+
+
+def calibrate(repeats: int = 20) -> float:
+    """Measured solve throughput of this worker, in work units/second.
+
+    Times a fixed mid-size greedy solve (the service's cheapest common
+    request shape) and converts it through the same
+    :func:`~repro.service.models.estimate_cost` units the admission
+    controller charges, so capacity and demand share one currency.
+    """
+    from repro.core.rejection import RejectionProblem, greedy_marginal
+    from repro.energy import ContinuousEnergyFunction
+    from repro.power import xscale_power_model
+    from repro.service.models import estimate_cost
+    from repro.tasks import frame_instance
+
+    rng = np.random.default_rng(0)
+    problem = RejectionProblem(
+        tasks=frame_instance(rng, n_tasks=12, load=1.5),
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline=1.0),
+    )
+    greedy_marginal(problem)  # warm imports/JIT-ish caches before timing
+    start = time.perf_counter()
+    for _ in range(repeats):
+        greedy_marginal(problem)
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    units = repeats * estimate_cost(12, "greedy_marginal")
+    return units / elapsed

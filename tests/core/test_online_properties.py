@@ -1,0 +1,111 @@
+"""Hypothesis properties of the online threshold policy.
+
+These pin the two contracts the serving layer's admission controller
+leans on: raising ``theta`` only ever admits *more* (monotonicity), and
+no policy — reserve pricing included — can push the accepted workload
+past capacity, because feasibility is enforced outside the policy.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given
+
+from repro._validation import fits
+from repro.core.rejection.online import (
+    AcceptIfFeasible,
+    ThresholdPolicy,
+    run_online,
+)
+from repro.tasks.model import FrameTask
+
+from tests.conftest import energy_functions, rejection_problems
+
+thetas = st.floats(
+    min_value=0.05, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestThetaMonotonicity:
+    @given(
+        energy_fn=energy_functions(),
+        cycles=st.floats(min_value=0.05, max_value=2.0),
+        penalty=st.floats(min_value=0.01, max_value=5.0),
+        workload_frac=st.floats(min_value=0.0, max_value=1.0),
+        theta_a=thetas,
+        theta_b=thetas,
+        reserve=st.booleans(),
+    )
+    def test_admission_is_monotone_in_theta(
+        self,
+        energy_fn,
+        cycles,
+        penalty,
+        workload_frac,
+        theta_a,
+        theta_b,
+        reserve,
+    ):
+        theta_lo, theta_hi = sorted((theta_a, theta_b))
+        task = FrameTask(name="t", cycles=cycles, penalty=penalty)
+        # Any feasible backlog: the task still fits on top of it.
+        headroom = energy_fn.max_workload - cycles
+        assume(headroom >= 0.0)
+        workload = workload_frac * headroom
+        admit_lo = ThresholdPolicy(theta_lo, reserve=reserve).admit(
+            task, workload, energy_fn
+        )
+        admit_hi = ThresholdPolicy(theta_hi, reserve=reserve).admit(
+            task, workload, energy_fn
+        )
+        if admit_lo:
+            assert admit_hi
+
+    def test_theta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.0)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(-1.0)
+
+
+class TestCapacityIsNeverExceeded:
+    @given(
+        problem=rejection_problems(max_tasks=7),
+        theta=thetas,
+        reserve=st.booleans(),
+    )
+    def test_run_online_accepted_workload_fits(self, problem, theta, reserve):
+        solution = run_online(problem, ThresholdPolicy(theta, reserve=reserve))
+        workload = sum(t.cycles for t in solution.accepted_tasks)
+        assert fits(workload, problem.capacity)
+        assert solution.cost == pytest.approx(
+            solution.energy + solution.penalty
+        )
+
+    @given(problem=rejection_problems(max_tasks=7), reserve=st.booleans())
+    def test_reserve_pricing_never_breaks_near_saturation(
+        self, problem, reserve
+    ):
+        # Greedily saturate, then keep offering: the policy must keep
+        # returning a plain bool with the anchor clamped inside [0, cap].
+        policy = ThresholdPolicy(1.0, reserve=reserve)
+        workload = 0.0
+        cap = problem.capacity
+        for task in problem.tasks:
+            if not fits(workload + task.cycles, cap):
+                continue
+            decision = policy.admit(task, workload, problem.energy_fn)
+            assert decision in (True, False)
+            if decision:
+                workload += task.cycles
+        assert fits(workload, cap)
+
+
+class TestLimitBehaviour:
+    @given(problem=rejection_problems(max_tasks=7))
+    def test_huge_theta_matches_accept_if_feasible(self, problem):
+        assume(all(t.penalty > 1e-6 for t in problem.tasks))
+        generous = run_online(problem, ThresholdPolicy(1e12))
+        first_fit = run_online(problem, AcceptIfFeasible())
+        assert sorted(t.name for t in generous.accepted_tasks) == sorted(
+            t.name for t in first_fit.accepted_tasks
+        )

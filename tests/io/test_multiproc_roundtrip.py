@@ -1,0 +1,93 @@
+"""Round-trip tests for multiprocessor instances in repro.io."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rejection import (
+    MultiprocRejectionProblem,
+    RejectionProblem,
+    ltf_reject,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+    solution_to_dict,
+)
+from repro.power import xscale_power_model
+from repro.tasks import frame_instance
+
+
+def _multiproc_problem(seed: int = 0, n: int = 8, m: int = 3):
+    rng = np.random.default_rng(seed)
+    return MultiprocRejectionProblem(
+        tasks=frame_instance(rng, n_tasks=n, load=1.2 * m),
+        energy_fn=ContinuousEnergyFunction(xscale_power_model(), deadline=1.0),
+        m=m,
+    )
+
+
+class TestMultiprocInstanceRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        problem = _multiproc_problem()
+        data = instance_to_dict(problem)
+        assert data["processors"] == 3
+        back = instance_from_dict(data)
+        assert isinstance(back, MultiprocRejectionProblem)
+        assert back.m == problem.m
+        assert back.n == problem.n
+        for orig, copy in zip(problem.tasks, back.tasks):
+            assert copy.name == orig.name
+            assert copy.cycles == orig.cycles
+            assert copy.penalty == orig.penalty
+        assert back.capacity == problem.capacity
+
+    def test_file_roundtrip(self, tmp_path):
+        problem = _multiproc_problem(seed=7, n=6, m=2)
+        path = save_instance(problem, tmp_path / "mp.json")
+        back = load_instance(path)
+        assert isinstance(back, MultiprocRejectionProblem)
+        assert instance_to_dict(back) == instance_to_dict(problem)
+
+    def test_payload_is_plain_json(self, tmp_path):
+        path = save_instance(_multiproc_problem(), tmp_path / "mp.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data["processors"], int)
+
+    def test_uniproc_payload_has_no_processors_key(self):
+        rng = np.random.default_rng(0)
+        problem = RejectionProblem(
+            tasks=frame_instance(rng, n_tasks=5, load=1.5),
+            energy_fn=ContinuousEnergyFunction(
+                xscale_power_model(), deadline=1.0
+            ),
+        )
+        data = instance_to_dict(problem)
+        assert "processors" not in data
+        assert isinstance(instance_from_dict(data), RejectionProblem)
+
+    def test_bool_processors_rejected(self):
+        data = instance_to_dict(_multiproc_problem())
+        data["processors"] = True
+        with pytest.raises(ValueError, match="processors must be an integer"):
+            instance_from_dict(data)
+
+    def test_solution_dict_carries_assignment(self):
+        problem = _multiproc_problem()
+        solution = ltf_reject(problem)
+        data = solution_to_dict(solution)
+        assert data["algorithm"] == "ltf_reject"
+        assert data["processors"] == problem.m
+        assert len(data["assignment"]) == problem.m
+        assert len(data["loads"]) == problem.m
+        names = {t.name for t in problem.tasks}
+        assigned = {name for bucket in data["assignment"] for name in bucket}
+        assert assigned | set(data["rejected"]) == names
+        assert sorted(data["accepted"]) == sorted(assigned)
+        assert data["cost"] == pytest.approx(
+            data["energy"] + data["penalty"]
+        )

@@ -1,0 +1,67 @@
+"""Fixtures for the solve-service tests.
+
+The asyncio tests run their coroutine bodies through ``asyncio.run``
+(no pytest-asyncio dependency); ``threaded_server`` hosts a real
+:class:`SolveService` in a background thread with its own event loop,
+for tests that exercise the synchronous client side (``run_load``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import SolveService
+
+#: Generous capacity/rate so admission never interferes unless a test
+#: deliberately shrinks them.
+BIG = 1e12
+
+
+def run(coro, timeout: float = 60.0):
+    """Run *coro* to completion with an overall watchdog."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class ThreadedServer:
+    """A SolveService running in a daemon thread (own event loop)."""
+
+    def __init__(self, **kwargs) -> None:
+        self.host: str | None = None
+        self.port: int | None = None
+        self.service: SolveService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._kwargs = kwargs
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self.service = SolveService(**self._kwargs)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.host, self.port = await self.service.start()
+            self._ready.set()
+            await self._stop.wait()
+            await self.service.stop(drain=True)
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "ThreadedServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+@pytest.fixture
+def threaded_server():
+    """Factory fixture: ``with threaded_server(**kwargs) as srv:``."""
+    return ThreadedServer

@@ -1,0 +1,158 @@
+"""Tests for the admission controller (policy wiring + shedding).
+
+The controller normalises work to capacity fractions and sets each
+request-task's penalty to ``weight × fraction``, so the penalty density
+of a request is exactly its client weight — which makes the shedding
+scenarios below easy to state: weight *is* the density.
+"""
+
+import pytest
+
+from repro.core.rejection.online import (
+    AcceptIfFeasible,
+    RejectAll,
+    ThresholdPolicy,
+)
+from repro.service.admission import AdmissionController
+
+
+def make(policy=None, capacity=100.0, rate=None):
+    return AdmissionController(
+        policy, capacity_units=capacity, rate_units_per_s=rate
+    )
+
+
+class TestBasicAdmission:
+    def test_default_policy_admits_what_fits(self):
+        ctrl = make()
+        decision = ctrl.offer("a", 60.0, 1.0)
+        assert decision.admitted
+        assert decision.reason == "admitted"
+        assert decision.shed == ()
+        assert ctrl.utilisation == pytest.approx(0.6)
+        assert ctrl.inflight_units == pytest.approx(60.0)
+
+    def test_reject_all_policy(self):
+        ctrl = make(RejectAll())
+        decision = ctrl.offer("a", 10.0, 1.0)
+        assert not decision.admitted
+        assert decision.reason == "policy"
+        assert ctrl.utilisation == 0.0
+
+    def test_release_frees_capacity(self):
+        ctrl = make()
+        ctrl.offer("a", 60.0, 1.0)
+        assert not ctrl.offer("b", 60.0, 1.0).admitted
+        ctrl.release("a")
+        assert ctrl.utilisation == 0.0
+        assert ctrl.offer("b", 60.0, 1.0).admitted
+
+    def test_duplicate_req_id_rejected(self):
+        ctrl = make()
+        ctrl.offer("a", 10.0, 1.0)
+        with pytest.raises(ValueError, match="already admitted"):
+            ctrl.offer("a", 10.0, 1.0)
+
+    def test_release_unknown_id_is_noop(self):
+        make().release("ghost")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity_units"):
+            AdmissionController(capacity_units=0.0)
+
+
+class TestDeadline:
+    def test_impossible_deadline_rejected_upfront(self):
+        ctrl = make(rate=10.0)
+        decision = ctrl.offer("a", 100.0, 1.0, deadline_s=1.0)
+        assert not decision.admitted
+        assert decision.reason == "deadline"
+
+    def test_feasible_deadline_passes(self):
+        ctrl = make(rate=10.0)
+        assert ctrl.offer("a", 50.0, 1.0, deadline_s=30.0).admitted
+
+    def test_no_rate_disables_check(self):
+        ctrl = make(rate=None)
+        assert ctrl.offer("a", 99.0, 1.0, deadline_s=1e-9).admitted
+
+
+class TestThresholdPolicy:
+    def test_admits_on_idle_pool_rejects_near_saturation(self):
+        # theta=1, default weight: the XScale marginal crosses break-even
+        # around 47% backlog, so a small request is welcome at 0% and
+        # priced out at 80%.
+        ctrl = make(ThresholdPolicy(1.0))
+        assert ctrl.offer("idle", 5.0, 1.0).admitted
+        ctrl.release("idle")
+        assert ctrl.offer("bulk", 80.0, 1000.0).admitted  # fill the pool
+        decision = ctrl.offer("late", 5.0, 1.0)
+        assert not decision.admitted
+        assert decision.reason == "policy"
+
+    def test_heavy_weight_still_admitted_when_loaded(self):
+        ctrl = make(ThresholdPolicy(1.0))
+        ctrl.offer("bulk", 80.0, 1000.0)
+        assert ctrl.offer("vip", 5.0, 1000.0).admitted
+
+
+class TestShedding:
+    def test_lower_density_victim_evicted(self):
+        ctrl = make()
+        ctrl.offer("cheap", 60.0, 1.0)
+        decision = ctrl.offer("vip", 60.0, 5.0)
+        assert decision.admitted
+        assert decision.shed == ("cheap",)
+        assert ctrl.utilisation == pytest.approx(0.6)
+        assert ctrl.shed_total == 1
+
+    def test_victims_evicted_cheapest_density_first(self):
+        ctrl = make()
+        ctrl.offer("w1", 30.0, 1.0)
+        ctrl.offer("w2", 30.0, 2.0)
+        ctrl.offer("w3", 30.0, 8.0)
+        decision = ctrl.offer("vip", 70.0, 10.0)
+        assert decision.admitted
+        assert decision.shed == ("w1", "w2")
+        assert ctrl.utilisation == pytest.approx(1.0)
+
+    def test_equal_density_never_shed(self):
+        ctrl = make()
+        ctrl.offer("a", 60.0, 1.0)
+        decision = ctrl.offer("b", 60.0, 1.0)
+        assert not decision.admitted
+        assert decision.reason == "capacity"
+
+    def test_unprofitable_shed_rejected(self):
+        # Victim is lower-density but carries more total penalty than the
+        # newcomer brings: rejecting the newcomer is the cheaper call.
+        ctrl = make()
+        ctrl.offer("big", 90.0, 1.0)  # penalty 1.0 * 0.9 = 0.9
+        decision = ctrl.offer("small", 20.0, 1.5)  # penalty 1.5 * 0.2 = 0.3
+        assert not decision.admitted
+        assert decision.reason == "capacity"
+        assert ctrl.utilisation == pytest.approx(0.9)
+
+    def test_dispatched_requests_are_unsheddable(self):
+        ctrl = make()
+        ctrl.offer("running", 60.0, 1.0)
+        ctrl.dispatched("running")
+        decision = ctrl.offer("vip", 60.0, 5.0)
+        assert not decision.admitted
+        assert decision.reason == "capacity"
+
+
+class TestStats:
+    def test_totals_track_decisions(self):
+        ctrl = make(rate=10.0)
+        ctrl.offer("a", 60.0, 1.0)
+        ctrl.offer("b", 60.0, 1.0)  # capacity
+        ctrl.offer("c", 1000.0, 1.0, deadline_s=1.0)  # deadline
+        ctrl.offer("d", 60.0, 5.0)  # sheds a
+        stats = ctrl.stats()
+        assert stats["admitted"] == 2
+        assert stats["rejected"] == 2
+        assert stats["shed"] == 1
+        assert stats["policy"] == "accept_if_feasible"
+        assert stats["capacity_units"] == 100.0
+        assert 0.0 <= stats["utilisation"] <= 1.0

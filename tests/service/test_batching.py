@@ -1,0 +1,135 @@
+"""Tests for micro-batch assembly (determinism, shedding, failure)."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import BatchEntry, MicroBatcher
+
+from tests.service.conftest import run
+
+
+def entry(name: str) -> BatchEntry:
+    return BatchEntry(
+        req_id=name,
+        payload={"req_id": name},
+        future=asyncio.get_running_loop().create_future(),
+    )
+
+
+async def _assemble(names, *, max_batch, shed=(), max_wait_s=0.05):
+    """Queue *names* up front, run the batcher, return its batch log."""
+    done = asyncio.Event()
+    dispatched: list[list[str]] = []
+
+    async def dispatch(batch):
+        dispatched.append([e.req_id for e in batch])
+        for e in batch:
+            e.future.set_result((200, {"id": e.req_id}))
+        if sum(len(b) for b in dispatched) == len(names) - len(shed):
+            done.set()
+
+    batcher = MicroBatcher(dispatch, max_batch=max_batch, max_wait_s=max_wait_s)
+    entries = [entry(name) for name in names]
+    for e in entries:
+        if e.req_id in shed:
+            e.shed = True
+        await batcher.put(e)
+    batcher.start()
+    if len(shed) < len(names):
+        await asyncio.wait_for(done.wait(), 10)
+    await batcher.close()
+    assert batcher.batch_log == dispatched
+    return dispatched
+
+
+class TestAssembly:
+    def test_batches_fill_to_max_batch_in_arrival_order(self):
+        log = run(_assemble(list("abcdefg"), max_batch=3))
+        assert log == [["a", "b", "c"], ["d", "e", "f"], ["g"]]
+
+    def test_same_input_same_batches(self):
+        names = [f"r{i}" for i in range(10)]
+        first = run(_assemble(names, max_batch=4))
+        second = run(_assemble(names, max_batch=4))
+        assert first == second == [names[0:4], names[4:8], names[8:10]]
+
+    def test_shed_entries_skipped(self):
+        log = run(_assemble(list("abcd"), max_batch=4, shed={"b", "c"}))
+        assert log == [["a", "d"]]
+
+    def test_all_shed_dispatches_nothing(self):
+        log = run(_assemble(list("ab"), max_batch=2, shed={"a", "b"}))
+        assert log == []
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda batch: None, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(lambda batch: None, max_wait_s=-1.0)
+
+
+class TestFailureAndShutdown:
+    def test_dispatch_exception_fails_futures_with_500(self):
+        async def body():
+            async def dispatch(batch):
+                raise RuntimeError("pool exploded")
+
+            batcher = MicroBatcher(dispatch, max_batch=2, max_wait_s=0.0)
+            e = entry("a")
+            await batcher.put(e)
+            batcher.start()
+            status, payload = await asyncio.wait_for(e.future, 10)
+            await batcher.close()
+            return status, payload
+
+        status, payload = run(body())
+        assert status == 500
+        assert "pool exploded" in payload["error"]
+
+    def test_close_without_drain_fails_queued_with_503(self):
+        async def body():
+            async def dispatch(batch):  # pragma: no cover - never runs
+                raise AssertionError("must not dispatch")
+
+            batcher = MicroBatcher(dispatch, max_batch=2)
+            e = entry("a")
+            await batcher.put(e)
+            # Never started: close(drain=False) must still answer "a".
+            await batcher.close(drain=False)
+            return await e.future
+
+        status, payload = run(body())
+        assert status == 503
+        assert payload["error"] == "shutting down"
+
+    def test_put_after_close_raises(self):
+        async def body():
+            batcher = MicroBatcher(lambda batch: None, max_batch=2)
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.put(entry("a"))
+
+        run(body())
+
+    def test_close_drains_queued_entries(self):
+        async def body():
+            solved: list[str] = []
+
+            async def dispatch(batch):
+                for e in batch:
+                    solved.append(e.req_id)
+                    e.future.set_result((200, {}))
+
+            batcher = MicroBatcher(dispatch, max_batch=2, max_wait_s=60.0)
+            entries = [entry(n) for n in "abc"]
+            for e in entries:
+                await batcher.put(e)
+            batcher.start()
+            # Close while the first batch's window is still open: every
+            # queued entry must still be solved before close returns.
+            await batcher.close(drain=True)
+            assert all(e.future.done() for e in entries)
+            return solved
+
+        assert sorted(run(body())) == ["a", "b", "c"]

@@ -1,0 +1,69 @@
+"""Tests for the content-addressed service result cache."""
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+INSTANCE = {
+    "schema_version": 1,
+    "tasks": [{"name": "t0", "cycles": 0.4, "penalty": 1.0}],
+    "energy_fn": {"kind": "continuous", "deadline": 1.0},
+}
+
+
+class TestKeying:
+    def test_key_ignores_dict_ordering(self):
+        shuffled = {k: INSTANCE[k] for k in reversed(list(INSTANCE))}
+        assert ResultCache.key(INSTANCE, "fptas", 0.1) == ResultCache.key(
+            shuffled, "fptas", 0.1
+        )
+
+    def test_key_depends_on_algorithm_and_eps(self):
+        base = ResultCache.key(INSTANCE, "fptas", 0.1)
+        assert ResultCache.key(INSTANCE, "greedy_marginal", 0.1) != base
+        assert ResultCache.key(INSTANCE, "fptas", 0.2) != base
+
+    def test_key_depends_on_content(self):
+        other = dict(INSTANCE)
+        other["tasks"] = [{"name": "t0", "cycles": 0.5, "penalty": 1.0}]
+        assert ResultCache.key(other, "fptas", 0.1) != ResultCache.key(
+            INSTANCE, "fptas", 0.1
+        )
+
+
+class TestLru:
+    def test_hit_and_miss_counting(self):
+        cache = ResultCache()
+        key = ResultCache.key(INSTANCE, "fptas", 0.1)
+        assert cache.get(key) is None
+        cache.put(key, {"cost": 1.0})
+        assert cache.get(key) == {"cost": 1.0}
+        assert cache.stats() == {
+            "entries": 1,
+            "max_entries": 4096,
+            "hits": 1,
+            "misses": 1,
+        }
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_put_overwrites(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("a", {"v": 2})
+        assert len(cache) == 1
+        assert cache.get("a") == {"v": 2}
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)

@@ -1,0 +1,115 @@
+"""Tests for the seeded load generator (``repro bench-serve``)."""
+
+import pytest
+
+from repro.core.rejection.online import ThresholdPolicy
+from repro.service.loadgen import PassStats, format_stats, make_bodies, run_load
+
+
+class TestMakeBodies:
+    def test_same_seed_same_stream(self):
+        assert make_bodies(7, 10) == make_bodies(7, 10)
+
+    def test_different_seed_different_stream(self):
+        assert make_bodies(7, 10) != make_bodies(8, 10)
+
+    def test_body_shape(self):
+        bodies = make_bodies(0, 5, algorithm="fptas", eps=0.25)
+        assert len(bodies) == 5
+        for body in bodies:
+            assert body["algorithm"] == "fptas"
+            assert body["eps"] == 0.25
+            assert 0.5 <= body["weight"] <= 2.0
+            assert 6 <= len(body["instance"]["tasks"]) <= 12
+
+    def test_instances_are_distinct(self):
+        bodies = make_bodies(0, 20)
+        keys = {str(body["instance"]) for body in bodies}
+        assert len(keys) == 20
+
+
+class TestPassStats:
+    def test_quantiles_from_samples(self):
+        stats = PassStats(pass_no=1, requests=100, elapsed_s=2.0)
+        stats.latencies_s = [i / 1000 for i in range(1, 101)]  # 1..100 ms
+        assert stats.quantile_ms(0.5) == pytest.approx(50.0)
+        assert stats.quantile_ms(0.99) == pytest.approx(99.0)
+        assert stats.throughput_rps == pytest.approx(50.0)
+
+    def test_empty_stats(self):
+        stats = PassStats(pass_no=1, requests=0, elapsed_s=0.0)
+        assert stats.quantile_ms(0.5) == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.reject_rate == 0.0
+
+    def test_format_line_is_grep_friendly(self):
+        stats = PassStats(pass_no=2, requests=10, elapsed_s=1.0, ok=8, rejected=2)
+        line = format_stats(stats)
+        assert line.startswith("pass 2: 10 requests")
+        assert "ok=8" in line
+        assert "rejected=2" in line
+        assert "cache_hits=0" in line
+        assert "5xx=0" in line
+
+    def test_as_dict_round_numbers(self):
+        stats = PassStats(pass_no=1, requests=4, elapsed_s=2.0, ok=3, rejected=1)
+        data = stats.as_dict()
+        assert data["reject_rate"] == pytest.approx(0.25)
+        assert data["throughput_rps"] == pytest.approx(2.0)
+
+
+class TestRunLoadValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_load("127.0.0.1", 1, mode="drive-by")
+
+    def test_bad_requests(self):
+        with pytest.raises(ValueError, match="requests"):
+            run_load("127.0.0.1", 1, requests=0)
+
+
+class TestRunLoadAgainstServer:
+    def test_second_pass_is_served_from_cache(self, threaded_server):
+        with threaded_server(
+            workers=1, rate_units_per_s=1e9, capacity_units=1e12
+        ) as srv:
+            results = run_load(
+                srv.host,
+                srv.port,
+                requests=20,
+                seed=3,
+                passes=2,
+                concurrency=4,
+            )
+        first, second = results
+        assert first.ok == 20
+        assert first.cache_hits == 0
+        assert first.server_errors == first.transport_errors == 0
+        assert second.ok == 20
+        assert second.cache_hits == 20
+        assert second.server_errors == second.transport_errors == 0
+
+    def test_open_loop_overload_rejects_not_errors(self, threaded_server):
+        # theta=0.5 with reserve pricing rejects every default-weight
+        # request outright, so overload shows up purely as 429s.
+        with threaded_server(
+            workers=1,
+            rate_units_per_s=1e9,
+            capacity_units=1e12,
+            policy=ThresholdPolicy(0.5, reserve=True),
+        ) as srv:
+            bodies_rejected = run_load(
+                srv.host,
+                srv.port,
+                requests=15,
+                seed=0,
+                passes=1,
+                mode="open",
+                rate=500.0,
+            )
+        stats = bodies_rejected[0]
+        assert stats.server_errors == 0
+        assert stats.transport_errors == 0
+        assert stats.rejected > 0
+        assert stats.ok + stats.rejected == 15
+        assert stats.reject_rate > 0.5

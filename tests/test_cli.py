@@ -83,7 +83,7 @@ class TestRunnerFlags:
         def _boom(jobs):
             raise AssertionError("jobs=1 must bypass the pool")
 
-        monkeypatch.setattr(pool, "_get_executor", _boom)
+        monkeypatch.setattr(pool, "get_executor", _boom)
         assert main(["run", "fig_r1", "--quick", "--jobs", "1"]) == 0
         assert "fig_r1" in capsys.readouterr().out
 
@@ -155,6 +155,76 @@ class TestSolveErrors:
         bad.write_text('{"schema_version": 999, "tasks": []}')
         assert main(["solve", str(bad)]) == 2
         assert "cannot read instance" in capsys.readouterr().err
+
+
+class TestTopLevel:
+    def test_version_prints_and_exits_zero(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("repro ")
+        assert len(out.split()) == 2  # "repro <version>"
+
+    def test_unknown_subcommand_one_line_exit_2(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1  # one line, no usage dump
+        assert err.startswith("repro: ")
+
+    def test_no_subcommand_exit_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_flag_value_one_line_exit_2(self, capsys):
+        assert main(["run", "fig_r1", "--jobs", "many"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert err.startswith("repro run: ")
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+
+class TestServeArgs:
+    def test_workers_zero_rejected(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_theta_zero_rejected(self, capsys):
+        assert main(["serve", "--policy", "threshold", "--theta", "0"]) == 2
+        assert "--theta" in capsys.readouterr().err
+
+    def test_capacity_zero_rejected(self, capsys):
+        assert main(["serve", "--capacity", "0"]) == 2
+        assert "--capacity" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["serve", "--policy", "magic"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestBenchServeArgs:
+    def test_requests_zero_rejected(self, capsys):
+        assert main(["bench-serve", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err
+
+    def test_passes_zero_rejected(self, capsys):
+        assert main(["bench-serve", "--passes", "0"]) == 2
+        assert "--passes" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        assert main(["bench-serve", "--algorithm", "quantum"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_unreachable_server_fails(self, capsys):
+        # Port 1 on localhost: connection refused; every request counts
+        # as a transport error and the command reports failure.
+        assert main(
+            ["bench-serve", "--port", "1", "--requests", "1", "--passes", "1"]
+        ) == 1
+        assert "transport_errors=1" in capsys.readouterr().out
 
 
 class TestVerifyCommand:
