@@ -35,10 +35,28 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 from pathlib import Path
 
-from repro.experiments import ALL_EXPERIMENTS, experiment_description
+from repro.kernels import (
+    ENV_VAR as KERNEL_ENV_VAR,
+    KERNEL_CHOICES,
+    KernelUnavailableError,
+    get_kernel,
+    kernel_names,
+    use_kernel,
+)
+
+try:
+    from repro.experiments import ALL_EXPERIMENTS, experiment_description
+except ImportError:  # pragma: no cover - minimal environment without numpy
+    # The experiment registry needs NumPy; the rest of the CLI (solve,
+    # verify, bench, serve, ...) stays available without it.
+    ALL_EXPERIMENTS: dict = {}
+
+    def experiment_description(name: str) -> str:
+        return ""
 
 #: Algorithms reachable from ``repro solve``; fptas additionally honours
 #: ``--eps``.
@@ -85,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--version",
         action="version",
         version=f"repro {_version_string()}",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="array-kernel backend for the solvers "
+        "(default: $REPRO_KERNEL, else auto = numpy when available)",
     )
     sub = parser.add_subparsers(
         dest="command", required=True, parser_class=_Parser
@@ -330,6 +355,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append request/batch span records (JSONL) to FILE",
     )
 
+    bench_k = sub.add_parser(
+        "bench",
+        help="benchmark the solver kernels (python vs numpy)",
+        description=(
+            "Run seeded random instances through each rejection solver on "
+            "every available array kernel and write the throughput table "
+            "as BENCH_kernels.json (schema-versioned, atomically). The "
+            "same seed reproduces the same instance stream, so two runs "
+            "are directly comparable."
+        ),
+    )
+    bench_k.add_argument("--seed", type=int, default=0, help="instance-stream seed")
+    bench_k.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_kernels.json"),
+        metavar="FILE",
+        help="where to write the results (default BENCH_kernels.json)",
+    )
+    bench_k.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes/repeat counts for CI (seconds, not minutes)",
+    )
+    bench_k.add_argument(
+        "--solver",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="solvers",
+        help="bench only this solver (repeatable; default: all)",
+    )
+
     bench = sub.add_parser(
         "bench-serve",
         help="load-generate against a running solve server",
@@ -454,6 +512,7 @@ def _cmd_solve(args) -> int:
         f"rejected: {rejected}"
     )
     if args.explain:
+        print(f"kernel: {get_kernel().name}")
         counters = registry.snapshot()
         if counters:
             print("-- solver counters --")
@@ -467,7 +526,11 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.verify import run_verification
+    try:
+        from repro.verify import run_verification
+    except ImportError as exc:  # pragma: no cover - no-numpy environment
+        print(f"repro verify requires numpy: {exc}", file=sys.stderr)
+        return 2
 
     if args.budget < 1:
         print(
@@ -476,18 +539,33 @@ def _cmd_verify(args) -> int:
         )
         return 2
     budget = min(args.budget, 40) if args.quick else args.budget
-    with _maybe_tracing(args.trace_out):
-        report = run_verification(
+
+    def _run(log_prefix: str = "") -> "object":
+        return run_verification(
             budget=budget,
             seed=args.seed,
             out_dir=args.out_dir,
             shrink=not args.no_shrink,
-            log=lambda line: print(line, file=sys.stderr),
+            log=lambda line: print(log_prefix + line, file=sys.stderr),
         )
-    print(report.summary())
+
+    ok = True
+    with _maybe_tracing(args.trace_out):
+        if args.quick:
+            # CI smoke: cross-check the solvers once per available array
+            # kernel, so both backends stay under the differential wall.
+            for name in kernel_names():
+                with use_kernel(name):
+                    report = _run(log_prefix=f"[kernel={name}] ")
+                print(f"[kernel={name}] {report.summary()}")
+                ok = ok and report.ok
+        else:
+            report = _run()
+            print(report.summary())
+            ok = report.ok
     if args.trace_out is not None:
         print(f"(trace written to {args.trace_out})")
-    return 0 if report.ok else 1
+    return 0 if ok else 1
 
 
 def _cmd_stats(args) -> int:
@@ -569,6 +647,33 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.kernels.bench import BENCH_SOLVERS, run_bench
+
+    if args.solvers:
+        unknown = [s for s in args.solvers if s not in BENCH_SOLVERS]
+        if unknown:
+            print(
+                f"unknown bench solver(s): {', '.join(unknown)}; "
+                f"choose from {', '.join(BENCH_SOLVERS)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        path, results = run_bench(
+            seed=args.seed,
+            out=args.out,
+            smoke=args.smoke,
+            solvers=args.solvers,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {path} ({len(results)} cells)")
+    return 0
+
+
 def _cmd_bench_serve(args) -> int:
     import json
 
@@ -647,7 +752,21 @@ def main(argv: list[str] | None = None) -> int:
         # (2, after the parser's one-line stderr message).
         return int(exc.code or 0)
 
+    if args.kernel is not None:
+        # Via the environment so worker processes inherit the choice.
+        os.environ[KERNEL_ENV_VAR] = args.kernel
+    try:
+        get_kernel()
+    except KernelUnavailableError as exc:
+        # Never fall back silently: a requested-but-missing backend is a
+        # hard, one-line error (exit 2), both via --kernel and the env.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
     if args.command == "list":
+        if not ALL_EXPERIMENTS:  # pragma: no cover - no-numpy environment
+            print("experiments unavailable (numpy not installed)", file=sys.stderr)
+            return 2
         width = max(len(name) for name in ALL_EXPERIMENTS)
         for name in ALL_EXPERIMENTS:
             blurb = experiment_description(name)
@@ -668,6 +787,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)

@@ -12,7 +12,8 @@ Two classic axes:
   it is also the engine of the FPTAS (:mod:`repro.core.rejection.fptas`),
   which feeds it scaled penalties.
 
-Both run in O(n · table) with NumPy-vectorised transitions and keep the
+Both run in O(n · table) with the row relaxations and final level scans
+delegated to the active array kernel (:mod:`repro.kernels`), keeping the
 per-task decision bits for O(n) reconstruction.
 """
 
@@ -20,10 +21,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
-from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.kernels import get_kernel
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 
@@ -78,19 +77,17 @@ def dp_cycles(
     w_max = min(sum(units), cap_units)
     _check_table((w_max + 1), "dp_cycles")
 
+    kern = get_kernel()
     # dp[w] = min rejected penalty with accepted cycles exactly w units.
     with span("solve.dp_cycles", n=problem.n, width=w_max + 1):
-        dp = np.full(w_max + 1, np.inf)
-        dp[0] = 0.0
-        decisions: list[np.ndarray] = []
+        dp = kern.dp_init(w_max + 1, math.inf)
+        decisions = []
         for u, task in zip(units, problem.tasks):
-            reject = dp + task.penalty
-            accept = np.full_like(dp, np.inf)
-            if u <= w_max:
-                accept[u:] = dp[: w_max + 1 - u]
-            take = accept < reject
-            dp = np.where(take, accept, reject)
+            dp, take = kern.dp_relax_min(dp, u, task.penalty)
             decisions.append(take)
+        best_w, _ = kern.best_workload_level(
+            dp, quantum, problem.capacity, problem.energy_fn
+        )
     obs_counters.emit(
         "dp_cycles",
         calls=1,
@@ -98,15 +95,8 @@ def dp_cycles(
         cells=(w_max + 1) * problem.n,
     )
 
-    reachable = np.isfinite(dp)
-    if not reachable.any():  # pragma: no cover - dp[0] is always finite
+    if best_w < 0:  # pragma: no cover - dp[0] is always finite
         raise AssertionError("empty DP table")
-    workloads = np.arange(w_max + 1, dtype=float) * quantum
-    costs = np.full(w_max + 1, np.inf)
-    g = problem.energy_fn
-    for w in np.flatnonzero(reachable):
-        costs[w] = g.energy(min(workloads[w], problem.capacity)) + dp[w]
-    best_w = int(np.argmin(costs))
 
     accepted: list[int] = []
     w = best_w
@@ -124,28 +114,21 @@ def dp_cycles(
     )
 
 
-def _dp_over_penalties(
-    units: list[int],
-    cycles: list[float],
-) -> tuple[np.ndarray, list[np.ndarray]]:
+def _dp_over_penalties(units: list[int], cycles: list[float], kern=None):
     """Core penalty-indexed DP.
 
     ``dp[p]`` is the maximum cycles shed by rejecting a subset with
     integer penalty sum exactly ``p`` (−inf when unreachable); decision
-    bit arrays say, per task, whether the entry at ``p`` rejected it.
+    bit rows say, per task, whether the entry at ``p`` rejected it.
+    Rows and decision bits are kernel-native sequences.
     """
+    kern = kern or get_kernel()
     p_max = sum(units)
     _check_table(p_max + 1, "dp_penalty")
-    dp = np.full(p_max + 1, -np.inf)
-    dp[0] = 0.0
-    decisions: list[np.ndarray] = []
+    dp = kern.dp_init(p_max + 1, -math.inf)
+    decisions = []
     for u, c in zip(units, cycles):
-        keep = dp
-        reject = np.full_like(dp, -np.inf)
-        if u <= p_max:
-            reject[u:] = dp[: p_max + 1 - u] + c
-        take = reject > keep
-        dp = np.where(take, reject, keep)
+        dp, take = kern.dp_relax_max(dp, u, c)
         decisions.append(take)
     return dp, decisions
 
@@ -174,9 +157,12 @@ def dp_penalty(problem: RejectionProblem, *, quantum: float = 1.0) -> RejectionS
 
     cycles = [t.cycles for t in problem.tasks]
     total = sum(cycles)
-    cap = problem.capacity
+    kern = get_kernel()
     with span("solve.dp_penalty", n=problem.n, width=sum(units) + 1):
-        dp, decisions = _dp_over_penalties(units, cycles)
+        dp, decisions = _dp_over_penalties(units, cycles, kern)
+        best_p, _ = kern.best_penalty_level(
+            dp, total, problem.capacity, problem.energy_fn, quantum
+        )
     obs_counters.emit(
         "dp_penalty",
         calls=1,
@@ -184,16 +170,6 @@ def dp_penalty(problem: RejectionProblem, *, quantum: float = 1.0) -> RejectionS
         cells=(sum(units) + 1) * problem.n,
     )
 
-    g = problem.energy_fn
-    best_cost = math.inf
-    best_p = -1
-    for p in np.flatnonzero(np.isfinite(dp)):
-        accepted_workload = total - dp[p]
-        if not fits(accepted_workload, cap):
-            continue
-        cost = g.energy(min(max(accepted_workload, 0.0), cap)) + p * quantum
-        if cost < best_cost:
-            best_cost, best_p = cost, int(p)
     if best_p < 0:
         raise ValueError(
             "no feasible penalty level; every subset exceeds the capacity "

@@ -10,6 +10,10 @@ relaxation (see :mod:`repro.core.rejection.relaxation`), typically
 visiting a tiny fraction of the tree; it extends the exact range to the
 mid-20s and serves as an independent implementation to cross-check the
 oracle in tests.
+
+Subset-sum tables, the feasible-subset scan, and the piecewise-linear
+breakpoint sweep of the fractional bound run on the active array kernel
+(:mod:`repro.kernels`).
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ from repro._validation import fits
 from repro.core.rejection.greedy import greedy_marginal
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.core.rejection.relaxation import _minimize_convex, _require_convex
+from repro.kernels import get_kernel
+from repro.kernels.base import suffix_shed_cost
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 
@@ -44,46 +50,35 @@ def exhaustive(problem: RejectionProblem) -> RejectionSolution:
     cycles = [t.cycles for t in problem.tasks]
     penalties = [t.penalty for t in problem.tasks]
     total_penalty = sum(penalties)
-    cap = problem.capacity
-    g = problem.energy_fn
 
-    size = 1 << n
-    workload = [0.0] * size
-    accepted_penalty = [0.0] * size
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(bit, bit << 1):
-            rest = mask ^ bit
-            workload[mask] = workload[rest] + cycles[i]
-            accepted_penalty[mask] = accepted_penalty[rest] + penalties[i]
-
-    best_mask = 0
-    best_cost = math.inf
+    kern = get_kernel()
     with span("solve.exhaustive", n=n):
-        for mask in range(size):
-            w = workload[mask]
-            if not fits(w, cap):
-                continue
-            cost = g.energy(min(w, cap)) + (
-                total_penalty - accepted_penalty[mask]
-            )
-            if cost < best_cost:
-                best_cost, best_mask = cost, mask
-    obs_counters.emit("exhaustive", calls=1, subsets=size)
+        workload = kern.subset_sums(cycles)
+        accepted_penalty = kern.subset_sums(penalties)
+        best_mask, _ = kern.exhaustive_best(
+            workload,
+            accepted_penalty,
+            total_penalty,
+            problem.capacity,
+            problem.energy_fn,
+        )
+    obs_counters.emit("exhaustive", calls=1, subsets=1 << n)
 
+    if best_mask < 0:  # pragma: no cover - the empty subset always fits
+        best_mask = 0
     accepted = [i for i in range(n) if best_mask >> i & 1]
     return problem.solution(accepted, algorithm="exhaustive")
 
 
 def _suffix_fractional_value(
-    g_energy,
+    kern,
+    energy_fn,
     cap: float,
     base_workload: float,
     base_penalty: float,
-    cycles: list[float],
-    penalties: list[float],
-    cum_c: list[float],
-    cum_p: list[float],
+    densities: list[float],
+    cum_c,
+    cum_p,
     start: int,
 ) -> float:
     """Lower bound on completing a partial solution.
@@ -91,7 +86,9 @@ def _suffix_fractional_value(
     The first ``start`` tasks (density order) are already decided with
     ``base_workload`` accepted cycles and ``base_penalty`` rejected
     penalty; the remaining suffix may be accepted fractionally.  Returns
-    the convex-relaxation value of the best completion.
+    the convex-relaxation value of the best completion: the golden-section
+    minimum of the continuous objective, tightened by the kernel's sweep
+    over the shed-cost breakpoints.
     """
     suffix_total = cum_c[-1] - cum_c[start]
     room = cap - base_workload
@@ -99,33 +96,32 @@ def _suffix_fractional_value(
         return math.inf
     w_hi = min(suffix_total, max(room, 0.0))
 
-    def shed_cost(rejected: float) -> float:
-        if rejected <= 0.0:
-            return 0.0
-        # Walk the suffix pieces (they are few at B&B depth; linear scan).
-        acc_c, acc_p = 0.0, 0.0
-        for k in range(start, len(cycles)):
-            c = cycles[k]
-            if acc_c + c >= rejected - 1e-15:
-                return acc_p + (rejected - acc_c) * (penalties[k] / c)
-            acc_c += c
-            acc_p += penalties[k]
-        return acc_p
+    g_energy = energy_fn.energy
 
     def objective(w: float) -> float:
         return (
             base_penalty
             + g_energy(min(base_workload + w, cap))
-            + shed_cost(suffix_total - w)
+            + suffix_shed_cost(cum_c, cum_p, densities, start, suffix_total - w)
         )
 
     _, val = _minimize_convex(objective, 0.0, w_hi)
     # Breakpoints of the piecewise-linear shed cost, for robustness.
-    for k in range(start, len(cycles) + 1):
-        w = suffix_total - (cum_c[k] - cum_c[start])
-        if 0.0 <= w <= w_hi + 1e-12:
-            val = min(val, objective(min(w, w_hi)))
-    return val
+    return min(
+        val,
+        kern.bound_breakpoint_min(
+            cum_c,
+            cum_p,
+            densities,
+            start,
+            base_workload,
+            base_penalty,
+            w_hi,
+            suffix_total,
+            cap,
+            energy_fn,
+        ),
+    )
 
 
 def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
@@ -137,19 +133,22 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
     completion bound.
     """
     g_all = _require_convex(problem.energy_fn)
-    g_energy = g_all.energy
     cap = problem.capacity
+    kern = get_kernel()
 
-    order = sorted(
-        range(problem.n), key=lambda i: problem.tasks[i].penalty_density
+    order = kern.density_order(
+        [t.cycles for t in problem.tasks],
+        [t.penalty for t in problem.tasks],
     )
     cycles = [problem.tasks[i].cycles for i in order]
     penalties = [problem.tasks[i].penalty for i in order]
-    cum_c = [0.0]
-    cum_p = [0.0]
-    for c, p in zip(cycles, penalties):
-        cum_c.append(cum_c[-1] + c)
-        cum_p.append(cum_p[-1] + p)
+    densities = [p / c for p, c in zip(penalties, cycles)]
+    # Plain-float prefix sums: the bound objective feeds these into the
+    # scalar energy function, which must never see np.float64 (its ``**``
+    # is not bit-equal to CPython's).  The values themselves are
+    # identical on either kernel (left-to-right accumulation).
+    cum_c = [float(x) for x in kern.prefix_sums(cycles)]
+    cum_p = [float(x) for x in kern.prefix_sums(penalties)]
 
     incumbent = greedy_marginal(problem)
     best_cost = incumbent.cost
@@ -171,12 +170,12 @@ def branch_and_bound(problem: RejectionProblem) -> RejectionSolution:
                 incumbents += 1
             return
         bound = _suffix_fractional_value(
-            g_energy,
+            kern,
+            g_all,
             cap,
             workload,
             rejected_penalty,
-            cycles,
-            penalties,
+            densities,
             cum_c,
             cum_p,
             depth,

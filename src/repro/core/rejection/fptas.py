@@ -28,8 +28,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.core.rejection.dp import _check_table, _dp_over_penalties
 from repro.core.rejection.greedy import (
     accept_all_repair,
@@ -41,6 +39,7 @@ from repro.core.rejection.problem import (
     RejectionSolution,
     best_solution,
 )
+from repro.kernels import get_kernel
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 
@@ -121,22 +120,17 @@ def fptas(
         forced_accept=len(forced_accept),
         forced_reject=len(forced_reject),
     )
+    kern = get_kernel()
+    total = base_workload + sum(cycles)
     with span(
         "solve.fptas", n=problem.n, eps=eps, states=states
     ):
-        dp, decisions = _dp_over_penalties(units, cycles)
-
-    g = problem.energy_fn
-    total = base_workload + sum(cycles)
-    best_cost = math.inf
-    best_p = -1
-    for p in np.flatnonzero(np.isfinite(dp)):
-        accepted_workload = total - dp[p]
-        if not problem.fits(accepted_workload):
-            continue
-        proxy_cost = g.energy(min(max(accepted_workload, 0.0), cap)) + p * scale
-        if proxy_cost < best_cost:
-            best_cost, best_p = proxy_cost, int(p)
+        dp, decisions = _dp_over_penalties(units, cycles, kern)
+        # Each reachable level is priced with the true energy function
+        # and the scaled penalty proxy ``p * scale``.
+        best_p, _ = kern.best_penalty_level(
+            dp, total, cap, problem.energy_fn, scale
+        )
 
     if best_p < 0:
         # Every DP completion overflows the capacity — only possible when

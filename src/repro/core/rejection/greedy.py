@@ -20,19 +20,22 @@ heuristic family:
 
 All of them begin by excluding tasks that can never be accepted
 (``ci > s_max·D``) and by restoring feasibility, so the returned
-solutions are always valid.
+solutions are always valid.  The order scans — density sorting, the
+prefix-capacity sweep, the improving-prefix scan, and the marginal
+argmin — run on the active array kernel (:mod:`repro.kernels`).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.kernels import get_kernel
+from repro.kernels.base import improves
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 
-#: Relative tolerance for "strict" cost improvements; guards fp jitter.
-_IMPROVE_RTOL = 1e-12
+# Backwards-compatible aliases (the tolerance and predicate moved to the
+# kernel layer so both backends share them).
+_improves = improves
 
 
 def _acceptable_indices(problem: RejectionProblem) -> list[int]:
@@ -43,23 +46,45 @@ def _acceptable_indices(problem: RejectionProblem) -> list[int]:
 
 
 def _restore_feasibility(
-    problem: RejectionProblem, accepted: set[int], order: list[int]
-) -> None:
-    """Reject tasks from *accepted* in *order* until the workload fits."""
-    workload = problem.workload(accepted)
-    for i in order:
-        if problem.fits(workload):
-            return
-        if i in accepted:
-            accepted.discard(i)
-            workload -= problem.tasks[i].cycles
-    if not problem.fits(workload):  # pragma: no cover - order covers all
+    problem: RejectionProblem, accepted: set[int], order: list[int], kern=None
+) -> int:
+    """Reject the shortest prefix of *order* that makes the workload fit.
+
+    Returns the number of forced rejections.  The sweep is the kernel's
+    :meth:`~repro.kernels.Kernel.prefix_reject_count` over the ordered
+    candidates' cycles.
+    """
+    kern = kern or get_kernel()
+    candidates = [i for i in order if i in accepted]
+    cycles = [problem.tasks[i].cycles for i in candidates]
+    k, _ = kern.prefix_reject_count(
+        cycles, problem.workload(accepted), problem.capacity
+    )
+    for i in candidates[:k]:
+        accepted.discard(i)
+    if not problem.fits(problem.workload(accepted)):  # pragma: no cover
         raise AssertionError("feasibility restoration exhausted the order")
+    return k
 
 
-def _improves(saving: float, penalty: float) -> bool:
-    """True when rejecting (saving energy *saving* at *penalty*) helps."""
-    return saving - penalty > _IMPROVE_RTOL * max(abs(saving), abs(penalty), 1.0)
+def _improving_scan(
+    problem: RejectionProblem, accepted: set[int], order: list[int], kern
+) -> tuple[int, int]:
+    """Reject the longest improving prefix of *order*'s remaining tasks.
+
+    Returns ``(scanned, improved)`` — candidates examined and candidates
+    actually rejected (the scan stops at the first non-improving one).
+    """
+    remaining = [i for i in order if i in accepted]
+    count, _ = kern.improving_prefix(
+        problem.workload(accepted),
+        [problem.tasks[i].cycles for i in remaining],
+        [problem.tasks[i].penalty for i in remaining],
+        problem.energy_fn,
+    )
+    for i in remaining[:count]:
+        accepted.discard(i)
+    return min(count + 1, len(remaining)), count
 
 
 def greedy_density(problem: RejectionProblem) -> RejectionSolution:
@@ -72,28 +97,17 @@ def greedy_density(problem: RejectionProblem) -> RejectionSolution:
     energy only shrinks as more work is shed, so later, denser candidates
     rarely help).
     """
-    accepted = set(_acceptable_indices(problem))
-    order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
-    candidates = len(accepted)
+    kern = get_kernel()
+    idx = _acceptable_indices(problem)
+    accepted = set(idx)
+    positions = kern.density_order(
+        [problem.tasks[i].cycles for i in idx],
+        [problem.tasks[i].penalty for i in idx],
+    )
+    order = [idx[k] for k in positions]
     with span("solve.greedy_density", n=problem.n):
-        _restore_feasibility(problem, accepted, order)
-        forced = candidates - len(accepted)
-        g = problem.energy_fn
-        workload = problem.workload(accepted)
-        scanned = improved = 0
-        for i in order:
-            if i not in accepted:
-                continue
-            task = problem.tasks[i]
-            scanned += 1
-            saving = g.energy(workload) - g.energy(
-                max(workload - task.cycles, 0.0)
-            )
-            if not _improves(saving, task.penalty):
-                break
-            accepted.discard(i)
-            workload -= task.cycles
-            improved += 1
+        forced = _restore_feasibility(problem, accepted, order, kern)
+        scanned, improved = _improving_scan(problem, accepted, order, kern)
     obs_counters.emit(
         "greedy_density",
         calls=1,
@@ -110,33 +124,33 @@ def greedy_marginal(problem: RejectionProblem) -> RejectionSolution:
     Each round prices every accepted task at
     ``Δi = ρi − (g(W) − g(W − ci))`` and rejects the minimiser while it is
     negative.  Terminates after at most ``n`` rounds (each rejection is
-    permanent).
+    permanent).  Rounds scan the active tasks in ascending index order,
+    so ties resolve to the lowest index on every kernel.
     """
+    kern = get_kernel()
     accepted = set(_acceptable_indices(problem))
-    density_order = sorted(accepted, key=lambda i: problem.tasks[i].penalty_density)
+    density_order = sorted(
+        accepted, key=lambda i: problem.tasks[i].penalty_density
+    )
     with span("solve.greedy_marginal", n=problem.n):
-        _restore_feasibility(problem, accepted, density_order)
-        g = problem.energy_fn
+        _restore_feasibility(problem, accepted, density_order, kern)
         workload = problem.workload(accepted)
+        active = sorted(accepted)
         rounds = evaluations = rejections = 0
-        while accepted:
+        while active:
             rounds += 1
-            current = g.energy(workload)
-            best_index = None
-            best_delta = 0.0
-            for i in accepted:
-                task = problem.tasks[i]
-                saving = current - g.energy(max(workload - task.cycles, 0.0))
-                delta = task.penalty - saving
-                evaluations += 1
-                if _improves(saving, task.penalty) and (
-                    best_index is None or delta < best_delta
-                ):
-                    best_index, best_delta = i, delta
-            if best_index is None:
+            evaluations += len(active)
+            best = kern.marginal_best(
+                workload,
+                [problem.tasks[i].cycles for i in active],
+                [problem.tasks[i].penalty for i in active],
+                problem.energy_fn,
+            )
+            if best < 0:
                 break
-            accepted.discard(best_index)
-            workload -= problem.tasks[best_index].cycles
+            i = active.pop(best)
+            accepted.discard(i)
+            workload -= problem.tasks[i].cycles
             rejections += 1
     obs_counters.emit(
         "greedy_marginal",
@@ -161,20 +175,11 @@ def greedy_ordered(
     the Fig R8 ordering ablation (``ρ/c`` vs ``ρ`` vs ``−c`` vs ...);
     ``greedy_density`` is exactly ``greedy_ordered(p, t -> ρ/c)``.
     """
+    kern = get_kernel()
     accepted = set(_acceptable_indices(problem))
     order = sorted(accepted, key=lambda i: order_key(problem.tasks[i]))
-    _restore_feasibility(problem, accepted, order)
-    g = problem.energy_fn
-    workload = problem.workload(accepted)
-    for i in order:
-        if i not in accepted:
-            continue
-        task = problem.tasks[i]
-        saving = g.energy(workload) - g.energy(max(workload - task.cycles, 0.0))
-        if not _improves(saving, task.penalty):
-            break
-        accepted.discard(i)
-        workload -= task.cycles
+    _restore_feasibility(problem, accepted, order, kern)
+    _improving_scan(problem, accepted, order, kern)
     return problem.solution(accepted, algorithm=name)
 
 
@@ -195,17 +200,19 @@ def accept_all_repair(problem: RejectionProblem) -> RejectionSolution:
 
 def reject_random(
     problem: RejectionProblem,
-    rng: np.random.Generator | None = None,
+    rng=None,
 ) -> RejectionSolution:
     """First-fit admission in task order (shuffled when *rng* is given).
 
     Walks the tasks once and accepts each one that still fits the
     remaining capacity; everything else is rejected.  No energy
-    awareness, no sorting — the RAND reference point.
+    awareness, no sorting — the RAND reference point.  *rng* is anything
+    with a ``permutation(n)`` method (e.g. ``numpy.random.Generator``);
+    the module itself stays NumPy-free.
     """
     order = list(range(problem.n))
     if rng is not None:
-        order = list(rng.permutation(problem.n))
+        order = [int(i) for i in rng.permutation(problem.n)]
     accepted: set[int] = set()
     workload = 0.0
     for i in order:

@@ -42,7 +42,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
-import numpy as np
+try:  # NumPy is optional: it only appears in rng type annotations here.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # annotations are strings (PEP 563); never evaluated
 
 from repro._validation import fits, require_positive
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution

@@ -15,105 +15,58 @@ exact algorithm that:
   exponential (the problem is NP-hard), but typically far smaller; a
   guard caps it explicitly rather than thrashing.
 
+The frontier lives as parallel workload/penalty sequences native to the
+active array kernel (:mod:`repro.kernels`), whose
+:meth:`~repro.kernels.Kernel.frontier_step` does the extend-and-prune
+sweep; per-task parent/decision rows are kept for O(n) reconstruction.
+
 This is the strongest general-purpose exact solver in the library and
 the recommended oracle beyond exhaustive range.
 """
 
 from __future__ import annotations
 
-import math
-
-from repro._validation import fits
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
+from repro.kernels import get_kernel
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 
 #: Refuse to grow the frontier beyond this many states.
 MAX_FRONTIER = 2_000_000
 
-
-class _State:
-    """A non-dominated partial solution (linked for reconstruction)."""
-
-    __slots__ = ("workload", "penalty", "parent", "accepted_last")
-
-    def __init__(
-        self,
-        workload: float,
-        penalty: float,
-        parent: "_State | None",
-        accepted_last: bool,
-    ) -> None:
-        self.workload = workload
-        self.penalty = penalty
-        self.parent = parent
-        self.accepted_last = accepted_last
-
-
-def _merge_prune(
-    reject_branch: list[_State], accept_branch: list[_State]
-) -> list[_State]:
-    """Merge two frontiers (each sorted by workload) and drop dominance.
-
-    Both inputs are sorted by increasing workload with strictly
-    decreasing penalty (frontier invariant); the merged output restores
-    the invariant in one linear pass.
-    """
-    merged: list[_State] = []
-    i = j = 0
-    while i < len(reject_branch) or j < len(accept_branch):
-        if j >= len(accept_branch):
-            candidate = reject_branch[i]
-            i += 1
-        elif i >= len(reject_branch):
-            candidate = accept_branch[j]
-            j += 1
-        elif (
-            reject_branch[i].workload,
-            reject_branch[i].penalty,
-        ) <= (accept_branch[j].workload, accept_branch[j].penalty):
-            candidate = reject_branch[i]
-            i += 1
-        else:
-            candidate = accept_branch[j]
-            j += 1
-        # The merge emits states in non-decreasing (workload, penalty)
-        # order, so the candidate's workload is always >= the last kept
-        # state's; it survives only with a strictly smaller penalty.
-        if merged and candidate.penalty >= merged[-1].penalty:
-            continue
-        merged.append(candidate)
-    return merged
+#: Reconstruction history: per task, (parent indices, accepted bits).
+_History = list[tuple["object", "object"]]
 
 
 def _build_frontier(
     problem: RejectionProblem, *, label: str, guard_hint: str = ""
-) -> list[_State]:
+):
     """Run the dominance-pruned sweep; emits frontier-size counters.
 
     Shared by :func:`pareto_frontier` and :func:`pareto_exact` (they
-    differ only in how the final frontier is consumed).
+    differ only in how the final frontier is consumed).  Returns the
+    final ``(workloads, penalties)`` frontier (kernel-native sequences,
+    workload ascending / penalty strictly descending) and the per-task
+    reconstruction history.
     """
+    kern = get_kernel()
     cap = problem.capacity
-    frontier: list[_State] = [_State(0.0, 0.0, None, False)]
+    workloads = [0.0]
+    penalties = [0.0]
+    history: _History = []
     states = 1
     peak = 1
     with span(f"solve.{label}", n=problem.n):
         for task in problem.tasks:
-            reject_branch = [
-                _State(s.workload, s.penalty + task.penalty, s, False)
-                for s in frontier
-            ]
-            accept_branch = [
-                _State(s.workload + task.cycles, s.penalty, s, True)
-                for s in frontier
-                if fits(s.workload + task.cycles, cap)
-            ]
-            states += len(reject_branch) + len(accept_branch)
-            frontier = _merge_prune(reject_branch, accept_branch)
-            if len(frontier) > peak:
-                peak = len(frontier)
-            if len(frontier) > MAX_FRONTIER:
+            step = kern.frontier_step(
+                workloads, penalties, task.cycles, task.penalty, cap
+            )
+            states += step.candidates
+            workloads, penalties = step.workloads, step.penalties
+            history.append((step.sources, step.accepted))
+            if len(step) > peak:
+                peak = len(step)
+            if len(step) > MAX_FRONTIER:
                 raise ValueError(
                     f"Pareto frontier exceeded {MAX_FRONTIER} states"
                     + guard_hint
@@ -123,9 +76,9 @@ def _build_frontier(
         calls=1,
         states=states,
         peak_frontier=peak,
-        final_frontier=len(frontier),
+        final_frontier=len(workloads),
     )
-    return frontier
+    return workloads, penalties, history
 
 
 def pareto_frontier(
@@ -139,11 +92,14 @@ def pareto_frontier(
     Useful for "what would accepting more work cost me" exploration.
     """
     cap = problem.capacity
-    frontier = _build_frontier(problem, label="pareto_frontier")
-    g = problem.energy_fn
+    workloads, penalties, _ = _build_frontier(problem, label="pareto_frontier")
+    kern = get_kernel()
+    energies = kern.energy_table(
+        problem.energy_fn, [min(float(w), cap) for w in workloads]
+    )
     return [
-        (s.workload, s.penalty, g.energy(min(s.workload, cap)) + s.penalty)
-        for s in frontier
+        (float(w), float(p), float(e) + float(p))
+        for w, p, e in zip(workloads, penalties, energies)
     ]
 
 
@@ -155,28 +111,25 @@ def pareto_exact(problem: RejectionProblem) -> RejectionSolution:
     frontier exceeds :data:`MAX_FRONTIER` states (an adversarial
     instance; fall back to the FPTAS).
     """
-    cap = problem.capacity
-    frontier = _build_frontier(
+    workloads, penalties, history = _build_frontier(
         problem,
         label="pareto_exact",
         guard_hint="; use fptas() for this instance",
     )
 
-    g = problem.energy_fn
-    best_state: _State | None = None
-    best_cost = math.inf
-    for state in frontier:
-        cost = g.energy(min(state.workload, cap)) + state.penalty
-        if cost < best_cost:
-            best_cost, best_state = cost, state
+    kern = get_kernel()
+    best, _ = kern.frontier_best(
+        workloads, penalties, problem.capacity, problem.energy_fn
+    )
+    assert best >= 0  # the frontier always contains reject-all
 
-    assert best_state is not None  # frontier always contains reject-all
     accepted: list[int] = []
-    state = best_state
+    idx = best
     for i in range(problem.n - 1, -1, -1):
-        if state.accepted_last:
+        sources, took = history[i]
+        if took[idx]:
             accepted.append(i)
-        state = state.parent  # type: ignore[assignment]
+        idx = int(sources[idx])
     return problem.solution(
-        accepted, algorithm="pareto_exact", frontier=len(frontier)
+        accepted, algorithm="pareto_exact", frontier=len(workloads)
     )

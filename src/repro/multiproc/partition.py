@@ -11,7 +11,10 @@ import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-import numpy as np
+try:  # NumPy is optional: it only appears in rng type annotations here.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # annotations are strings (PEP 563); never evaluated
 
 from repro._validation import fits
 

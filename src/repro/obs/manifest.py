@@ -70,7 +70,11 @@ def write_manifest(
     Parameters mirror the fields of :class:`repro.runner.RunMetrics`
     plus the cache identity (*key*, *code*); the caller passes them
     explicitly so this module stays import-independent of the runner.
+    The active array kernel is recorded automatically so a table's
+    provenance includes which backend produced it.
     """
+    from repro.kernels import get_kernel
+
     path = manifest_path(experiment, key, manifest_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
     entry = {
@@ -78,6 +82,7 @@ def write_manifest(
         "experiment": experiment,
         "key": key,
         "code": code,
+        "kernel": get_kernel().name,
         "params": params,
         "seed": seed,
         "cache": cache,

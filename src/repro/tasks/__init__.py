@@ -21,12 +21,21 @@ from repro.tasks.model import (
     PeriodicTaskSet,
     hyper_period,
 )
-from repro.tasks.generators import (
-    PENALTY_MODELS,
-    frame_instance,
-    periodic_instance,
-    uunifast,
+
+#: Names served lazily from :mod:`repro.tasks.generators`, which needs
+#: NumPy; deferring keeps the task *models* importable without it.
+_GENERATOR_EXPORTS = frozenset(
+    {"PENALTY_MODELS", "frame_instance", "periodic_instance", "uunifast"}
 )
+
+
+def __getattr__(name: str):
+    if name in _GENERATOR_EXPORTS:
+        from repro.tasks import generators
+
+        return getattr(generators, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "FrameTask",

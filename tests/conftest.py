@@ -3,9 +3,59 @@
 from __future__ import annotations
 
 import hypothesis.strategies as st
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+#: Modules that require NumPy (numpy-seeded strategies, experiments, or
+#: the service stack).  In NumPy-free environments they are excluded at
+#: collection time; everything else — the solvers, the python kernel,
+#: the bench harness, IO, obs — must still pass (the kernel-matrix CI
+#: job runs exactly this configuration).
+if np is None:  # pragma: no cover - exercised by the no-numpy CI job
+    collect_ignore = [
+        "core/test_aperiodic.py",
+        "core/test_fptas.py",
+        "core/test_greedy.py",
+        "core/test_hardness.py",
+        "core/test_heterogeneous.py",
+        "core/test_improvement_moves.py",
+        "core/test_multiproc_rejection.py",
+        "core/test_online.py",
+        "core/test_pareto.py",
+        "core/test_periodic.py",
+        "core/test_periodic_multiproc.py",
+        "core/test_sensitivity.py",
+        "core/test_twope.py",
+        "energy/test_convexity_regression.py",
+        "experiments",
+        "integration/test_end_to_end.py",
+        "integration/test_torture.py",
+        "io/test_multiproc_roundtrip.py",
+        "multiproc/test_partition.py",
+        "multiproc/test_pooled.py",
+        "obs/test_integration.py",
+        "runner/test_cache_properties.py",
+        "runner/test_determinism.py",
+        "runner/test_metrics_edges.py",
+        "sched/test_edf.py",
+        "service",
+        "speedopt/test_heterogeneous.py",
+        "speedopt/test_yds.py",
+        "tasks/test_generators.py",
+        "tasks/test_generators_lognormal.py",
+        "test_cli.py",
+        "test_io.py",
+        "verify/test_harness.py",
+        "verify/test_invariants.py",
+        "verify/test_oracles.py",
+        "verify/test_shrink.py",
+        "verify/test_strategies.py",
+    ]
 
 from repro.core.rejection import RejectionProblem
 from repro.energy import (
@@ -39,8 +89,10 @@ def _isolated_cache(tmp_path, monkeypatch):
 
 
 @pytest.fixture
-def rng() -> np.random.Generator:
+def rng():
     """A deterministic NumPy generator."""
+    if np is None:  # pragma: no cover - exercised by the no-numpy CI job
+        pytest.skip("requires numpy")
     return np.random.default_rng(0xC0FFEE)
 
 

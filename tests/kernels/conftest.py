@@ -1,0 +1,26 @@
+"""Fixtures for the kernel differential-test wall."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+
+
+@pytest.fixture
+def no_numpy_kernels(monkeypatch):
+    """Make the kernel registry behave as if NumPy were not installed.
+
+    Blocks the import hook and clears the backend singleton cache, so
+    ``numpy`` resolution fails even when NumPy is importable in the
+    test process.
+    """
+
+    def _blocked():
+        raise ImportError("numpy disabled by no_numpy_kernels fixture")
+
+    monkeypatch.setattr(kernels, "_import_numpy", _blocked)
+    monkeypatch.setattr(kernels, "_INSTANCES", {})
+    monkeypatch.setattr(kernels, "_OVERRIDE", None)
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    return kernels

@@ -250,3 +250,126 @@ class TestVerifyCommand:
     def test_budget_zero_rejected(self, capsys):
         assert main(["verify", "--budget", "0"]) == 2
         assert "--budget must be" in capsys.readouterr().err
+
+
+class TestKernelSelection:
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        """Make kernel resolution behave as if NumPy were missing."""
+        import repro.kernels as kernels
+
+        def _blocked():
+            raise ImportError("numpy disabled for this test")
+
+        monkeypatch.setattr(kernels, "_import_numpy", _blocked)
+        monkeypatch.setattr(kernels, "_INSTANCES", {})
+        monkeypatch.setattr(kernels, "_OVERRIDE", None)
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        return kernels
+
+    def test_env_numpy_missing_is_hard_error(self, capsys, monkeypatch, no_numpy):
+        # Never a silent python fallback: exit 2, one line on stderr.
+        monkeypatch.setenv(no_numpy.ENV_VAR, "numpy")
+        assert main(["list"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert err.startswith("repro: ")
+        assert "numpy is not importable" in err
+
+    def test_kernel_flag_numpy_missing_is_hard_error(
+        self, capsys, monkeypatch, no_numpy
+    ):
+        monkeypatch.setenv(no_numpy.ENV_VAR, "auto")  # restored on undo
+        assert main(["--kernel", "numpy", "list"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "numpy is not importable" in err
+
+    def test_kernel_flag_python_always_works(self, capsys, monkeypatch, no_numpy):
+        monkeypatch.setenv(no_numpy.ENV_VAR, "auto")
+        assert main(["--kernel", "python", "list"]) == 0
+        assert capsys.readouterr().out  # normal listing, no kernel noise
+
+    def test_kernel_flag_rejects_unknown_name(self, capsys, monkeypatch):
+        import repro.kernels as kernels
+
+        monkeypatch.setenv(kernels.ENV_VAR, "auto")
+        assert main(["--kernel", "sse9000", "list"]) == 2
+        assert len(capsys.readouterr().err.strip().splitlines()) == 1
+
+    def test_env_unknown_kernel_rejected(self, capsys, monkeypatch):
+        import repro.kernels as kernels
+
+        monkeypatch.setenv(kernels.ENV_VAR, "quantum")
+        assert main(["list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "unknown kernel" in err
+
+    def test_solve_explain_names_the_kernel(self, capsys, tmp_path, monkeypatch):
+        import repro.kernels as kernels
+
+        monkeypatch.setenv(kernels.ENV_VAR, "auto")
+        instance = tmp_path / "inst.json"
+        assert main(["generate", str(instance), "--n", "6", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["--kernel", "python", "solve", str(instance), "--explain"]
+            )
+            == 0
+        )
+        assert "kernel: python" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_smoke_writes_file(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        assert (
+            main(
+                ["bench", "--smoke", "--seed", "0", "--out", str(out),
+                 "--solver", "greedy_density"]
+            )
+            == 0
+        )
+        assert out.exists()
+        assert f"wrote {out}" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self, capsys, tmp_path):
+        assert (
+            main(
+                ["bench", "--smoke", "--out", str(tmp_path / "b.json"),
+                 "--solver", "quantum_annealer"]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown bench solver" in err
+        assert not list(tmp_path.iterdir())  # nothing written
+
+    def test_unwritable_out_is_one_line_error(self, capsys, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file, not a directory")
+        out = target / "bench.json"
+        assert (
+            main(
+                ["bench", "--smoke", "--out", str(out),
+                 "--solver", "greedy_density"]
+            )
+            == 2
+        )
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestVerifyKernelMatrix:
+    def test_quick_runs_once_per_available_kernel(self, capsys, tmp_path):
+        from repro.kernels import kernel_names
+
+        code = main(
+            ["verify", "--quick", "--budget", "40", "--seed", "0",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in kernel_names():
+            assert f"[kernel={name}]" in out

@@ -1,0 +1,110 @@
+"""Solver work counters are part of the differential contract.
+
+The kernels must not change *what* the solvers explore — branch-and-bound
+node visits, DP cell counts, FPTAS table sizes — only how fast a row is
+evaluated.  This pins the counters on fixed instances across every
+available kernel: a kernel whose tolerance or tie-breaking drifts from
+the shared spec shows up here as a different amount of work long before
+it produces a different answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rejection import (
+    RejectionProblem,
+    branch_and_bound,
+    dp_cycles,
+    dp_penalty,
+    fptas,
+    greedy_marginal,
+    pareto_exact,
+)
+from repro.energy import ContinuousEnergyFunction
+from repro.kernels import kernel_names, use_kernel
+from repro.obs import counters as obs_counters
+from repro.power import xscale_power_model
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+#: A fixed, mildly overloaded 12-task instance (penalties in 1e-3 quanta
+#: near the marginal energy, mirroring the bench generator) — small
+#: enough for every exact solver, busy enough that each one does real
+#: pruning/relaxation work.
+_CYCLES = [0.11, 0.07, 0.15, 0.05, 0.09, 0.13, 0.06, 0.12, 0.08, 0.14, 0.10, 0.09]
+_PENALTY = [0.520, 0.310, 0.700, 0.140, 0.450, 0.610, 0.180, 0.590, 0.330, 0.660, 0.470, 0.360]
+
+
+def _problem() -> RejectionProblem:
+    energy_fn = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
+    tasks = [
+        FrameTask(name=f"t{i}", cycles=c, penalty=p)
+        for i, (c, p) in enumerate(zip(_CYCLES, _PENALTY))
+    ]
+    return RejectionProblem(tasks=FrameTaskSet(tasks), energy_fn=energy_fn)
+
+
+SOLVERS = {
+    "branch_and_bound": branch_and_bound,
+    "dp_cycles": lambda p: dp_cycles(p, quantum=0.01, round_cycles=True),
+    "dp_penalty": lambda p: dp_penalty(p, quantum=0.01),
+    "fptas": lambda p: fptas(p, eps=0.2),
+    "greedy_marginal": greedy_marginal,
+    "pareto_exact": pareto_exact,
+}
+
+#: Counters that measure the amount of search work (not timings).
+WORK_COUNTERS = (
+    "branch_and_bound.nodes",
+    "branch_and_bound.pruned",
+    "branch_and_bound.incumbents",
+    "dp_cycles.cells",
+    "dp_penalty.cells",
+    "fptas.states",
+    "fptas.cells",
+    "greedy_marginal.evaluations",
+    "pareto_exact.states",
+)
+
+
+def _counters(kernel: str, solver) -> dict:
+    with use_kernel(kernel):
+        with obs_counters.counting() as registry:
+            solution = solver(_problem())
+        snap = registry.snapshot()
+    snap["__cost__"] = solution.cost
+    return snap
+
+
+@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+def test_work_counters_are_kernel_independent(solver_name):
+    solver = SOLVERS[solver_name]
+    names = kernel_names()
+    baseline = _counters(names[0], solver)
+    assert any(k in baseline for k in WORK_COUNTERS), (
+        f"{solver_name} emitted no work counters: {sorted(baseline)}"
+    )
+    for name in names[1:]:
+        assert _counters(name, solver) == baseline, (
+            f"{solver_name}: kernel {name!r} explored a different search"
+        )
+
+
+def test_branch_and_bound_node_count_pinned():
+    """The exact node count is part of the spec: a tolerance or
+    tie-breaking drift changes it even when the answer survives."""
+    counts = {}
+    for name in kernel_names():
+        snap = _counters(name, branch_and_bound)
+        counts[name] = snap["branch_and_bound.nodes"]
+        assert snap["branch_and_bound.nodes"] > 1  # really branched
+        assert snap["branch_and_bound.pruned"] > 0  # bound really fired
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_dp_and_fptas_table_sizes_pinned():
+    for name in kernel_names():
+        snap = _counters(name, SOLVERS["dp_cycles"])
+        assert snap["dp_cycles.cells"] == snap["dp_cycles.width"] * 12
+        fsnap = _counters(name, SOLVERS["fptas"])
+        assert fsnap["fptas.states"] * fsnap["fptas.candidates"] == fsnap["fptas.cells"]
