@@ -28,6 +28,11 @@ Usage::
     repro serve --policy threshold --theta 1.0   # admission control (429s)
     repro bench-serve --requests 200 --seed 0    # seeded load generator
 
+    repro sim --family bursty --arrivals 500 --seed 0    # arrival simulator
+    repro sim --family heavy --policy threshold --cores 4 --cs-time 1e-4
+    repro sim --emit-trace trace.jsonl           # replayable arrival trace
+    repro bench-serve --replay trace.jsonl       # fire it at a live server
+
     repro --version
 """
 
@@ -388,6 +393,104 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bench only this solver (repeatable; default: all)",
     )
 
+    sim = sub.add_parser(
+        "sim",
+        help="discrete-event arrival simulation with online rejection",
+        description=(
+            "Run a seeded arrival stream (aperiodic or periodic) through "
+            "per-core EDF queues with preemption and context-switch "
+            "costs, deciding accept/reject at every arrival with the "
+            "same admission controller repro serve uses. Prints the "
+            "outcome table, writes a run manifest, and can emit the "
+            "arrival trace for repro bench-serve --replay. The same "
+            "seed reproduces the same table bit for bit. See docs/sim.md."
+        ),
+    )
+    sim.add_argument(
+        "--family",
+        default="bursty",
+        choices=("light", "bursty", "heavy", "periodic"),
+        help="arrival family (see docs/sim.md)",
+    )
+    sim.add_argument(
+        "--arrivals", type=int, default=500, metavar="N", help="stream length"
+    )
+    sim.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    sim.add_argument(
+        "--cores", type=int, default=2, metavar="K", help="identical cores"
+    )
+    sim.add_argument(
+        "--policy",
+        default="accept",
+        choices=("accept", "threshold", "reject_all"),
+        help="admission policy (same vocabulary as repro serve)",
+    )
+    sim.add_argument(
+        "--theta",
+        type=float,
+        default=1.0,
+        help="threshold policy acceptance parameter (> 0)",
+    )
+    sim.add_argument(
+        "--reserve",
+        action="store_true",
+        help="threshold policy: price marginals at the capacity-filling "
+        "anchor",
+    )
+    sim.add_argument(
+        "--capacity",
+        type=float,
+        default=50000.0,
+        metavar="UNITS",
+        help="admission capacity in work units",
+    )
+    sim.add_argument(
+        "--rate",
+        type=float,
+        default=20000.0,
+        metavar="UNITS_PER_S",
+        help="per-core service rate (also the deadline-check rate)",
+    )
+    sim.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="execution speed in (0, 1] (energy follows the XScale curve)",
+    )
+    sim.add_argument(
+        "--cs-time",
+        type=float,
+        default=0.0,
+        metavar="S",
+        dest="cs_time",
+        help="context-switch wall time per pickup (seconds)",
+    )
+    sim.add_argument(
+        "--cs-energy",
+        type=float,
+        default=0.0,
+        metavar="J",
+        dest="cs_energy",
+        help="context-switch transition energy per pickup (joules)",
+    )
+    sim.add_argument(
+        "--no-deadline-check",
+        action="store_true",
+        help="disable the controller's per-request deadline rejection",
+    )
+    sim.add_argument(
+        "--emit-trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the replayable arrival trace (JSONL) to FILE",
+    )
+    sim.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON summary line instead of the table",
+    )
+
     bench = sub.add_parser(
         "bench-serve",
         help="load-generate against a running solve server",
@@ -438,6 +541,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print one JSON line per pass instead of text",
+    )
+    bench.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="TRACE",
+        help="replay a repro sim --emit-trace file instead of generating "
+        "load; prints the paired simulated-vs-served table",
+    )
+    bench.add_argument(
+        "--replay-mode",
+        default="sequential",
+        choices=("sequential", "timed"),
+        help="replay in arrival order (pairable decisions) or at the "
+        "trace timestamps",
+    )
+    bench.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        help="timed replay: divide trace timestamps by this factor",
     )
     return parser
 
@@ -586,7 +710,7 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.core.rejection.online import RejectAll, ThresholdPolicy
+    from repro.core.rejection.online import policy_from_spec
     from repro.service import SolveService
 
     if args.workers < 1:
@@ -601,11 +725,9 @@ def _cmd_serve(args) -> int:
     if args.capacity is not None and not args.capacity > 0:
         print(f"--capacity must be > 0, got {args.capacity}", file=sys.stderr)
         return 2
-    policy = None
-    if args.policy == "threshold":
-        policy = ThresholdPolicy(args.theta, reserve=args.reserve)
-    elif args.policy == "reject_all":
-        policy = RejectAll()
+    policy = policy_from_spec(
+        args.policy, theta=args.theta, reserve=args.reserve
+    )
     service = SolveService(
         policy=policy,
         workers=args.workers,
@@ -674,11 +796,213 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_sim(args) -> int:
+    import json
+
+    from repro.core.rejection.online import policy_from_spec
+    from repro.sim import (
+        ArrivalSimulator,
+        make_arrivals,
+        sim_params,
+        sim_table,
+        write_sim_manifest,
+        write_trace,
+    )
+
+    if args.arrivals < 1:
+        print(
+            f"--arrivals must be a positive integer, got {args.arrivals}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cores < 1:
+        print(
+            f"--cores must be a positive integer, got {args.cores}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.policy == "threshold" and not args.theta > 0:
+        print(f"--theta must be > 0, got {args.theta}", file=sys.stderr)
+        return 2
+    for flag, value in (
+        ("--capacity", args.capacity),
+        ("--rate", args.rate),
+        ("--speed", args.speed),
+    ):
+        if not value > 0:
+            print(f"{flag} must be > 0, got {value}", file=sys.stderr)
+            return 2
+    if args.cs_time < 0 or args.cs_energy < 0:
+        print("--cs-time/--cs-energy must be >= 0", file=sys.stderr)
+        return 2
+
+    arrivals = make_arrivals(args.family, args.arrivals, args.seed)
+    policy = policy_from_spec(
+        args.policy, theta=args.theta, reserve=args.reserve
+    )
+    report = ArrivalSimulator(
+        arrivals,
+        cores=args.cores,
+        policy=policy,
+        capacity_units=args.capacity,
+        rate_units_per_s=args.rate,
+        speed=args.speed,
+        context_switch_s=args.cs_time,
+        context_switch_j=args.cs_energy,
+        deadline_check=not args.no_deadline_check,
+    ).run()
+
+    params = sim_params(
+        family=args.family,
+        count=args.arrivals,
+        seed=args.seed,
+        cores=args.cores,
+        policy=args.policy,
+        capacity_units=args.capacity,
+        rate_units_per_s=args.rate,
+        speed=args.speed,
+        context_switch_s=args.cs_time,
+        context_switch_j=args.cs_energy,
+    )
+    # The trace header carries the full parameter set so bench-serve
+    # --replay can rebuild the identical simulation from the file alone.
+    params["theta"] = args.theta
+    params["reserve"] = bool(args.reserve)
+    params["deadline_check"] = not args.no_deadline_check
+    manifest = write_sim_manifest(
+        report, family=args.family, seed=args.seed, params=params
+    )
+    if args.emit_trace is not None:
+        path = write_trace(args.emit_trace, arrivals, report, meta=params)
+        print(f"wrote trace {path} ({report.offered} arrivals)")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "params": params,
+                    "offered": report.offered,
+                    "admitted": report.admitted,
+                    "rejected": report.rejected,
+                    "shed": report.shed,
+                    "completed": report.completed,
+                    "rejection_rate": report.rejection_rate,
+                    "deadline_misses": len(report.misses),
+                    "context_switches": report.context_switches,
+                    "penalty_cost": report.penalty_cost,
+                    "energy_total_j": report.total_energy,
+                    "makespan_s": report.makespan,
+                    "decision_digest": report.decision_digest(),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(sim_table(report, family=args.family, seed=args.seed).render())
+    print(f"wrote manifest {manifest}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    import json
+
+    from repro.core.rejection.online import policy_from_spec
+    from repro.service.loadgen import format_stats, run_replay
+    from repro.sim import (
+        ArrivalSimulator,
+        load_trace,
+        make_arrivals,
+        paired_summary,
+    )
+
+    try:
+        header, entries = load_trace(args.replay)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.replay}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace {args.replay}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        arrivals = make_arrivals(
+            header["family"], header["count"], header["seed"]
+        )
+        policy = policy_from_spec(
+            header["policy"],
+            theta=header.get("theta", 1.0),
+            reserve=header.get("reserve", False),
+        )
+        report = ArrivalSimulator(
+            arrivals,
+            cores=header["cores"],
+            policy=policy,
+            capacity_units=header["capacity_units"],
+            rate_units_per_s=header["rate_units_per_s"],
+            speed=header.get("speed", 1.0),
+            context_switch_s=header.get("context_switch_s", 0.0),
+            context_switch_j=header.get("context_switch_j", 0.0),
+            deadline_check=header.get("deadline_check", True),
+        ).run()
+    except (KeyError, ValueError) as exc:
+        print(
+            f"trace {args.replay} is missing simulation parameters: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if report.decision_digest() != header.get("decision_digest"):
+        print(
+            f"trace {args.replay} does not reproduce: the simulator's "
+            "decision digest differs from the header's (edited trace, or "
+            "the admission code changed since it was written)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        stats, outcomes = run_replay(
+            args.host,
+            args.port,
+            entries,
+            mode=args.replay_mode,
+            speedup=args.speedup,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    table = paired_summary(
+        report, entries, [o.as_pair() for o in outcomes]
+    )
+    if args.json:
+        sim_row, served_row = table.rows
+        print(
+            json.dumps(
+                {
+                    "trace": str(args.replay),
+                    "mode": args.replay_mode,
+                    "columns": list(table.columns),
+                    "sim": list(sim_row),
+                    "served": list(served_row),
+                    "notes": list(table.notes),
+                    "loadgen": stats.as_dict(),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_stats(stats))
+        print(table.render())
+    return 1 if stats.server_errors or stats.transport_errors else 0
+
+
 def _cmd_bench_serve(args) -> int:
     import json
 
     from repro.service.loadgen import format_stats, run_load
     from repro.service.models import SOLVER_NAMES
+
+    if args.replay is not None:
+        return _cmd_replay(args)
 
     if args.requests < 1:
         print(
@@ -791,6 +1115,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _cmd_bench(args)
 
+    if args.command == "sim":
+        return _cmd_sim(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
 

@@ -136,6 +136,33 @@ class ThresholdPolicy(OnlinePolicy):
         return marginal <= self._theta * task.penalty
 
 
+#: Policy spellings accepted by :func:`policy_from_spec` (the shared
+#: vocabulary of ``repro serve --policy`` and ``repro sim --policy``).
+POLICY_CHOICES = ("accept", "threshold", "reject_all")
+
+
+def policy_from_spec(
+    name: str = "accept", *, theta: float = 1.0, reserve: bool = False
+) -> OnlinePolicy:
+    """Build the policy object a ``--policy`` spelling names.
+
+    The single construction point for admission policies at every hook
+    site — the live server and the arrival simulator both resolve their
+    CLI flags through here, so the *same spelling* always yields the
+    *same policy object semantics* (and therefore the same decisions on
+    the same arrival sequence).
+    """
+    if name == "accept":
+        return AcceptIfFeasible()
+    if name == "threshold":
+        return ThresholdPolicy(theta, reserve=reserve)
+    if name == "reject_all":
+        return RejectAll()
+    raise ValueError(
+        f"unknown policy {name!r}; choose from {', '.join(POLICY_CHOICES)}"
+    )
+
+
 def run_online(
     problem: RejectionProblem,
     policy: OnlinePolicy,

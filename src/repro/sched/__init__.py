@@ -14,14 +14,22 @@ package is the ground truth they are checked against:
   dormant-enable processors.
 """
 
-from repro.sched.edf import EdfSimulator, SimulationResult, simulate_edf
+from repro.sched.edf import (
+    EdfSimulator,
+    Job,
+    SimulationResult,
+    deadline_missed,
+    simulate_edf,
+)
 from repro.sched.frame import FrameExecution, execute_frame_plan
 from repro.sched.gantt import render_gantt, render_speed_plan
 from repro.sched.proc import procrastination_interval
 
 __all__ = [
     "EdfSimulator",
+    "Job",
     "SimulationResult",
+    "deadline_missed",
     "simulate_edf",
     "FrameExecution",
     "execute_frame_plan",

@@ -15,7 +15,14 @@ Semantics:
   only at release instants (sufficient for EDF with a constant speed);
 * a deadline miss is *recorded* when a deadline passes with work pending,
   and the job keeps running (overrun semantics) — feasible inputs must
-  produce zero misses, which is exactly what the tests assert;
+  produce zero misses, which is exactly what the tests assert; the
+  boundary (``now == deadline``, fp noise included) is judged by
+  :func:`deadline_missed`, the same relative tolerance as the frame-based
+  ``fits`` predicate;
+* with ``context_switch_s``/``context_switch_j`` every load of a job the
+  processor was not just running costs wall-clock time at active power
+  (no cycles retire) plus a fixed transition energy; an interrupted
+  switch restarts from scratch at the next pickup;
 * idle gaps cost static power, unless the dormant mode is present and
   the gap is known to reach the break-even time, in which case the
   processor sleeps (one ``e_sw`` per sleep episode);
@@ -37,13 +44,29 @@ import math
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro._validation import require_positive
+from repro._validation import fits, require_nonnegative, require_positive
 from repro.power.base import DormantMode, PowerModel
 from repro.sched.proc import procrastination_interval
 from repro.tasks.model import PeriodicTask, PeriodicTaskSet
 
 #: Guard against accidentally simulating billions of jobs.
 MAX_JOBS = 2_000_000
+
+
+def deadline_missed(now: float, deadline: float) -> bool:
+    """True when work pending (or completing) at *now* missed *deadline*.
+
+    The boundary predicate for every deadline classification in the
+    event-driven simulators, deliberately the same relative tolerance as
+    the frame-based capacity check (:func:`repro._validation.fits`): a
+    job finishing *exactly* at its deadline — or within the shared fp
+    tolerance of it — met the deadline, just as a workload summing
+    exactly to ``smax·D`` fits the frame.  This keeps the simulators'
+    verdicts consistent with the analytic feasibility checks on
+    boundary instances, including jobs preempted mid-context-switch
+    whose wall-clock position is fp noise away from the deadline.
+    """
+    return not fits(now, deadline)
 
 
 @dataclass(frozen=True)
@@ -84,12 +107,19 @@ class SimulationResult:
     jobs_released: int
     jobs_completed: int
     misses: tuple[DeadlineMiss, ...]
+    context_switches: int = 0
+    energy_switch: float = 0.0
     trace: tuple[TraceInterval, ...] = ()
 
     @property
     def total_energy(self) -> float:
-        """Active + idle + sleep-transition energy (J)."""
-        return self.energy_active + self.energy_idle + self.energy_sleep
+        """Active + idle + sleep-transition + context-switch energy (J)."""
+        return (
+            self.energy_active
+            + self.energy_idle
+            + self.energy_sleep
+            + self.energy_switch
+        )
 
     @property
     def missed(self) -> bool:
@@ -97,19 +127,56 @@ class SimulationResult:
         return bool(self.misses)
 
 
-class _Job:
-    __slots__ = ("task", "release", "deadline", "remaining", "actual", "seq", "miss_logged")
+class Job:
+    """One released job waiting in (or running from) an EDF ready queue.
+
+    Shared between the periodic :class:`EdfSimulator` and the aperiodic
+    arrival simulator (:mod:`repro.sim.engine`): a job is ``cycles`` of
+    work released at ``release`` with an absolute ``deadline``;
+    ``overhead_s`` is the wall-clock remainder of an in-progress context
+    switch (it must elapse before further cycles execute, and it is
+    re-charged from scratch when an interrupted switch restarts).
+    """
+
+    __slots__ = (
+        "name",
+        "release",
+        "deadline",
+        "cycles",
+        "remaining",
+        "seq",
+        "overhead_s",
+        "miss_logged",
+        "task",
+    )
 
     def __init__(
-        self, task: PeriodicTask, release: float, seq: int, actual: float
+        self,
+        name: str,
+        release: float,
+        deadline: float,
+        cycles: float,
+        seq: int,
+        task: PeriodicTask | None = None,
     ) -> None:
-        self.task = task
+        self.name = name
         self.release = release
-        self.deadline = release + task.period
-        self.actual = actual
-        self.remaining = actual
+        self.deadline = deadline
+        self.cycles = cycles
+        self.remaining = cycles
         self.seq = seq
+        self.overhead_s = 0.0
         self.miss_logged = False
+        self.task = task
+
+    @classmethod
+    def from_periodic(
+        cls, task: PeriodicTask, release: float, seq: int, actual: float
+    ) -> "Job":
+        """The *seq*-th job of a periodic *task* (implicit deadline)."""
+        return cls(
+            task.name, release, release + task.period, actual, seq, task=task
+        )
 
     def key(self) -> tuple[float, int]:
         return (self.deadline, self.seq)
@@ -145,6 +212,13 @@ class EdfSimulator:
         finish early to be useful; safe regardless).  The configured
         ``speed`` stays the worst-case ceiling; the running speed is
         ``speed · (budget utilisation / worst-case utilisation)``.
+    context_switch_s, context_switch_j:
+        Wall-clock time and transition energy charged every time the
+        processor loads a job it was not just running (first pickup and
+        every preemption resume alike).  The switch occupies the
+        processor at active power without retiring cycles; an
+        interrupted switch restarts from scratch on the next pickup.
+        Defaults of zero reproduce the free-preemption model exactly.
     """
 
     def __init__(
@@ -159,6 +233,8 @@ class EdfSimulator:
         record_trace: bool = False,
         actual_cycles: Callable[[PeriodicTask, int], float] | None = None,
         reclaim: bool = False,
+        context_switch_s: float = 0.0,
+        context_switch_j: float = 0.0,
     ) -> None:
         if len(tasks) == 0:
             raise ValueError("cannot simulate an empty task set")
@@ -166,6 +242,10 @@ class EdfSimulator:
             raise ValueError("procrastinate=True requires a dormant mode")
         self._actual_cycles = actual_cycles
         self._reclaim = bool(reclaim)
+        self._cs_time = require_nonnegative("context_switch_s", context_switch_s)
+        self._cs_energy = require_nonnegative(
+            "context_switch_j", context_switch_j
+        )
         self._tasks = tasks
         self._model = power_model
         self._dormant = dormant
@@ -219,13 +299,15 @@ class EdfSimulator:
                 t += task.period
         heapq.heapify(releases)
 
-        ready: list[tuple[float, int, _Job]] = []
+        ready: list[tuple[float, int, Job]] = []
         trace: list[TraceInterval] = []
         misses: list[DeadlineMiss] = []
 
-        energy_active = energy_idle = energy_sleep = 0.0
+        energy_active = energy_idle = energy_sleep = energy_switch = 0.0
         busy = idle = asleep = 0.0
         sleep_episodes = 0
+        context_switches = 0
+        last_job: Job | None = None
         jobs_released = len(releases)
         jobs_completed = 0
 
@@ -258,17 +340,17 @@ class EdfSimulator:
                 if self._actual_cycles is not None:
                     drawn = float(self._actual_cycles(task, s))
                     actual = min(max(drawn, 1e-12), task.wcec)
-                job = _Job(task, rel_time, s, actual)
+                job = Job.from_periodic(task, rel_time, s, actual)
                 heapq.heappush(ready, (job.deadline, job.seq, job))
                 budget[task.name] = task.utilization
 
         def _log_miss_if_due(now: float) -> None:
             for _, _, job in ready:
-                if not job.miss_logged and job.deadline < now - 1e-9:
+                if not job.miss_logged and deadline_missed(now, job.deadline):
                     job.miss_logged = True
                     misses.append(
                         DeadlineMiss(
-                            task=job.task.name,
+                            task=job.name,
                             release=job.release,
                             deadline=job.deadline,
                             remaining_cycles=job.remaining,
@@ -314,29 +396,40 @@ class EdfSimulator:
                 continue
 
             deadline, _, job = ready[0]
+            if job is not last_job:
+                if self._cs_time > 0 or self._cs_energy > 0:
+                    # Loading a different context: an interrupted switch
+                    # restarts from scratch, so any stale remainder is
+                    # replaced by a full charge.
+                    job.overhead_s = self._cs_time
+                    energy_switch += self._cs_energy
+                    context_switches += 1
+                last_job = job
             speed_now = _current_speed()
-            finish = now + job.remaining / speed_now
+            finish = now + job.overhead_s + job.remaining / speed_now
             next_release = releases[0][0] if releases else math.inf
             run_until = min(finish, next_release, self._horizon)
             dt = run_until - now
             if dt > 0:
-                executed = dt * speed_now
+                switch_dt = min(job.overhead_s, dt)
+                job.overhead_s -= switch_dt
+                executed = (dt - switch_dt) * speed_now
                 job.remaining = max(job.remaining - executed, 0.0)
                 energy_active += self._model.power(speed_now) * dt
                 busy += dt
                 if self._record:
                     trace.append(
-                        TraceInterval(now, run_until, job.task.name, speed_now)
+                        TraceInterval(now, run_until, job.name, speed_now)
                     )
             now = run_until
-            if job.remaining <= 1e-9:
+            if job.remaining <= 1e-9 and job.overhead_s <= 1e-12:
                 heapq.heappop(ready)
                 jobs_completed += 1
-                budget[job.task.name] = job.actual / job.task.period
-                if not job.miss_logged and job.deadline < now - 1e-9:
+                budget[job.name] = job.cycles / job.task.period
+                if not job.miss_logged and deadline_missed(now, job.deadline):
                     misses.append(
                         DeadlineMiss(
-                            task=job.task.name,
+                            task=job.name,
                             release=job.release,
                             deadline=job.deadline,
                             remaining_cycles=0.0,
@@ -349,10 +442,10 @@ class EdfSimulator:
         # Jobs still pending at the horizon missed their deadline only if
         # the deadline itself is inside the horizon.
         for _, _, job in ready:
-            if not job.miss_logged and job.deadline <= self._horizon + 1e-9:
+            if not job.miss_logged and fits(job.deadline, self._horizon):
                 misses.append(
                     DeadlineMiss(
-                        task=job.task.name,
+                        task=job.name,
                         release=job.release,
                         deadline=job.deadline,
                         remaining_cycles=job.remaining,
@@ -371,6 +464,8 @@ class EdfSimulator:
             jobs_released=jobs_released,
             jobs_completed=jobs_completed,
             misses=tuple(misses),
+            context_switches=context_switches,
+            energy_switch=energy_switch,
             trace=tuple(trace),
         )
 

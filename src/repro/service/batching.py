@@ -72,6 +72,7 @@ class MicroBatcher:
         self._loop_task: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
         self._closed = False
+        self._drain_on_close = True
         #: Batch compositions (req_id lists) in dispatch order.
         self.batch_log: list[list[str]] = []
 
@@ -89,24 +90,33 @@ class MicroBatcher:
         await self._queue.put(entry)
 
     async def close(self, drain: bool = True) -> None:
-        """Stop assembling; flush the queue and await in-flight batches.
+        """Stop assembling; settle the queue and await in-flight batches.
 
-        With ``drain=False`` queued entries are failed immediately with
-        a 503 payload instead of being solved.
+        With ``drain=True`` queued entries (including a batch mid-
+        assembly) are dispatched before the batcher stops; with
+        ``drain=False`` they are failed immediately with a 503 payload
+        instead of being solved.  Either way every queued entry's
+        future is resolved exactly once — ``put`` raises after close,
+        so no entry can slip in behind the settling — and every
+        in-flight dispatch is awaited before this returns.  Futures are
+        always settled via ``set_result``, never ``set_exception``, so
+        abandoned waiters cannot produce "exception was never
+        retrieved" warnings.
         """
         if self._closed:
             return
         self._closed = True
+        # The flag must be visible before the loop consumes _CLOSE: the
+        # assembly loop settles its own leftovers (entries that raced or
+        # arrived with the marker) according to it.
+        self._drain_on_close = drain
         await self._queue.put(_CLOSE)
         if self._loop_task is not None:
             await self._loop_task
-        if not drain:
-            while not self._queue.empty():
-                entry = self._queue.get_nowait()
-                if isinstance(entry, BatchEntry) and not entry.future.done():
-                    entry.future.set_result(
-                        (503, {"status": "error", "error": "shutting down"})
-                    )
+        else:
+            # Never started: no loop will ever consume the queue, so the
+            # queued entries are settled right here.
+            self._settle_queue(drain)
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
 
@@ -138,15 +148,35 @@ class MicroBatcher:
                     closing = True
                     break
                 batch.append(nxt)
-            self._fire(batch)
-        # Drain leftovers that arrived with (or raced) the close marker.
+            if closing and not self._drain_on_close:
+                # close(drain=False): the batch being assembled is still
+                # queued work — fail it rather than solve it.
+                self._fail_batch(batch)
+            else:
+                self._fire(batch)
+        # Settle leftovers that arrived with (or raced) the close marker.
+        self._settle_queue(self._drain_on_close)
+
+    def _settle_queue(self, drain: bool) -> None:
+        """Empty the queue: dispatch everything, or 503 everything."""
         leftovers: list[BatchEntry] = []
         while not self._queue.empty():
             entry = self._queue.get_nowait()
             if entry is not _CLOSE:
                 leftovers.append(entry)
-        for i in range(0, len(leftovers), self.max_batch):
-            self._fire(leftovers[i : i + self.max_batch])
+        if drain:
+            for i in range(0, len(leftovers), self.max_batch):
+                self._fire(leftovers[i : i + self.max_batch])
+        else:
+            self._fail_batch(leftovers)
+
+    @staticmethod
+    def _fail_batch(batch: list[BatchEntry]) -> None:
+        for entry in batch:
+            if not entry.future.done():
+                entry.future.set_result(
+                    (503, {"status": "error", "error": "shutting down"})
+                )
 
     def _fire(self, batch: list[BatchEntry]) -> None:
         live = [e for e in batch if not e.shed and not e.future.done()]

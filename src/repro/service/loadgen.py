@@ -27,9 +27,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
+try:  # NumPy is optional: only make_bodies() draws from it.  Trace
+    import numpy as np  # replay (run_replay) must work without it.
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
-__all__ = ["PassStats", "format_stats", "make_bodies", "run_load"]
+__all__ = [
+    "PassStats",
+    "ReplayOutcome",
+    "format_stats",
+    "make_bodies",
+    "run_load",
+    "run_replay",
+]
 
 
 @dataclass
@@ -113,6 +123,11 @@ def make_bodies(
     from repro.power import xscale_power_model
     from repro.tasks import frame_instance
 
+    if np is None:  # pragma: no cover - exercised by the no-numpy CI job
+        raise RuntimeError(
+            "make_bodies requires numpy (frame_instance is numpy-seeded); "
+            "use a repro sim trace with bench-serve --replay instead"
+        )
     rng = np.random.default_rng(seed)
     energy_fn = ContinuousEnergyFunction(xscale_power_model(), deadline=1.0)
     bodies: list[dict[str, Any]] = []
@@ -279,6 +294,154 @@ async def _open_loop_pass(
         _classify(stats, status, payload)
 
     await asyncio.gather(*(one(i, b) for i, b in enumerate(bodies)))
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """The server's verdict for one replayed trace entry."""
+
+    req_id: str
+    status: int
+    reason: str
+    latency_s: float
+
+    def as_pair(self) -> tuple[str, int, str]:
+        """The ``(req_id, status, reason)`` triple the bridge pairs on."""
+        return (self.req_id, self.status, self.reason)
+
+
+async def _replay_pass(
+    host: str,
+    port: int,
+    entries: list[dict],
+    stats: PassStats,
+    outcomes: list[ReplayOutcome],
+    *,
+    timed: bool,
+    speedup: float,
+) -> None:
+    """Fire trace entries in order; sequential unless *timed*.
+
+    Sequential mode issues each request only after the previous answer —
+    the server sees exactly the simulator's arrival sequence, so the
+    admission decisions are pairable one-to-one.  Timed mode fires at
+    the trace timestamps (divided by *speedup*) open-loop, reproducing
+    the arrival *timing* at the cost of possible in-flight reordering.
+    """
+    loop = asyncio.get_running_loop()
+
+    async def one(
+        entry: dict,
+        reader: asyncio.StreamReader | None = None,
+        writer: asyncio.StreamWriter | None = None,
+    ) -> None:
+        start = time.perf_counter()
+        try:
+            status, payload = await http_json(
+                host,
+                port,
+                "POST",
+                "/solve",
+                entry["body"],
+                reader=reader,
+                writer=writer,
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            stats.transport_errors += 1
+            outcomes.append(
+                ReplayOutcome(entry["req_id"], 0, "transport_error", 0.0)
+            )
+            return
+        latency = time.perf_counter() - start
+        stats.latencies_s.append(latency)
+        _classify(stats, status, payload)
+        reason = "admitted" if status == 200 else str(
+            (payload or {}).get("reason", f"http_{status}")
+        )
+        outcomes.append(
+            ReplayOutcome(entry["req_id"], status, reason, latency)
+        )
+
+    if timed:
+        t0 = loop.time()
+
+        async def fire(entry: dict) -> None:
+            delay = t0 + entry["t"] / speedup - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await one(entry)
+
+        await asyncio.gather(*(fire(e) for e in entries))
+        # gather preserves argument order in `outcomes` only per task
+        # completion; restore trace order for pairing.
+        order = {e["req_id"]: i for i, e in enumerate(entries)}
+        outcomes.sort(key=lambda o: order[o.req_id])
+    else:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            for entry in entries:
+                stats.transport_errors += 1
+                outcomes.append(
+                    ReplayOutcome(entry["req_id"], 0, "transport_error", 0.0)
+                )
+            return
+        try:
+            for entry in entries:
+                await one(entry, reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def run_replay(
+    host: str,
+    port: int,
+    entries: list[dict],
+    *,
+    mode: str = "sequential",
+    speedup: float = 1.0,
+) -> tuple[PassStats, list[ReplayOutcome]]:
+    """Replay a ``repro sim`` trace against a live server.
+
+    Parameters
+    ----------
+    entries:
+        Trace entries from :func:`repro.sim.bridge.load_trace` (each
+        carries ``req_id``, ``t`` and a full ``body``).
+    mode:
+        ``"sequential"`` (default; in-order, pairable decisions) or
+        ``"timed"`` (open-loop at the trace timestamps).
+    speedup:
+        Timed mode only: divide trace timestamps by this factor.
+    """
+    if mode not in ("sequential", "timed"):
+        raise ValueError(f"mode must be 'sequential' or 'timed', got {mode!r}")
+    if not entries:
+        raise ValueError("cannot replay an empty trace")
+    if not speedup > 0:
+        raise ValueError(f"speedup must be > 0, got {speedup!r}")
+    stats = PassStats(pass_no=1, requests=len(entries), elapsed_s=0.0)
+    outcomes: list[ReplayOutcome] = []
+
+    async def _run() -> None:
+        start = time.perf_counter()
+        await _replay_pass(
+            host,
+            port,
+            entries,
+            stats,
+            outcomes,
+            timed=(mode == "timed"),
+            speedup=speedup,
+        )
+        stats.elapsed_s = time.perf_counter() - start
+
+    asyncio.run(_run())
+    return stats, outcomes
 
 
 def run_load(

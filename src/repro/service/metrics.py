@@ -40,17 +40,27 @@ class LatencyHistogram:
         self.sum_s += seconds
 
     def quantile(self, q: float) -> float:
-        """Approximate latency at quantile *q* (0 < q < 1), in seconds."""
+        """Approximate latency at quantile *q*, in seconds.
+
+        *q* is clamped into ``[0, 1]``; an empty histogram reports 0.
+        The result is always finite and never below the lower edge of
+        the bucket it lands in: ``q=0`` gives the lower edge of the
+        first occupied bucket, ``q=1`` the upper edge of the last, and
+        samples in the overflow bucket (beyond the ~56 s top bound)
+        report that bound itself rather than an extrapolated value —
+        there is no upper edge to interpolate toward.
+        """
         if self.count == 0:
             return 0.0
-        target = q * self.count
+        target = min(max(q, 0.0), 1.0) * self.count
         seen = 0
         for i, bound in enumerate(_BUCKET_BOUNDS):
             bucket = self.counts[i]
-            if seen + bucket >= target and bucket > 0:
+            if bucket > 0 and seen + bucket >= target:
                 lo = 0.0 if i == 0 else _BUCKET_BOUNDS[i - 1]
-                hi = bound if math.isfinite(bound) else lo * 2 or 60.0
-                return lo + (hi - lo) * (target - seen) / bucket
+                if not math.isfinite(bound):
+                    return lo
+                return lo + (bound - lo) * (target - seen) / bucket
             seen += bucket
         return _BUCKET_BOUNDS[-2]
 

@@ -16,7 +16,10 @@ from __future__ import annotations
 import time
 from typing import Any
 
-import numpy as np
+try:  # NumPy is optional: rand_reject and calibrate() draw from it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.obs import counters as obs_counters
 
@@ -53,6 +56,10 @@ def solve_payload(payload: dict[str, Any]) -> dict[str, Any]:
             if algorithm == "fptas":
                 solution = solver(problem, eps=payload.get("eps", 0.1))
             elif algorithm == "rand_reject":
+                if np is None:  # pragma: no cover - no-numpy CI job
+                    raise RequestError(
+                        "rand_reject requires numpy on the server"
+                    )
                 # Deterministic: derive the stream from the instance
                 # content so identical payloads produce identical
                 # (cacheable) results in every worker process.
@@ -109,6 +116,11 @@ def calibrate(repeats: int = 20) -> float:
     from repro.service.models import estimate_cost
     from repro.tasks import frame_instance
 
+    if np is None:  # pragma: no cover - exercised by the no-numpy CI job
+        raise RuntimeError(
+            "calibrate requires numpy (frame_instance is numpy-seeded); "
+            "start the server with explicit --capacity/--rate instead"
+        )
     rng = np.random.default_rng(0)
     problem = RejectionProblem(
         tasks=frame_instance(rng, n_tasks=12, load=1.5),

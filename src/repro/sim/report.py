@@ -1,0 +1,150 @@
+"""Rendering and provenance for simulation runs (``repro sim``).
+
+Mirrors what ``repro run`` does for the offline experiments: the
+simulation's outcome becomes an :class:`~repro.analysis.tables.ExperimentTable`
+for the terminal (or ``--json``), and every run writes a manifest
+through the same :func:`repro.obs.manifest.write_manifest` path the
+experiment runner uses — content-addressed by the full parameter set,
+with per-completed-request "trials" so ``repro stats <manifest>`` works
+on simulation manifests unchanged.
+
+Determinism: ``wall_seconds`` records the *simulated* makespan, not the
+host's wall clock, and the trial list is the (deterministic) completed
+jobs with their simulated response times — so two runs with the same
+seed produce byte-identical manifests except for the ``created``
+timestamp that :func:`write_manifest` stamps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import ExperimentTable
+from repro.runner.cache import cache_key, code_fingerprint
+from repro.sim.engine import SimReport
+
+__all__ = ["sim_params", "sim_table", "write_sim_manifest"]
+
+
+def sim_table(report: SimReport, *, family: str, seed: int) -> ExperimentTable:
+    """The per-run summary table (one row per admission outcome)."""
+    table = ExperimentTable(
+        name=f"sim_{family}",
+        title=(
+            f"Arrival simulation: family={family} seed={seed} "
+            f"cores={report.cores}"
+        ),
+        columns=("outcome", "count", "rate", "penalty_cost", "units"),
+        notes=[
+            f"makespan={report.makespan:.6f}s busy={report.busy_time:.6f}s "
+            f"idle={report.idle_time:.6f}s",
+            f"energy: active={report.energy_active:.6f}J "
+            f"idle={report.energy_idle:.6f}J "
+            f"switch={report.energy_switch:.6f}J "
+            f"total={report.total_energy:.6f}J "
+            f"({report.context_switches} context switches)",
+            f"deadline misses among admitted jobs: {len(report.misses)}",
+            f"decision digest: {report.decision_digest()}",
+        ],
+    )
+    offered = report.offered or 1
+    by_outcome: dict[str, list] = {"completed": [], "rejected": [], "shed": []}
+    for record in report.records:
+        by_outcome[record.outcome].append(record)
+    for outcome in ("completed", "rejected", "shed"):
+        records = by_outcome[outcome]
+        penalty = (
+            0.0
+            if outcome == "completed"
+            else float(
+                sum(r.weight * r.units / report.capacity_units for r in records)
+            )
+        )
+        table.add_row(
+            outcome,
+            len(records),
+            len(records) / offered,
+            penalty,
+            float(sum(r.units for r in records)),
+        )
+    return table
+
+
+def sim_params(
+    *,
+    family: str,
+    count: int,
+    seed: int,
+    cores: int,
+    policy: str,
+    capacity_units: float,
+    rate_units_per_s: float,
+    speed: float,
+    context_switch_s: float,
+    context_switch_j: float,
+) -> dict[str, Any]:
+    """The canonical parameter dict identifying one simulation run."""
+    return {
+        "family": family,
+        "count": count,
+        "cores": cores,
+        "policy": policy,
+        "capacity_units": capacity_units,
+        "rate_units_per_s": rate_units_per_s,
+        "speed": speed,
+        "context_switch_s": context_switch_s,
+        "context_switch_j": context_switch_j,
+        "seed": seed,
+    }
+
+
+def write_sim_manifest(
+    report: SimReport,
+    *,
+    family: str,
+    seed: int,
+    params: dict[str, Any],
+    manifest_dir: Path | None = None,
+) -> Path:
+    """Write the run manifest; returns its path.
+
+    The manifest's "trials" are the completed requests with their
+    simulated response times, so ``repro stats`` digests a simulation
+    manifest exactly like an experiment manifest.
+    """
+    from repro.obs.manifest import write_manifest
+
+    experiment = f"sim_{family}"
+    code = code_fingerprint()
+    key = cache_key(experiment, params, seed=seed, code_version=code)
+    trial_seconds = [
+        (r.req_id, r.response_s)
+        for r in report.records
+        if r.outcome == "completed"
+    ]
+    counters = {
+        "sim.offered": report.offered,
+        "sim.admitted": report.admitted,
+        "sim.rejected": report.rejected,
+        "sim.shed": report.shed,
+        "sim.completed": report.completed,
+        "sim.deadline_misses": len(report.misses),
+        "sim.context_switches": report.context_switches,
+        "sim.penalty_cost": report.penalty_cost,
+        "sim.energy_total_j": report.total_energy,
+        "sim.makespan_s": report.makespan,
+    }
+    return write_manifest(
+        experiment=experiment,
+        key=key,
+        code=code,
+        params=params,
+        seed=seed,
+        cache="none",
+        jobs=1,
+        wall_seconds=report.makespan,
+        trial_seconds=trial_seconds,
+        counters=counters,
+        manifest_dir=manifest_dir,
+    )

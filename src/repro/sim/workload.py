@@ -1,0 +1,218 @@
+"""Seeded arrival streams for the discrete-event simulator.
+
+Each arrival is one would-be ``POST /solve`` request: an instance size
+``n``, a solver choice, a client ``weight`` (the rejection penalty,
+relative to a default request) and a latency budget ``deadline_s``.  Its
+admission *work units* are exactly what the serving stack would charge —
+:func:`repro.service.models.estimate_cost` on the same ``(n, algorithm,
+eps)`` — so a simulated arrival and the replayed HTTP request price
+identically at the admission controller.
+
+Four named families, in the spirit of the EAPS batch runner's
+light/bursty/heavy mixes:
+
+``light``
+    Poisson arrivals at a modest rate, small instances, cheap solvers —
+    the pool stays mostly idle and nothing should be rejected.
+``bursty``
+    Geometric bursts separated by exponential quiet gaps; arrivals
+    inside a burst land microseconds apart, so backlog spikes even when
+    the long-run rate is sustainable.
+``heavy``
+    High-rate overload with a heavy-tailed solver mix (some FPTAS
+    requests cost three orders of magnitude more than a greedy sweep)
+    and tight deadlines — the regime where rejection is mandatory.
+``periodic``
+    A fixed set of phased periodic streams, one instance shape per
+    stream — the closest analogue of the paper's frame-based model.
+
+Everything derives from ``random.Random(seed)`` (stdlib Mersenne
+Twister, stable across platforms and Python versions for the methods
+used here): the same ``(family, count, seed)`` always produces the same
+arrival tuple, byte for byte.  No NumPy anywhere on this path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro._validation import require_positive
+from repro.service.models import estimate_cost
+
+__all__ = ["ARRIVAL_FAMILIES", "Arrival", "make_arrivals"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One simulated solve request arriving at ``time`` seconds.
+
+    Attributes
+    ----------
+    index:
+        Position in the stream (0-based); also fixes the request id.
+    time:
+        Arrival instant in seconds from the start of the run
+        (non-decreasing along the stream).
+    n:
+        Instance size (number of frame tasks).
+    algorithm, eps:
+        Solver the request asks for; ``eps`` only matters for ``fptas``.
+    weight:
+        Client weight — the rejection penalty relative to a default
+        request, exactly as ``POST /solve`` carries it.
+    deadline_s:
+        Client latency budget in seconds.
+    instance_seed:
+        Per-arrival seed the replay bridge uses to materialise the
+        actual instance payload (same seed ⇒ same JSON body).
+    """
+
+    index: int
+    time: float
+    n: int
+    algorithm: str
+    eps: float
+    weight: float
+    deadline_s: float
+    instance_seed: int
+
+    @property
+    def req_id(self) -> str:
+        """Stable request identifier (mirrors the server's ``rNNNNNNNN``)."""
+        return f"s{self.index:08d}"
+
+    @property
+    def units(self) -> float:
+        """Admission work units — the service's own cost estimate."""
+        return estimate_cost(self.n, self.algorithm, eps=self.eps)
+
+
+def _light(rng: random.Random, count: int) -> list[Arrival]:
+    t = 0.0
+    out = []
+    for i in range(count):
+        t += rng.expovariate(20.0)
+        out.append(
+            Arrival(
+                index=i,
+                time=t,
+                n=rng.randint(6, 10),
+                algorithm="greedy_marginal",
+                eps=0.1,
+                weight=round(rng.uniform(0.5, 2.0), 6),
+                deadline_s=round(rng.uniform(1.0, 5.0), 6),
+                instance_seed=rng.getrandbits(32),
+            )
+        )
+    return out
+
+
+def _bursty(rng: random.Random, count: int) -> list[Arrival]:
+    t = 0.0
+    out: list[Arrival] = []
+    while len(out) < count:
+        t += rng.expovariate(2.0)  # quiet gap between bursts
+        burst = 1 + min(rng.getrandbits(4), 11)  # 1..12 arrivals
+        for _ in range(burst):
+            if len(out) >= count:
+                break
+            t += rng.uniform(1e-4, 5e-3)
+            heavy = rng.random() < 0.25
+            out.append(
+                Arrival(
+                    index=len(out),
+                    time=t,
+                    n=rng.randint(8, 14),
+                    algorithm="fptas" if heavy else "greedy_marginal",
+                    eps=0.1,
+                    weight=round(rng.uniform(0.5, 2.0), 6),
+                    deadline_s=round(rng.uniform(0.5, 2.0), 6),
+                    instance_seed=rng.getrandbits(32),
+                )
+            )
+    return out
+
+
+def _heavy(rng: random.Random, count: int) -> list[Arrival]:
+    t = 0.0
+    out = []
+    for i in range(count):
+        t += rng.expovariate(200.0)
+        roll = rng.random()
+        if roll < 0.3:
+            algorithm = "fptas"
+        elif roll < 0.45:
+            algorithm = "pareto_exact"
+        else:
+            algorithm = "greedy_marginal"
+        out.append(
+            Arrival(
+                index=i,
+                time=t,
+                n=rng.randint(10, 16),
+                algorithm=algorithm,
+                eps=0.1,
+                weight=round(rng.uniform(0.5, 2.0), 6),
+                deadline_s=round(rng.uniform(0.2, 1.0), 6),
+                instance_seed=rng.getrandbits(32),
+            )
+        )
+    return out
+
+
+#: (period_s, phase_s, n, algorithm) per periodic stream.
+_PERIODIC_STREAMS = (
+    (0.05, 0.000, 8, "greedy_marginal"),
+    (0.10, 0.013, 10, "greedy_density"),
+    (0.20, 0.027, 12, "fptas"),
+    (0.40, 0.041, 14, "pareto_exact"),
+)
+
+
+def _periodic(rng: random.Random, count: int) -> list[Arrival]:
+    raw: list[tuple[float, int]] = []  # (time, stream) merged by time
+    k = 0
+    while len(raw) < count:
+        for s, (period, phase, _, _) in enumerate(_PERIODIC_STREAMS):
+            raw.append((phase + k * period, s))
+        k += 1
+    raw.sort()
+    out = []
+    for i, (t, s) in enumerate(raw[:count]):
+        _, _, n, algorithm = _PERIODIC_STREAMS[s]
+        out.append(
+            Arrival(
+                index=i,
+                time=t,
+                n=n,
+                algorithm=algorithm,
+                eps=0.1,
+                weight=round(rng.uniform(0.5, 2.0), 6),
+                deadline_s=1.0,
+                instance_seed=rng.getrandbits(32),
+            )
+        )
+    return out
+
+
+#: family name -> ``fn(rng, count) -> list[Arrival]``.
+ARRIVAL_FAMILIES = {
+    "light": _light,
+    "bursty": _bursty,
+    "heavy": _heavy,
+    "periodic": _periodic,
+}
+
+
+def make_arrivals(family: str, count: int, seed: int) -> tuple[Arrival, ...]:
+    """The seeded arrival stream for *family* (same inputs ⇒ same tuple)."""
+    if family not in ARRIVAL_FAMILIES:
+        raise ValueError(
+            f"unknown arrival family {family!r}; "
+            f"choose from {', '.join(sorted(ARRIVAL_FAMILIES))}"
+        )
+    require_positive("count", count)
+    arrivals = ARRIVAL_FAMILIES[family](random.Random(seed), int(count))
+    assert [a.index for a in arrivals] == list(range(count))
+    return tuple(arrivals)

@@ -1,0 +1,186 @@
+"""Deadline-boundary and context-switch tests for the EDF simulator.
+
+NumPy-free on purpose: these pin the shared boundary predicate
+(:func:`repro.sched.edf.deadline_missed`) and the context-switch cost
+model that both the periodic simulator and the aperiodic arrival
+simulator (:mod:`repro.sim.engine`) rely on, so they must run in the
+no-NumPy CI job too.
+"""
+
+import pytest
+
+from repro._validation import fits
+from repro.power import xscale_power_model
+from repro.sched.edf import EdfSimulator, Job, deadline_missed, simulate_edf
+from repro.tasks.model import PeriodicTask, PeriodicTaskSet
+
+MODEL = xscale_power_model(s_max=1.0)
+
+
+def task_set(*specs):
+    return PeriodicTaskSet(
+        PeriodicTask(
+            name=f"t{i}", period=p, wcec=c, penalty=1.0, arrival=a
+        )
+        for i, (p, c, a) in enumerate(specs)
+    )
+
+
+class TestDeadlineMissedPredicate:
+    def test_exactly_at_the_deadline_is_met(self):
+        assert not deadline_missed(10.0, 10.0)
+
+    def test_before_the_deadline_is_met(self):
+        assert not deadline_missed(9.999, 10.0)
+
+    def test_within_relative_tolerance_is_met(self):
+        # fp noise from summing service intervals must not flip the
+        # verdict: the predicate shares fits()'s relative tolerance.
+        assert not deadline_missed(10.0 * (1.0 + 1e-13), 10.0)
+
+    def test_beyond_tolerance_is_missed(self):
+        assert deadline_missed(10.0 * (1.0 + 1e-9), 10.0)
+        assert deadline_missed(10.1, 10.0)
+
+    def test_agrees_with_fits_by_construction(self):
+        for now, deadline in [
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (1.0 + 1e-15, 1.0),
+            (2.0, 1.0),
+            (1e6 * (1 + 1e-13), 1e6),
+        ]:
+            assert deadline_missed(now, deadline) == (not fits(now, deadline))
+
+
+class TestExactFitBoundary:
+    def test_full_utilisation_completes_at_the_deadline_without_a_miss(self):
+        # One task with c == p at speed 1: every job finishes exactly at
+        # its (implicit) deadline.  The boundary verdict must be "met".
+        tasks = task_set((2.0, 2.0, 0.0))
+        result = simulate_edf(tasks, MODEL, speed=1.0, horizon=8.0)
+        assert result.jobs_completed == 4
+        assert result.misses == ()
+        assert result.busy_time == pytest.approx(8.0)
+
+    def test_one_extra_cycle_beyond_the_fit_misses(self):
+        tasks = task_set((2.0, 2.0 + 1e-6, 0.0))
+        result = simulate_edf(tasks, MODEL, speed=1.0, horizon=4.0)
+        assert result.missed
+        assert result.misses[0].task == "t0"
+
+    def test_two_task_exact_fit_is_still_boundary_clean(self):
+        # U = 0.5 + 0.5 = 1 at speed 1: EDF feasible, zero misses, even
+        # though completions land exactly on deadline instants.
+        tasks = task_set((2.0, 1.0, 0.0), (4.0, 2.0, 0.0))
+        result = simulate_edf(tasks, MODEL, speed=1.0, horizon=8.0)
+        assert result.misses == ()
+        assert result.idle_time == pytest.approx(0.0)
+
+
+class TestContextSwitchAccounting:
+    def test_defaults_reproduce_the_free_preemption_model(self):
+        tasks = task_set((2.0, 0.5, 0.0), (3.0, 0.6, 0.0))
+        free = simulate_edf(tasks, MODEL, speed=1.0, horizon=6.0)
+        explicit = simulate_edf(
+            tasks,
+            MODEL,
+            speed=1.0,
+            horizon=6.0,
+            context_switch_s=0.0,
+            context_switch_j=0.0,
+        )
+        assert free == explicit
+        assert free.context_switches == 0
+        assert free.energy_switch == 0.0
+
+    def test_switch_energy_is_count_times_charge(self):
+        tasks = task_set((2.0, 0.5, 0.0), (3.0, 0.6, 0.0))
+        result = simulate_edf(
+            tasks,
+            MODEL,
+            speed=1.0,
+            horizon=12.0,
+            context_switch_s=1e-3,
+            context_switch_j=5e-3,
+        )
+        assert result.context_switches > 0
+        assert result.energy_switch == pytest.approx(
+            result.context_switches * 5e-3
+        )
+        assert result.total_energy == pytest.approx(
+            result.energy_active + result.energy_idle + result.energy_switch
+        )
+
+    def test_switch_time_occupies_the_processor_without_retiring_cycles(self):
+        tasks = task_set((4.0, 1.0, 0.0))
+        free = simulate_edf(tasks, MODEL, speed=1.0, horizon=4.0)
+        costly = simulate_edf(
+            tasks, MODEL, speed=1.0, horizon=4.0, context_switch_s=0.25
+        )
+        assert costly.context_switches == 1
+        assert costly.busy_time == pytest.approx(free.busy_time + 0.25)
+        assert costly.idle_time == pytest.approx(free.idle_time - 0.25)
+        # The switch burns active power for its whole duration.
+        assert costly.energy_active == pytest.approx(
+            free.energy_active + MODEL.power(1.0) * 0.25
+        )
+
+    def test_switch_cost_can_push_an_exact_fit_over_the_deadline(self):
+        # c == p fits exactly with free preemption; any switch time at
+        # all must now be recorded as a miss at the boundary.
+        tasks = task_set((2.0, 2.0, 0.0))
+        clean = simulate_edf(tasks, MODEL, speed=1.0, horizon=2.0)
+        pushed = simulate_edf(
+            tasks, MODEL, speed=1.0, horizon=2.0, context_switch_s=1e-3
+        )
+        assert clean.misses == ()
+        assert pushed.missed
+
+    def test_preemption_restarts_an_interrupted_switch_in_full(self):
+        # t0 starts its 0.3 s switch at t=0; t1 (tighter deadline 2.0)
+        # releases at 0.1 and interrupts it after only 0.1 s.  t1 runs
+        # 0.1..0.9 (switch + cycles); t0 resumes at 0.9 and must pay the
+        # FULL 0.3 again, finishing at 0.9 + 0.3 + 1.0 = 2.2 > 2.15.
+        # Resume semantics (0.2 left) would finish at 2.1 and meet the
+        # deadline — the recorded miss is the restart, observably.
+        tasks = task_set((2.15, 1.0, 0.0), (1.9, 0.5, 0.1))
+        result = simulate_edf(
+            tasks,
+            MODEL,
+            speed=1.0,
+            horizon=2.15,
+            context_switch_s=0.3,
+            context_switch_j=1.0,
+        )
+        assert result.context_switches == 3  # t0, t1, t0 restarted
+        assert result.energy_switch == pytest.approx(3.0)
+        assert result.missed
+        assert [m.task for m in result.misses] == ["t0"]
+
+
+class TestJobHelper:
+    def test_key_orders_by_deadline_then_sequence(self):
+        a = Job("a", 0.0, 5.0, 1.0, seq=0)
+        b = Job("b", 0.0, 5.0, 1.0, seq=1)
+        c = Job("c", 0.0, 4.0, 1.0, seq=2)
+        assert sorted([a, b, c], key=Job.key) == [c, a, b]
+
+    def test_from_periodic_sets_the_implicit_deadline(self):
+        task = PeriodicTask(
+            name="t", period=3.0, wcec=1.0, penalty=0.0, arrival=1.0
+        )
+        job = Job.from_periodic(task, release=4.0, seq=7, actual=0.5)
+        assert job.deadline == 7.0
+        assert job.remaining == 0.5
+        assert job.overhead_s == 0.0
+        assert job.task is task
+
+
+class TestValidation:
+    def test_negative_switch_costs_are_rejected(self):
+        tasks = task_set((2.0, 1.0, 0.0))
+        with pytest.raises(ValueError):
+            EdfSimulator(tasks, MODEL, context_switch_s=-1.0)
+        with pytest.raises(ValueError):
+            EdfSimulator(tasks, MODEL, context_switch_j=-1.0)

@@ -112,6 +112,104 @@ class TestFailureAndShutdown:
 
         run(body())
 
+    def test_started_close_without_drain_503s_queued_entries(self):
+        async def body():
+            async def dispatch(batch):  # pragma: no cover - must not run
+                raise AssertionError("must not dispatch")
+
+            # A long window keeps the loop assembling its first batch
+            # while close(drain=False) lands: the in-assembly batch and
+            # the still-queued entries must all be failed, not solved.
+            batcher = MicroBatcher(dispatch, max_batch=10, max_wait_s=60.0)
+            entries = [entry(n) for n in "abcd"]
+            for e in entries:
+                await batcher.put(e)
+            batcher.start()
+            await asyncio.sleep(0)  # let the loop pick up the batch
+            await batcher.close(drain=False)
+            return [await e.future for e in entries]
+
+        results = run(body())
+        assert [status for status, _ in results] == [503] * 4
+        assert all(p["error"] == "shutting down" for _, p in results)
+
+    def test_never_started_close_with_drain_solves_queued_entries(self):
+        async def body():
+            solved: list[str] = []
+
+            async def dispatch(batch):
+                for e in batch:
+                    solved.append(e.req_id)
+                    e.future.set_result((200, {}))
+
+            batcher = MicroBatcher(dispatch, max_batch=2)
+            entries = [entry(n) for n in "abc"]
+            for e in entries:
+                await batcher.put(e)
+            # start() was never called: close(drain=True) must still
+            # dispatch the queue (in max_batch chunks) before returning.
+            await batcher.close(drain=True)
+            assert all(e.future.done() for e in entries)
+            return solved, batcher.batch_log
+
+        solved, log = run(body())
+        assert solved == ["a", "b", "c"]
+        assert log == [["a", "b"], ["c"]]
+
+    @pytest.mark.parametrize("drain", [True, False])
+    def test_close_under_concurrent_put_load(self, drain):
+        async def body():
+            async def dispatch(batch):
+                await asyncio.sleep(0)  # yield mid-dispatch like a pool
+                for e in batch:
+                    if not e.future.done():
+                        e.future.set_result((200, {"id": e.req_id}))
+
+            batcher = MicroBatcher(dispatch, max_batch=4, max_wait_s=0.001)
+            entries: list[BatchEntry] = []
+            rejected_puts = 0
+
+            async def producer(tag):
+                nonlocal rejected_puts
+                for i in range(25):
+                    e = entry(f"{tag}-{i}")
+                    try:
+                        await batcher.put(e)
+                    except RuntimeError:
+                        rejected_puts += 1
+                        break
+                    entries.append(e)
+                    if i % 5 == 0:
+                        await asyncio.sleep(0)
+
+            async def closer():
+                await asyncio.sleep(0.002)
+                await batcher.close(drain=drain)
+
+            batcher.start()
+            await asyncio.gather(
+                producer("p0"), producer("p1"), producer("p2"), closer()
+            )
+            # Post-close puts must keep raising.
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.put(entry("late"))
+            # No orphaned dispatch tasks behind close().
+            assert not batcher._inflight
+            return entries
+
+        entries = run(body())
+        # Every accepted put was settled exactly once: a future is done,
+        # holds a well-formed (status, payload) pair, and was never
+        # failed with an exception.
+        assert entries
+        statuses = []
+        for e in entries:
+            assert e.future.done()
+            assert e.future.exception() is None
+            status, _ = e.future.result()
+            statuses.append(status)
+        assert set(statuses) <= {200, 503}
+
     def test_close_drains_queued_entries(self):
         async def body():
             solved: list[str] = []

@@ -1,0 +1,118 @@
+"""Exact-value tests for the /metrics latency histogram quantiles."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import _BUCKET_BOUNDS, LatencyHistogram, ServiceMetrics
+
+TOP = _BUCKET_BOUNDS[-2]  # largest finite bound, 10**(7/4) ~ 56.23 s
+
+
+def edges(i):
+    """(lower, upper) edges of bucket *i*."""
+    lo = 0.0 if i == 0 else _BUCKET_BOUNDS[i - 1]
+    return lo, _BUCKET_BOUNDS[i]
+
+
+class TestQuantileEdgeCases:
+    def test_empty_histogram_reports_zero(self):
+        hist = LatencyHistogram()
+        for q in (0.0, 0.5, 1.0, -1.0, 2.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_single_sample_q0_is_the_lower_edge(self):
+        hist = LatencyHistogram()
+        hist.observe(1e-3)  # exactly the upper bound of its bucket
+        lo, hi = edges(_BUCKET_BOUNDS.index(1e-3))
+        assert hist.quantile(0.0) == pytest.approx(lo)
+        assert hist.quantile(1.0) == pytest.approx(hi)
+        assert lo < hist.quantile(0.5) < hi
+
+    def test_out_of_range_q_is_clamped(self):
+        hist = LatencyHistogram()
+        hist.observe(1e-3)
+        assert hist.quantile(-0.5) == hist.quantile(0.0)
+        assert hist.quantile(2.0) == hist.quantile(1.0)
+
+    def test_overflow_bucket_reports_the_top_finite_bound(self):
+        # Samples beyond ~56 s land in the +inf bucket: there is no
+        # upper edge to interpolate toward, so the top finite bound is
+        # the answer — never inf, nan, or a fabricated extrapolation.
+        hist = LatencyHistogram()
+        hist.observe(100.0)
+        for q in (0.0, 0.5, 1.0):
+            value = hist.quantile(q)
+            assert value == TOP
+            assert math.isfinite(value)
+
+    def test_mixed_overflow_keeps_low_quantiles_in_their_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(9):
+            hist.observe(1e-3)
+        hist.observe(1000.0)
+        lo, hi = edges(_BUCKET_BOUNDS.index(1e-3))
+        assert lo <= hist.quantile(0.5) <= hi
+        assert hist.quantile(1.0) == TOP
+
+    def test_result_is_never_below_its_buckets_lower_edge(self):
+        # The q=0 / tiny-q path used to interpolate below the lower
+        # edge; every quantile must stay inside [lower edge, upper edge]
+        # of the bucket it lands in.
+        hist = LatencyHistogram()
+        for value in (2e-4, 3e-4, 5e-3, 0.2, 70.0):
+            hist.observe(value)
+        occupied = [i for i, c in enumerate(hist.counts) if c]
+        floor = edges(occupied[0])[0]
+        for q in [i / 100.0 for i in range(101)]:
+            value = hist.quantile(q)
+            assert math.isfinite(value)
+            assert value >= floor
+
+    def test_quantile_is_monotone_in_q(self):
+        hist = LatencyHistogram()
+        for value in (1e-4, 5e-4, 2e-3, 0.05, 1.0, 30.0, 120.0):
+            hist.observe(value)
+        qs = [i / 50.0 for i in range(51)]
+        values = [hist.quantile(q) for q in qs]
+        assert values == sorted(values)
+
+    def test_midpoint_interpolation_exact_value(self):
+        # Four samples in one bucket: q=0.5 targets sample 2 of 4, so
+        # the interpolated position is lo + (hi - lo) * 2/4.
+        hist = LatencyHistogram()
+        i = _BUCKET_BOUNDS.index(1e-2)
+        lo, hi = edges(i)
+        for _ in range(4):
+            hist.observe(hi)
+        assert hist.quantile(0.5) == pytest.approx(lo + (hi - lo) * 0.5)
+        assert hist.quantile(0.25) == pytest.approx(lo + (hi - lo) * 0.25)
+
+    def test_zero_latency_lands_in_the_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(0.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == pytest.approx(_BUCKET_BOUNDS[0])
+
+
+class TestDumps:
+    def test_as_dict_is_finite_with_overflow_traffic(self):
+        hist = LatencyHistogram()
+        hist.observe(100.0)
+        dump = hist.as_dict()
+        assert dump["count"] == 1
+        assert math.isfinite(dump["p50_ms"])
+        assert math.isfinite(dump["p99_ms"])
+        assert dump["buckets"] == {"+inf": 1}
+
+    def test_service_metrics_rolls_up_endpoints(self):
+        metrics = ServiceMetrics()
+        metrics.observe("/solve", 200, 0.01)
+        metrics.observe("/solve", 429, 0.001)
+        metrics.observe("/healthz", 200, 1000.0)
+        dump = metrics.as_dict()
+        assert metrics.total_requests == 3
+        assert dump["endpoints"]["/solve"]["statuses"] == {"200": 1, "429": 1}
+        assert math.isfinite(
+            dump["endpoints"]["/healthz"]["latency"]["p99_ms"]
+        )

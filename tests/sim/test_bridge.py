@@ -1,0 +1,156 @@
+"""Tests for the trace-replay bridge (write/load, bodies, pairing)."""
+
+import json
+
+import pytest
+
+from repro.service.models import estimate_cost
+from repro.sim.bridge import (
+    TRACE_FORMAT,
+    arrival_body,
+    load_trace,
+    paired_summary,
+    write_trace,
+)
+from repro.sim.engine import ArrivalSimulator
+from repro.sim.workload import make_arrivals
+
+
+@pytest.fixture()
+def simulated():
+    arrivals = make_arrivals("bursty", 40, 5)
+    report = ArrivalSimulator(
+        arrivals, cores=2, capacity_units=50_000.0, rate_units_per_s=20_000.0
+    ).run()
+    return arrivals, report
+
+
+class TestArrivalBody:
+    def test_body_is_deterministic_and_complete(self):
+        a = make_arrivals("light", 5, 3)[2]
+        body = arrival_body(a)
+        assert body == arrival_body(a)
+        assert body["algorithm"] == a.algorithm
+        assert body["weight"] == a.weight
+        assert body["deadline_s"] == a.deadline_s
+        assert len(body["instance"]["tasks"]) == a.n
+
+    def test_server_would_price_the_body_like_the_simulator(self):
+        # The server derives units from len(instance.tasks): the body's
+        # task count must reprice to exactly the arrival's units.
+        for a in make_arrivals("heavy", 20, 9):
+            body = arrival_body(a)
+            n = len(body["instance"]["tasks"])
+            assert estimate_cost(n, body["algorithm"], eps=body["eps"]) == (
+                a.units
+            )
+
+    def test_body_is_json_serialisable(self):
+        a = make_arrivals("bursty", 3, 0)[0]
+        json.dumps(arrival_body(a))
+
+
+class TestTraceRoundTrip:
+    def test_write_then_load(self, tmp_path, simulated):
+        arrivals, report = simulated
+        path = write_trace(
+            tmp_path / "trace.jsonl", arrivals, report, meta={"seed": 5}
+        )
+        header, entries = load_trace(path)
+        assert header["format"] == TRACE_FORMAT
+        assert header["count"] == len(arrivals) == len(entries)
+        assert header["seed"] == 5
+        assert header["decision_digest"] == report.decision_digest()
+        for arrival, decision, entry in zip(
+            arrivals, report.decisions, entries
+        ):
+            assert entry["req_id"] == arrival.req_id == decision.req_id
+            assert entry["t"] == arrival.time
+            assert entry["units"] == arrival.units
+            assert entry["admitted"] == decision.admitted
+            assert entry["reason"] == decision.reason
+            assert tuple(entry["shed"]) == decision.shed
+
+    def test_trace_bytes_are_reproducible(self, tmp_path, simulated):
+        arrivals, report = simulated
+        first = write_trace(tmp_path / "a.jsonl", arrivals, report)
+        second = write_trace(tmp_path / "b.jsonl", arrivals, report)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_count_mismatch_raises_on_write(self, tmp_path, simulated):
+        arrivals, report = simulated
+        with pytest.raises(ValueError, match="decisions"):
+            write_trace(tmp_path / "bad.jsonl", arrivals[:-1], report)
+
+    def test_load_rejects_garbage(self, tmp_path, simulated):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ValueError, match="empty trace"):
+            load_trace(empty)
+
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a"):
+            load_trace(wrong)
+
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        lines = path.read_text().splitlines()
+        (tmp_path / "short.jsonl").write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="header says"):
+            load_trace(tmp_path / "short.jsonl")
+
+
+class TestPairedSummary:
+    def _served_mirror(self, report, entries):
+        shed = {v for d in report.decisions for v in d.shed}
+        served = []
+        for entry, decision in zip(entries, report.decisions):
+            ok = decision.admitted and decision.req_id not in shed
+            served.append(
+                (
+                    entry["req_id"],
+                    200 if ok else 429,
+                    "admitted" if ok else decision.reason,
+                )
+            )
+        return served
+
+    def test_perfect_mirror_pairs_exactly(self, tmp_path, simulated):
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        _, entries = load_trace(path)
+        served = self._served_mirror(report, entries)
+        table = paired_summary(report, entries, served)
+        sim_row = dict(zip(table.columns, table.rows[0]))
+        served_row = dict(zip(table.columns, table.rows[1]))
+        assert sim_row["offered"] == served_row["offered"] == report.offered
+        assert sim_row["accepted"] == served_row["accepted"]
+        assert sim_row["rejected"] == served_row["rejected"]
+        assert served_row["penalty_cost"] == pytest.approx(
+            sim_row["penalty_cost"]
+        )
+        assert any(
+            f"decisions matched: {len(entries)}/{len(entries)}" in n
+            for n in table.notes
+        )
+
+    def test_divergent_server_shows_up_in_notes(self, tmp_path, simulated):
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        _, entries = load_trace(path)
+        served = self._served_mirror(report, entries)
+        rid, status, _ = served[0]
+        served[0] = (rid, 429 if status == 200 else 200, "policy")
+        table = paired_summary(report, entries, served)
+        assert any(
+            f"decisions matched: {len(entries) - 1}/{len(entries)}" in n
+            for n in table.notes
+        )
+
+    def test_length_mismatch_raises(self, tmp_path, simulated):
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        _, entries = load_trace(path)
+        with pytest.raises(ValueError, match="served outcomes"):
+            paired_summary(report, entries, [])

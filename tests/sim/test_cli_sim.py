@@ -1,0 +1,134 @@
+"""Tests for the ``repro sim`` CLI (NumPy-free, in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim.bridge import TRACE_FORMAT, load_trace
+
+
+def run_sim(capsys, *extra):
+    argv = ["sim", "--family", "bursty", "--arrivals", "40", "--seed", "3"]
+    argv += list(extra)
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSimCommand:
+    def test_table_output_and_manifest(self, capsys):
+        code, out, _ = run_sim(capsys)
+        assert code == 0
+        assert "sim_bursty" in out
+        assert "wrote manifest" in out
+
+    def test_same_seed_same_stdout(self, capsys):
+        _, first, _ = run_sim(capsys)
+        _, second, _ = run_sim(capsys)
+        assert first == second
+
+    def test_different_seed_changes_the_digest(self, capsys):
+        _, first, _ = run_sim(capsys, "--json")
+        code = main(
+            ["sim", "--family", "bursty", "--arrivals", "40", "--seed", "4",
+             "--json"]
+        )
+        second = capsys.readouterr().out
+        assert code == 0
+
+        def digest(out):
+            line = next(l for l in out.splitlines() if l.startswith("{"))
+            return json.loads(line)["decision_digest"]
+
+        assert digest(first) != digest(second)
+
+    def test_json_output_is_machine_readable(self, capsys):
+        code, out, _ = run_sim(capsys, "--json")
+        assert code == 0
+        line = next(l for l in out.splitlines() if l.startswith("{"))
+        payload = json.loads(line)
+        assert payload["params"]["family"] == "bursty"
+        assert payload["offered"] == 40
+        assert payload["offered"] == (
+            payload["completed"] + payload["rejected"] + payload["shed"]
+        )
+        assert payload["decision_digest"]
+
+    def test_emit_trace_writes_a_loadable_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, out, _ = run_sim(capsys, "--emit-trace", str(trace))
+        assert code == 0
+        assert "wrote trace" in out
+        header, entries = load_trace(trace)
+        assert header["format"] == TRACE_FORMAT
+        assert len(entries) == 40
+        # The header carries everything replay needs to rebuild the sim.
+        for key in (
+            "family",
+            "count",
+            "seed",
+            "cores",
+            "policy",
+            "capacity_units",
+            "rate_units_per_s",
+            "speed",
+            "theta",
+            "reserve",
+            "deadline_check",
+            "decision_digest",
+        ):
+            assert key in header, key
+
+    def test_policy_flags_change_decisions(self, capsys):
+        _, accept, _ = run_sim(capsys, "--json")
+        code = main(
+            ["sim", "--family", "bursty", "--arrivals", "40", "--seed", "3",
+             "--policy", "reject_all", "--json"]
+        )
+        rejecting = capsys.readouterr().out
+        assert code == 0
+        line = next(l for l in rejecting.splitlines() if l.startswith("{"))
+        assert json.loads(line)["rejected"] == 40
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sim", "--arrivals", "0"],
+            ["sim", "--capacity", "0"],
+            ["sim", "--rate", "-1"],
+            ["sim", "--cores", "0"],
+            ["sim", "--family", "nope"],
+        ],
+    )
+    def test_bad_arguments_exit_2(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc:
+            code = main(argv)
+            raise SystemExit(code)
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+class TestReplayArguments:
+    def test_replay_missing_file_fails(self, capsys, tmp_path):
+        code = main(
+            ["bench-serve", "--replay", str(tmp_path / "absent.jsonl")]
+        )
+        assert code == 2
+        assert "trace" in capsys.readouterr().err.lower()
+
+    def test_replay_rejects_foreign_trace(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text(json.dumps({"format": "other"}) + "\n")
+        code = main(["bench-serve", "--replay", str(bogus)])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_replay_requires_full_header(self, capsys, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text(
+            json.dumps({"format": TRACE_FORMAT, "count": 0}) + "\n"
+        )
+        code = main(["bench-serve", "--replay", str(bare)])
+        assert code == 2
+        assert "simulation parameters" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""Property test: simulated rejection == served rejection.
+
+The headline claim of ``repro.sim`` is that its accept/reject decisions
+are the *same function* the live server applies: both sides wrap one
+:class:`~repro.service.admission.AdmissionController` around one
+:class:`~repro.core.rejection.online.OnlinePolicy`.  Here hypothesis
+drives the simulator over arbitrary seeded workloads and knob settings,
+then replays the simulator's own admission log — offers, dispatches,
+releases, in order — into a *fresh* controller, asserting every
+decision tuple ``(admitted, reason, shed)`` reproduces byte-identically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rejection.online import policy_from_spec
+from repro.service.admission import AdmissionController
+from repro.sim.engine import ArrivalSimulator
+from repro.sim.workload import ARRIVAL_FAMILIES, make_arrivals
+
+scenarios = st.fixed_dictionaries(
+    {
+        "family": st.sampled_from(sorted(ARRIVAL_FAMILIES)),
+        "count": st.integers(min_value=1, max_value=60),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "policy": st.sampled_from(["accept", "threshold", "reject_all"]),
+        "theta": st.floats(min_value=1e-3, max_value=10.0),
+        "reserve": st.booleans(),
+        "capacity": st.sampled_from([2_000.0, 50_000.0, 1e9]),
+        "rate": st.sampled_from([1_000.0, 20_000.0]),
+        "cores": st.integers(min_value=1, max_value=4),
+        "cs": st.sampled_from([0.0, 1e-4]),
+        "deadline_check": st.booleans(),
+    }
+)
+
+
+def replay_log(log, *, policy, capacity, rate, deadline_check):
+    """Re-apply the simulator's admission log to a fresh controller."""
+    controller = AdmissionController(
+        policy,
+        capacity_units=capacity,
+        rate_units_per_s=rate if deadline_check else None,
+    )
+    decisions = []
+    for event in log:
+        kind = event[0]
+        if kind == "offer":
+            _, req_id, units, weight, deadline_s, *_ = event
+            got = controller.offer(
+                req_id, units, weight, deadline_s if deadline_check else None
+            )
+            decisions.append((req_id, got.admitted, got.reason, got.shed))
+        elif kind == "dispatched":
+            controller.dispatched(event[1])
+        elif kind == "release":
+            controller.release(event[1])
+        else:  # pragma: no cover - log vocabulary is closed
+            raise AssertionError(f"unknown admission event {kind!r}")
+    return decisions
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=scenarios)
+def test_sim_decisions_match_a_fresh_admission_controller(scenario):
+    arrivals = make_arrivals(
+        scenario["family"], scenario["count"], scenario["seed"]
+    )
+    policy_args = dict(
+        theta=scenario["theta"], reserve=scenario["reserve"]
+    )
+    sim = ArrivalSimulator(
+        arrivals,
+        cores=scenario["cores"],
+        policy=policy_from_spec(scenario["policy"], **policy_args),
+        capacity_units=scenario["capacity"],
+        rate_units_per_s=scenario["rate"],
+        context_switch_s=scenario["cs"],
+        deadline_check=scenario["deadline_check"],
+    )
+    report = sim.run()
+
+    replayed = replay_log(
+        report.admission_log,
+        policy=policy_from_spec(scenario["policy"], **policy_args),
+        capacity=scenario["capacity"],
+        rate=scenario["rate"],
+        deadline_check=scenario["deadline_check"],
+    )
+
+    assert len(replayed) == report.offered
+    assert replayed == [d.as_tuple() for d in report.decisions]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=1, max_value=40),
+)
+def test_decisions_are_a_pure_function_of_the_sequence(seed, count):
+    """Two independently built simulators agree decision for decision."""
+    arrivals = make_arrivals("heavy", count, seed)
+
+    def run():
+        return ArrivalSimulator(
+            arrivals,
+            cores=2,
+            policy=policy_from_spec("threshold", theta=0.8),
+            capacity_units=5_000.0,
+            rate_units_per_s=20_000.0,
+        ).run()
+
+    assert run().decision_digest() == run().decision_digest()

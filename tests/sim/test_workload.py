@@ -1,0 +1,60 @@
+"""Tests for the seeded arrival families (determinism, shape, pricing)."""
+
+import pytest
+
+from repro.service.models import estimate_cost
+from repro.sim.workload import ARRIVAL_FAMILIES, make_arrivals
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_same_seed_same_stream(self, family):
+        assert make_arrivals(family, 60, 7) == make_arrivals(family, 60, 7)
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_different_seed_different_stream(self, family):
+        assert make_arrivals(family, 60, 7) != make_arrivals(family, 60, 8)
+
+    def test_prefix_property_not_required_but_count_is_exact(self):
+        assert len(make_arrivals("bursty", 123, 0)) == 123
+
+
+class TestShape:
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_time_ordered_and_indexed(self, family):
+        arrivals = make_arrivals(family, 80, 3)
+        assert [a.index for a in arrivals] == list(range(80))
+        for prev, cur in zip(arrivals, arrivals[1:]):
+            assert cur.time >= prev.time
+        assert all(a.time > 0 or family == "periodic" for a in arrivals)
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_fields_are_sane(self, family):
+        for a in make_arrivals(family, 40, 11):
+            assert a.req_id == f"s{a.index:08d}"
+            assert a.n >= 1
+            assert a.weight > 0
+            assert a.deadline_s > 0
+            assert 0 <= a.instance_seed < 2**32
+
+    def test_units_match_the_service_estimate(self):
+        for a in make_arrivals("heavy", 50, 5):
+            assert a.units == estimate_cost(a.n, a.algorithm, eps=a.eps)
+
+    def test_heavy_is_heavier_than_light(self):
+        light = make_arrivals("light", 100, 0)
+        heavy = make_arrivals("heavy", 100, 0)
+        assert heavy[-1].time < light[-1].time  # higher arrival rate
+        light_units = sum(a.units for a in light)
+        heavy_units = sum(a.units for a in heavy)
+        assert heavy_units > 10 * light_units
+
+
+class TestValidation:
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown arrival family"):
+            make_arrivals("nope", 10, 0)
+
+    def test_nonpositive_count_raises(self):
+        with pytest.raises(ValueError):
+            make_arrivals("light", 0, 0)
