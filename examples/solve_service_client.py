@@ -119,7 +119,9 @@ def main() -> None:
               f"reason={rejected['reason']}")
 
         print("\n-- /metrics bookkeeping ---------------------------------")
-        _, metrics = http("GET", f"{url}/metrics")
+        # bare /metrics is Prometheus text now; the JSON document (with
+        # the runtime SLO/time-series section) lives behind ?format=json
+        _, metrics = http("GET", f"{url}/metrics?format=json")
         admission = metrics["admission"]
         cache = metrics["cache"]
         print(f"admitted={admission['admitted']}  "

@@ -359,6 +359,79 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append request/batch span records (JSONL) to FILE",
     )
+    serve.add_argument(
+        "--access-log",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        dest="access_log",
+        help="append one structured JSON line per request to FILE "
+        "(method, endpoint, status, latency, request id)",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        dest="sample_interval",
+        help="runtime time-series sampling period in seconds (default 1)",
+    )
+    serve.add_argument(
+        "--slo-window",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="rolling SLO evaluation window in seconds (default 60)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="latency objective threshold in milliseconds (default 500)",
+    )
+    serve.add_argument(
+        "--slo-latency-target",
+        type=float,
+        default=0.99,
+        metavar="FRAC",
+        help="fraction of 200s that must beat the latency threshold "
+        "(default 0.99)",
+    )
+    serve.add_argument(
+        "--slo-availability-target",
+        type=float,
+        default=0.999,
+        metavar="FRAC",
+        help="fraction of answered requests that must not 5xx "
+        "(default 0.999)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running solve server",
+        description=(
+            "Poll GET /metrics?format=json on a repro serve instance and "
+            "render a full-screen text dashboard: request and reject "
+            "rates, latency percentiles, queue depth, energy proxy, and "
+            "SLO attainment/burn. Stdlib-only; --once prints a single "
+            "frame and exits (CI-friendly)."
+        ),
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument("--port", type=int, default=8722, help="server port")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="refresh period in seconds (default 1)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit instead of refreshing",
+    )
 
     bench_k = sub.add_parser(
         "bench",
@@ -700,17 +773,45 @@ def _cmd_stats(args) -> int:
     except FileNotFoundError:
         print(f"no such file: {args.source}", file=sys.stderr)
         return 2
-    except ValueError as exc:
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        # Corrupt JSON, a manifest missing required keys, records of the
+        # wrong shape, or an unreadable path all get the same one-line
+        # diagnosis — never a traceback.
         print(f"cannot digest {args.source}: {exc}", file=sys.stderr)
         return 2
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.runtime import run_top
+
+    if not args.interval > 0:
+        print(
+            f"--interval must be > 0, got {args.interval}", file=sys.stderr
+        )
+        return 2
+    try:
+        run_top(
+            args.host, args.port, interval=args.interval, once=args.once
+        )
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(
+            f"cannot scrape http://{args.host}:{args.port}/metrics: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
+    import contextlib as _contextlib
     import signal
 
     from repro.core.rejection.online import policy_from_spec
+    from repro.obs.runtime import SloObjective
     from repro.service import SolveService
 
     if args.workers < 1:
@@ -725,19 +826,60 @@ def _cmd_serve(args) -> int:
     if args.capacity is not None and not args.capacity > 0:
         print(f"--capacity must be > 0, got {args.capacity}", file=sys.stderr)
         return 2
+    if not args.sample_interval > 0:
+        print(
+            f"--sample-interval must be > 0, got {args.sample_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        slos = (
+            SloObjective(
+                name="latency_p99",
+                kind="latency",
+                target=args.slo_latency_target,
+                threshold_s=args.slo_latency_ms / 1e3,
+                window_s=args.slo_window,
+            ),
+            SloObjective(
+                name="availability",
+                kind="availability",
+                target=args.slo_availability_target,
+                window_s=args.slo_window,
+            ),
+        )
+    except ValueError as exc:
+        print(f"bad SLO configuration: {exc}", file=sys.stderr)
+        return 2
     policy = policy_from_spec(
         args.policy, theta=args.theta, reserve=args.reserve
     )
-    service = SolveService(
-        policy=policy,
-        workers=args.workers,
-        capacity_units=args.capacity,
-        rate_units_per_s=args.rate,
-        window_s=args.window,
-        max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1e3,
-        cache_entries=args.cache_entries,
-    )
+    with _contextlib.ExitStack() as stack:
+        access_sink = None
+        if args.access_log is not None:
+            from repro.obs import JsonlSink
+
+            args.access_log.parent.mkdir(parents=True, exist_ok=True)
+            access_sink = stack.enter_context(JsonlSink(args.access_log))
+        service = SolveService(
+            policy=policy,
+            workers=args.workers,
+            capacity_units=args.capacity,
+            rate_units_per_s=args.rate,
+            window_s=args.window,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            cache_entries=args.cache_entries,
+            slos=slos,
+            access_log=access_sink,
+            sample_interval_s=args.sample_interval,
+        )
+        return _serve_forever(args, service)
+
+
+def _serve_forever(args, service) -> int:
+    import asyncio
+    import signal
 
     async def _run() -> None:
         host, port = await service.start(args.host, args.port)
@@ -892,12 +1034,18 @@ def _cmd_sim(args) -> int:
                     "energy_total_j": report.total_energy,
                     "makespan_s": report.makespan,
                     "decision_digest": report.decision_digest(),
+                    "slo": [r.as_dict() for r in report.slo_summary()],
                 },
                 sort_keys=True,
             )
         )
     else:
+        from repro.obs.runtime import format_slo_line
+
         print(sim_table(report, family=args.family, seed=args.seed).render())
+        # Same grep-able schema bench-serve prints for the served side.
+        for res in report.slo_summary():
+            print(format_slo_line(res))
     print(f"wrote manifest {manifest}")
     return 0
 
@@ -906,7 +1054,8 @@ def _cmd_replay(args) -> int:
     import json
 
     from repro.core.rejection.online import policy_from_spec
-    from repro.service.loadgen import format_stats, run_replay
+    from repro.obs.runtime import format_slo_line
+    from repro.service.loadgen import format_stats, run_replay, slo_results
     from repro.sim import (
         ArrivalSimulator,
         load_trace,
@@ -971,7 +1120,11 @@ def _cmd_replay(args) -> int:
         )
         return 2
     table = paired_summary(
-        report, entries, [o.as_pair() for o in outcomes]
+        report,
+        entries,
+        [o.as_pair() for o in outcomes],
+        served_samples=stats.slo_samples,
+        served_window_s=stats.elapsed_s,
     )
     if args.json:
         sim_row, served_row = table.rows
@@ -985,6 +1138,14 @@ def _cmd_replay(args) -> int:
                     "served": list(served_row),
                     "notes": list(table.notes),
                     "loadgen": stats.as_dict(),
+                    "slo": {
+                        "sim": [
+                            r.as_dict() for r in report.slo_summary()
+                        ],
+                        "served": [
+                            r.as_dict() for r in slo_results([stats])
+                        ],
+                    },
                 },
                 sort_keys=True,
             )
@@ -992,13 +1153,16 @@ def _cmd_replay(args) -> int:
     else:
         print(format_stats(stats))
         print(table.render())
+        for res in slo_results([stats]):
+            print(format_slo_line(res))
     return 1 if stats.server_errors or stats.transport_errors else 0
 
 
 def _cmd_bench_serve(args) -> int:
     import json
 
-    from repro.service.loadgen import format_stats, run_load
+    from repro.obs.runtime import format_slo_line
+    from repro.service.loadgen import format_stats, run_load, slo_results
     from repro.service.models import SOLVER_NAMES
 
     if args.replay is not None:
@@ -1051,6 +1215,20 @@ def _cmd_bench_serve(args) -> int:
         )
         if stats.server_errors or stats.transport_errors:
             failed = True
+    # Client-observed SLO attainment over all passes — the same schema
+    # the server's rolling tracker and `repro sim` report, so the three
+    # views compare directly.  Informational: an overload demo is
+    # *supposed* to burn its latency budget.
+    slo = slo_results(results)
+    if args.json:
+        print(
+            json.dumps(
+                {"slo": [r.as_dict() for r in slo]}, sort_keys=True
+            )
+        )
+    else:
+        for res in slo:
+            print(format_slo_line(res))
     return 1 if failed else 0
 
 
@@ -1111,6 +1289,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "top":
+        return _cmd_top(args)
 
     if args.command == "bench":
         return _cmd_bench(args)

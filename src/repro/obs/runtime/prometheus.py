@@ -1,0 +1,103 @@
+"""Prometheus text exposition (format 0.0.4), stdlib only.
+
+``render()`` turns a list of :class:`Family` objects into the plain
+text a Prometheus scraper (or ``repro top``) parses:
+
+* families sorted by name, so repeated scrapes diff cleanly;
+* one ``# HELP`` / ``# TYPE`` pair per family;
+* label values escaped per the spec (``\\``, ``"``, newline);
+* samples emitted in the order the family provides them —
+  providers sort their label sets and keep histogram buckets in
+  bound order (``le`` values sort numerically, not lexically, so the
+  renderer must not re-sort them).
+
+Only the subset of the format the repo emits is implemented — no
+timestamps, no exemplars, no ``# UNIT``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["CONTENT_TYPE", "Family", "Sample", "escape_label_value", "render"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def render(self) -> str:
+        if self.labels:
+            inner = ",".join(
+                f'{key}="{escape_label_value(val)}"'
+                for key, val in self.labels
+            )
+            return f"{self.name}{{{inner}}} {format_value(self.value)}"
+        return f"{self.name} {format_value(self.value)}"
+
+
+@dataclass
+class Family:
+    """A named metric family with its HELP/TYPE metadata and samples."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram" | "untyped"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(sample.render() for sample in self.samples)
+        return lines
+
+
+def render(families: Iterable[Family]) -> str:
+    """Render families to exposition text (trailing newline included).
+
+    Families are sorted by name; duplicate family names are an error
+    (they would produce an exposition Prometheus rejects).
+    """
+    ordered = sorted(families, key=lambda family: family.name)
+    seen: set[str] = set()
+    lines: list[str] = []
+    for family in ordered:
+        if family.name in seen:
+            raise ValueError(f"duplicate metric family: {family.name!r}")
+        seen.add(family.name)
+        lines.extend(family.render())
+    return "\n".join(lines) + "\n" if lines else ""

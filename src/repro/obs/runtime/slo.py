@@ -1,0 +1,235 @@
+"""Service-level objectives: rolling windows, attainment, burn rate.
+
+One schema is shared by every producer so consumers can diff them:
+
+* ``bench-serve`` summarises its client-observed pass outcomes,
+* the live server tracks a rolling window and exposes gauges,
+* ``repro sim`` summarises simulated completions over the makespan,
+
+and ``paired_summary`` subtracts sim from served row by row.
+
+A *sample* is ``(ok, latency_s)``:
+
+* **availability** objectives count every sample; ``ok`` means the
+  request got a well-formed answer.  By convention the repo's callers
+  exclude 429s entirely — admission rejection is the paper's *policy*,
+  not an outage — and count 5xx/transport failures as ``ok=False``.
+* **latency** objectives count only samples with a latency (completed
+  requests); good means ``latency_s <= threshold_s``.
+
+Burn rate is the standard error-budget ratio
+``(1 - attainment) / (1 - target)``: 1.0 burns the budget exactly at
+the window's pace, >1 exhausts it early, 0 means no errors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "DEFAULT_SLOS",
+    "SloObjective",
+    "SloResult",
+    "SloTracker",
+    "format_slo_line",
+    "parse_slo_line",
+    "summarize_slo",
+]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: latency-under-threshold or availability."""
+
+    name: str
+    kind: str  # "latency" | "availability"
+    target: float  # fraction of good samples required, in (0, 1)
+    threshold_s: float | None = None  # latency objectives only
+    window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind: {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"{self.name}: target must be in (0, 1), got {self.target}"
+            )
+        if self.kind == "latency" and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError(f"{self.name}: latency SLOs need threshold_s > 0")
+        if self.window_s <= 0:
+            raise ValueError(f"{self.name}: window_s must be positive")
+
+
+DEFAULT_SLOS: tuple[SloObjective, ...] = (
+    SloObjective(
+        "latency_p99", "latency", target=0.99, threshold_s=0.5, window_s=60.0
+    ),
+    SloObjective("availability", "availability", target=0.999, window_s=60.0),
+)
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """Attainment of one objective over one observed window."""
+
+    objective: SloObjective
+    window_s: float
+    samples: int
+    good: int
+    attainment: float
+    burn_rate: float
+    ok: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        obj = self.objective
+        return {
+            "objective": obj.name,
+            "kind": obj.kind,
+            "target": obj.target,
+            "threshold_ms": (
+                None if obj.threshold_s is None else obj.threshold_s * 1000.0
+            ),
+            "window_s": self.window_s,
+            "samples": self.samples,
+            "good": self.good,
+            "attainment": self.attainment,
+            "burn_rate": self.burn_rate,
+            "ok": self.ok,
+        }
+
+
+def _evaluate(
+    objective: SloObjective,
+    samples: Iterable[tuple[bool, float | None]],
+    window_s: float,
+) -> SloResult:
+    total = good = 0
+    for ok, latency_s in samples:
+        if objective.kind == "latency":
+            if latency_s is None:
+                continue
+            total += 1
+            good += latency_s <= objective.threshold_s
+        else:
+            total += 1
+            good += bool(ok)
+    # An empty window has consumed none of the error budget.
+    attainment = good / total if total else 1.0
+    burn = (1.0 - attainment) / (1.0 - objective.target)
+    return SloResult(
+        objective=objective,
+        window_s=window_s,
+        samples=total,
+        good=good,
+        attainment=attainment,
+        burn_rate=burn,
+        ok=attainment >= objective.target,
+    )
+
+
+def summarize_slo(
+    samples: Sequence[tuple[bool, float | None]],
+    objectives: Sequence[SloObjective] = DEFAULT_SLOS,
+    *,
+    window_s: float,
+) -> list[SloResult]:
+    """Batch evaluation over a finished run (a bench pass, a sim)."""
+    return [_evaluate(obj, samples, window_s) for obj in objectives]
+
+
+class SloTracker:
+    """Rolling-window tracker for a live server.
+
+    ``record()`` is cheap (append under a lock); ``results()`` prunes
+    samples older than the largest objective window and evaluates each
+    objective over its own window.  The clock is injectable so tests
+    can drive window expiry deterministically.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective] = DEFAULT_SLOS,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.objectives = tuple(objectives)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: list[tuple[float, bool, float | None]] = []
+        self._horizon = max(
+            (obj.window_s for obj in self.objectives), default=60.0
+        )
+
+    def record(
+        self, *, ok: bool, latency_s: float | None = None
+    ) -> None:
+        now = self._clock()
+        with self._lock:
+            self._samples.append((now, bool(ok), latency_s))
+
+    def _pruned(self, now: float) -> list[tuple[float, bool, float | None]]:
+        cutoff = now - self._horizon
+        with self._lock:
+            if self._samples and self._samples[0][0] < cutoff:
+                self._samples = [
+                    row for row in self._samples if row[0] >= cutoff
+                ]
+            return list(self._samples)
+
+    def results(self) -> list[SloResult]:
+        now = self._clock()
+        rows = self._pruned(now)
+        out = []
+        for obj in self.objectives:
+            cutoff = now - obj.window_s
+            in_window = [
+                (ok, latency) for t, ok, latency in rows if t >= cutoff
+            ]
+            out.append(_evaluate(obj, in_window, obj.window_s))
+        return out
+
+
+def format_slo_line(result: SloResult) -> str:
+    """One grep-able line per objective; every producer emits this.
+
+    The ``SLO `` prefix is pinned — CI greps for it — and the fields
+    are ``key=value`` so :func:`parse_slo_line` can round-trip them.
+    """
+    obj = result.objective
+    threshold = (
+        f" threshold_ms={obj.threshold_s * 1000.0:g}"
+        if obj.threshold_s is not None
+        else ""
+    )
+    verdict = "PASS" if result.ok else "FAIL"
+    return (
+        f"SLO {obj.name} kind={obj.kind} target={obj.target * 100.0:g}%"
+        f"{threshold} window_s={result.window_s:g}"
+        f" samples={result.samples} good={result.good}"
+        f" attainment={result.attainment * 100.0:.3f}%"
+        f" burn={result.burn_rate:.3f} {verdict}"
+    )
+
+
+def parse_slo_line(line: str) -> dict[str, Any]:
+    """Parse a :func:`format_slo_line` line back into a dict."""
+    parts = line.strip().split()
+    if len(parts) < 3 or parts[0] != "SLO":
+        raise ValueError(f"not an SLO summary line: {line!r}")
+    out: dict[str, Any] = {"objective": parts[1], "ok": parts[-1] == "PASS"}
+    for token in parts[2:-1]:
+        key, _, raw = token.partition("=")
+        if not _:
+            raise ValueError(f"malformed SLO field {token!r} in {line!r}")
+        if raw.endswith("%"):
+            out[key] = float(raw[:-1]) / 100.0
+        elif key == "kind":
+            out[key] = raw
+        else:
+            out[key] = float(raw)
+    return out

@@ -1,0 +1,74 @@
+"""Lock-protected ring buffer of periodic runtime samples.
+
+The server loop appends one sample dict per tick (raw totals, never
+rates — rates are derived by whoever reads two samples, so a missed
+tick skews nothing).  ``repro top`` and the ``/metrics?format=json``
+payload read windows out of it; the lock makes that safe from the
+asyncio thread, the sampler task, and test threads alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+__all__ = ["TimeSeriesRing", "rate"]
+
+
+class TimeSeriesRing:
+    """Fixed-capacity append-only ring of ``{"t": ..., ...}`` samples."""
+
+    def __init__(self, capacity: int = 600):
+        if capacity < 2:
+            raise ValueError(f"ring needs capacity >= 2, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: list[dict[str, Any]] = []
+        self._next = 0
+        self.appended_total = 0
+
+    def append(self, sample: Mapping[str, Any]) -> None:
+        if "t" not in sample:
+            raise ValueError("samples must carry a 't' timestamp")
+        row = dict(sample)
+        with self._lock:
+            if len(self._samples) < self.capacity:
+                self._samples.append(row)
+            else:
+                self._samples[self._next] = row
+            self._next = (self._next + 1) % self.capacity
+            self.appended_total += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def window(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The most recent ``n`` samples (all of them by default), oldest
+        first, as copies — callers can mutate freely."""
+        with self._lock:
+            if len(self._samples) < self.capacity:
+                ordered = list(self._samples)
+            else:
+                ordered = (
+                    self._samples[self._next:] + self._samples[:self._next]
+                )
+        if n is not None:
+            ordered = ordered[-n:]
+        return [dict(row) for row in ordered]
+
+
+def rate(samples: list[Mapping[str, Any]], key: str) -> float:
+    """Per-second rate of a raw-total ``key`` across a sample window.
+
+    Returns 0.0 when fewer than two samples carry the key or time does
+    not advance (counter resets clamp to 0 rather than going negative).
+    """
+    rows = [s for s in samples if key in s and s[key] is not None]
+    if len(rows) < 2:
+        return 0.0
+    dt = float(rows[-1]["t"]) - float(rows[0]["t"])
+    if dt <= 0:
+        return 0.0
+    dv = float(rows[-1][key]) - float(rows[0][key])
+    return max(dv, 0.0) / dt

@@ -1,0 +1,157 @@
+"""``repro top`` — a stdlib-only live dashboard over ``/metrics``.
+
+Polls ``GET /metrics?format=json`` on a running ``repro serve`` and
+renders a compact terminal frame: qps, admit/reject/shed rates,
+latency quantiles, queue depth, energy rate, and SLO burn.  Rates are
+derived client-side from the server's time-series ring (raw totals),
+so a dropped poll skews nothing.
+
+``render_frame`` is a pure function of the snapshot dict — tests feed
+it canned payloads; only ``fetch_snapshot``/``run_top`` touch sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Any, Callable
+
+from repro.obs.runtime.timeseries import rate
+
+__all__ = ["fetch_snapshot", "render_frame", "run_top", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_snapshot(
+    host: str, port: int, *, timeout: float = 5.0
+) -> dict[str, Any]:
+    """One ``/metrics?format=json`` poll; raises OSError on failure."""
+    url = f"http://{host}:{port}/metrics?format=json"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def sparkline(values: list[float], width: int = 32) -> str:
+    """Right-aligned unicode sparkline of the most recent *width* values."""
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _BLOCKS[0] * len(tail)
+    scale = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[min(scale, int(round(v / top * scale)))] for v in tail
+    )
+
+
+def _series_rates(samples: list[dict], key: str) -> list[float]:
+    """Per-interval rates between consecutive samples of a raw total."""
+    out = []
+    for prev, cur in zip(samples, samples[1:]):
+        out.append(rate([prev, cur], key))
+    return out
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:.1f}/s"
+
+
+def render_frame(snapshot: dict[str, Any]) -> str:
+    """Render one dashboard frame from a ``/metrics?format=json`` dict."""
+    service = snapshot.get("service", {})
+    requests = snapshot.get("requests", {})
+    admission = snapshot.get("admission", {})
+    cache = snapshot.get("cache", {})
+    counters = snapshot.get("counters", {})
+    runtime = snapshot.get("runtime", {})
+    samples = runtime.get("timeseries", [])
+
+    uptime = requests.get("uptime_s", 0.0)
+    total = requests.get("total_requests", 0)
+    qps = rate(samples, "requests")
+    if qps == 0.0 and uptime > 0:
+        qps = total / uptime  # cold ring: fall back to lifetime average
+
+    lines = []
+    flags = " [draining]" if service.get("draining") else ""
+    lines.append(
+        f"repro top — {service.get('host', '?')}:{service.get('port', '?')}"
+        f"  up {uptime:.1f}s  policy={admission.get('policy', '?')}"
+        f"  workers={service.get('workers', '?')}{flags}"
+    )
+    lines.append(
+        f"requests  total={total}  qps={qps:.1f}"
+        f"  queue={runtime.get('queue_depth', 0)}"
+        f"  util={admission.get('utilisation', 0.0) * 100.0:.1f}%"
+        f"  inflight={admission.get('inflight_units', 0.0):.0f}u"
+    )
+    solve_total = counters.get("service.solve.total", 0)
+    lines.append(
+        f"solve     total={solve_total:.0f}"
+        f"  admitted={admission.get('admitted', 0)}"
+        f" ({_fmt_rate(rate(samples, 'admitted'))})"
+        f"  rejected={admission.get('rejected', 0)}"
+        f" ({_fmt_rate(rate(samples, 'rejected'))})"
+        f"  shed={admission.get('shed', 0)}"
+        f"  cache_hits={cache.get('hits', 0)}"
+    )
+    solve = requests.get("endpoints", {}).get("/solve", {})
+    latency = solve.get("latency", {})
+    lines.append(
+        f"latency   /solve p50={latency.get('p50_ms', 0.0):.1f}ms"
+        f" p99={latency.get('p99_ms', 0.0):.1f}ms"
+        f"  n={latency.get('count', 0)}"
+    )
+    lines.append(
+        f"energy    proxy={runtime.get('energy_proxy_j', 0.0):.2f}J"
+        f"  rate={rate(samples, 'energy_j'):.3f}J/s"
+    )
+    for row in runtime.get("slo", []):
+        threshold = row.get("threshold_ms")
+        extra = f" <{threshold:g}ms" if threshold is not None else ""
+        verdict = "PASS" if row.get("ok") else "FAIL"
+        lines.append(
+            f"slo       {row.get('objective', '?')}{extra}"
+            f"  {row.get('attainment', 1.0) * 100.0:.2f}%"
+            f" of {row.get('target', 0.0) * 100.0:g}%"
+            f"  burn={row.get('burn_rate', 0.0):.2f}"
+            f"  n={row.get('samples', 0)}  {verdict}"
+        )
+    if len(samples) >= 2:
+        lines.append(f"qps  {sparkline(_series_rates(samples, 'requests'))}")
+        lines.append(f"rej  {sparkline(_series_rates(samples, 'rejected'))}")
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval: float = 1.0,
+    once: bool = False,
+    frames: int | None = None,
+    out: Callable[[str], None] = print,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll-and-render loop; ``once`` prints a single frame (CI mode).
+
+    Raises OSError (connection refused, timeout) to the caller — the
+    CLI turns that into a one-line exit-2 error.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    shown = 0
+    while True:
+        frame = render_frame(fetch_snapshot(host, port))
+        if once or frames is not None:
+            out(frame)
+        else:  # pragma: no cover - interactive path
+            out(_CLEAR + frame)
+        shown += 1
+        if once or (frames is not None and shown >= frames):
+            return 0
+        sleep(interval)

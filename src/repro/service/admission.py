@@ -113,6 +113,7 @@ class AdmissionController:
         self.admitted_total = 0
         self.rejected_total = 0
         self.shed_total = 0
+        self.completed_units = 0.0  # released work, in operation units
 
     # -- accounting -----------------------------------------------------
 
@@ -219,10 +220,17 @@ class AdmissionController:
             entry.queued = False
 
     def release(self, req_id: str) -> None:
-        """A request finished (or was dropped): free its capacity."""
+        """A request finished (or was dropped): free its capacity.
+
+        Released work accumulates in :attr:`completed_units` — the raw
+        total behind the telemetry layer's energy-rate proxy (shed
+        requests never reach ``release``, so only work the pool
+        actually performed is priced).
+        """
         entry = self._entries.pop(req_id, None)
         if entry is not None:
             self._workload = max(self._workload - entry.task.cycles, 0.0)
+            self.completed_units += entry.task.cycles * self.capacity_units
 
     def stats(self) -> dict:
         """JSON-ready snapshot for ``/metrics``."""
@@ -235,4 +243,5 @@ class AdmissionController:
             "admitted": self.admitted_total,
             "rejected": self.rejected_total,
             "shed": self.shed_total,
+            "completed_units": self.completed_units,
         }

@@ -32,13 +32,22 @@ try:  # NumPy is optional: only make_bodies() draws from it.  Trace
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None
 
+from repro.obs.runtime.slo import (
+    DEFAULT_SLOS,
+    SloObjective,
+    SloResult,
+    summarize_slo,
+)
+
 __all__ = [
     "PassStats",
     "ReplayOutcome",
     "format_stats",
+    "http_exchange",
     "make_bodies",
     "run_load",
     "run_replay",
+    "slo_results",
 ]
 
 
@@ -56,6 +65,13 @@ class PassStats:
     cache_hits: int = 0
     transport_errors: int = 0
     latencies_s: list[float] = field(default_factory=list)
+    #: SLO samples ``(ok, latency_s | None)`` in the shared schema of
+    #: :mod:`repro.obs.runtime.slo` — 429s are excluded (admission
+    #: policy, not an outage), 200s carry a latency, 5xx/transport
+    #: count as availability failures.
+    slo_samples: list[tuple[bool, float | None]] = field(
+        default_factory=list
+    )
 
     @property
     def throughput_rps(self) -> float:
@@ -74,6 +90,21 @@ class PassStats:
         ordered = sorted(self.latencies_s)
         idx = min(int(math.ceil(q * len(ordered))) - 1, len(ordered) - 1)
         return ordered[max(idx, 0)] * 1e3
+
+    def record(self, status: int, payload: dict, latency_s: float) -> None:
+        """One answered request: latency + status mix + SLO sample."""
+        self.latencies_s.append(latency_s)
+        _classify(self, status, payload)
+        if status == 429:
+            return
+        self.slo_samples.append(
+            (status < 500, latency_s if status == 200 else None)
+        )
+
+    def record_transport_error(self) -> None:
+        """A request that never got an answer (availability failure)."""
+        self.transport_errors += 1
+        self.slo_samples.append((False, None))
 
     def as_dict(self) -> dict:
         """JSON-ready summary (no raw samples)."""
@@ -150,7 +181,7 @@ def make_bodies(
     return bodies
 
 
-async def http_json(
+async def http_exchange(
     host: str,
     port: int,
     method: str,
@@ -159,12 +190,15 @@ async def http_json(
     *,
     reader: asyncio.StreamReader | None = None,
     writer: asyncio.StreamWriter | None = None,
-) -> tuple[int, dict]:
-    """One HTTP/1.1 JSON exchange; reuses (reader, writer) when given.
+) -> tuple[int, dict[str, str], Any]:
+    """One HTTP/1.1 exchange; reuses (reader, writer) when given.
 
-    Returns ``(status, payload)``.  This tiny client exists so the load
-    generator, the test-suite, and the docs all speak to the server the
-    same way without external dependencies.
+    Returns ``(status, headers, payload)`` with header names
+    lower-cased; *payload* is the decoded JSON body for JSON responses
+    and the raw text for everything else (``/metrics`` exposition).
+    This tiny client exists so the load generator, the test-suite, and
+    the docs all speak to the server the same way without external
+    dependencies.
     """
     own_connection = writer is None
     if own_connection:
@@ -188,16 +222,20 @@ async def http_json(
         if len(parts) < 2:
             raise ConnectionError(f"bad status line {status_line!r}")
         status = int(parts[1])
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"", b"\n"):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
         raw = await reader.readexactly(length) if length else b""
-        return status, json.loads(raw.decode() or "null")
+        if headers.get("content-type", "").startswith("application/json"):
+            decoded: Any = json.loads(raw.decode() or "null")
+        else:
+            decoded = raw.decode()
+        return status, headers, decoded
     finally:
         if own_connection:
             writer.close()
@@ -205,6 +243,23 @@ async def http_json(
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    reader: asyncio.StreamReader | None = None,
+    writer: asyncio.StreamWriter | None = None,
+) -> tuple[int, dict]:
+    """:func:`http_exchange` without the headers (the common case)."""
+    status, _, payload = await http_exchange(
+        host, port, method, path, body, reader=reader, writer=writer
+    )
+    return status, payload
 
 
 def _classify(stats: PassStats, status: int, payload: dict) -> None:
@@ -239,7 +294,7 @@ async def _closed_loop_pass(
         except OSError:
             while not queue.empty():
                 queue.get_nowait()
-                stats.transport_errors += 1
+                stats.record_transport_error()
             return
         try:
             while True:
@@ -259,11 +314,10 @@ async def _closed_loop_pass(
                         writer=writer,
                     )
                 except (ConnectionError, OSError, asyncio.IncompleteReadError):
-                    stats.transport_errors += 1
+                    stats.record_transport_error()
                     reader, writer = await asyncio.open_connection(host, port)
                     continue
-                stats.latencies_s.append(time.perf_counter() - start)
-                _classify(stats, status, payload)
+                stats.record(status, payload, time.perf_counter() - start)
         finally:
             writer.close()
 
@@ -288,10 +342,9 @@ async def _open_loop_pass(
         try:
             status, payload = await http_json(host, port, "POST", "/solve", body)
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            stats.transport_errors += 1
+            stats.record_transport_error()
             return
-        stats.latencies_s.append(time.perf_counter() - start)
-        _classify(stats, status, payload)
+        stats.record(status, payload, time.perf_counter() - start)
 
     await asyncio.gather(*(one(i, b) for i, b in enumerate(bodies)))
 
@@ -347,14 +400,13 @@ async def _replay_pass(
                 writer=writer,
             )
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            stats.transport_errors += 1
+            stats.record_transport_error()
             outcomes.append(
                 ReplayOutcome(entry["req_id"], 0, "transport_error", 0.0)
             )
             return
         latency = time.perf_counter() - start
-        stats.latencies_s.append(latency)
-        _classify(stats, status, payload)
+        stats.record(status, payload, latency)
         reason = "admitted" if status == 200 else str(
             (payload or {}).get("reason", f"http_{status}")
         )
@@ -381,7 +433,7 @@ async def _replay_pass(
             reader, writer = await asyncio.open_connection(host, port)
         except OSError:
             for entry in entries:
-                stats.transport_errors += 1
+                stats.record_transport_error()
                 outcomes.append(
                     ReplayOutcome(entry["req_id"], 0, "transport_error", 0.0)
                 )
@@ -486,3 +538,24 @@ def run_load(
         return results
 
     return asyncio.run(_run())
+
+
+def slo_results(
+    all_stats: list[PassStats],
+    objectives: tuple[SloObjective, ...] | None = None,
+) -> list[SloResult]:
+    """Client-observed SLO attainment aggregated across passes.
+
+    The window is the total wall time of the passes — a batch
+    evaluation in the same schema the live server's rolling tracker
+    and the simulator's :meth:`SimReport.slo_summary` produce, so the
+    three views are directly comparable.
+    """
+    samples: list[tuple[bool, float | None]] = []
+    window = 0.0
+    for stats in all_stats:
+        samples.extend(stats.slo_samples)
+        window += stats.elapsed_s
+    return summarize_slo(
+        samples, objectives or DEFAULT_SLOS, window_s=max(window, 1e-9)
+    )

@@ -17,11 +17,17 @@ REJECT-MIN loop in miniature:
    shared with the experiment runner
    (:func:`repro.runner.pool.get_executor`).
 
-``GET /healthz`` reports liveness, ``GET /metrics`` dumps admission /
-cache / batching statistics, per-endpoint latency histograms, and the
-full :mod:`repro.obs` counter registry (worker-side solver counters are
-merged in, the same way pooled trials merge).  Every request runs under
-an :func:`repro.obs.trace.span`.
+``GET /healthz`` reports liveness.  ``GET /metrics`` serves Prometheus
+text exposition; ``GET /metrics?format=json`` serves the JSON dump
+(admission / cache / batching statistics, per-endpoint latency
+histograms, the full :mod:`repro.obs` counter registry with worker-side
+solver counters merged in, and the runtime-telemetry section: SLO
+attainment, the sampler's time-series ring, and the last-request id
+table).  Every request runs under an :func:`repro.obs.trace.span`; each
+``POST /solve`` mints a request id that is echoed as
+``X-Repro-Request-Id`` and threaded through spans, the access log, the
+worker payload, and the metrics label table
+(see :mod:`repro.service.telemetry`).
 
 The HTTP layer is deliberately minimal (HTTP/1.1, JSON bodies,
 keep-alive) — enough for the load generator, the example client, and
@@ -37,7 +43,7 @@ from collections import OrderedDict
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.obs import counters as obs_counters
-from repro.obs.trace import span
+from repro.obs.trace import active_sink, emit_record, span
 from repro.runner.pool import evict_executor, get_executor
 from repro.service import worker as worker_mod
 from repro.service.admission import AdmissionController
@@ -45,6 +51,11 @@ from repro.service.batching import BatchEntry, MicroBatcher
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.models import RequestError, parse_solve_request
+from repro.service.telemetry import (
+    _FULL_POWER_W,
+    CONTENT_TYPE,
+    RuntimeTelemetry,
+)
 
 __all__ = ["SolveService"]
 
@@ -86,6 +97,14 @@ class SolveService:
         Micro-batching knobs (see :class:`MicroBatcher`).
     cache_entries:
         Result-cache LRU bound.
+    slos:
+        SLO objectives for the rolling tracker (default:
+        :data:`repro.obs.runtime.DEFAULT_SLOS`).
+    access_log:
+        Structured request-log sink — anything with ``emit(dict)``
+        (e.g. a :class:`repro.obs.trace.JsonlSink`); ``None`` disables.
+    sample_interval_s:
+        Period of the time-series sampler task.
     """
 
     def __init__(
@@ -99,6 +118,9 @@ class SolveService:
         max_batch: int = 8,
         max_wait_s: float = 0.005,
         cache_entries: int = 4096,
+        slos=None,
+        access_log=None,
+        sample_interval_s: float = 1.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -113,6 +135,12 @@ class SolveService:
         self._max_wait_s = max_wait_s
         self._cache = ResultCache(max_entries=cache_entries)
         self._metrics = ServiceMetrics()
+        self.telemetry = RuntimeTelemetry(
+            slos=slos,
+            access_log=access_log,
+            sample_interval_s=sample_interval_s,
+        )
+        self._sampler_task: asyncio.Task | None = None
         self._registry = obs_counters.Counters()
         self._counting = None
         self._controller: AdmissionController | None = None
@@ -174,6 +202,8 @@ class SolveService:
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        self.telemetry.sample(self._sample_state())  # seed the ring
+        self._sampler_task = loop.create_task(self._sampler())
         return self.host, self.port
 
     async def stop(self, drain: bool = True) -> None:
@@ -189,6 +219,9 @@ class SolveService:
             return
         self._stopped = True
         self._draining = True
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            self._sampler_task = None
         if self._server is not None:
             self._server.close()
         if self._batcher is not None:
@@ -231,11 +264,17 @@ class SolveService:
                 keep_alive = headers.get("connection", "").lower() != "close"
                 self._active_requests += 1
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload, extra_headers = await self._route(
+                        method, path, body
+                    )
                 finally:
                     self._active_requests -= 1
                 await self._write_response(
-                    writer, status, payload, keep_alive=keep_alive
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -292,11 +331,18 @@ class SolveService:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         *,
         keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        if isinstance(payload, str):
+            # Pre-rendered text body (Prometheus exposition).
+            body = payload.encode()
+            content_type = f"Content-Type: {CONTENT_TYPE}\r\n"
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            content_type = _JSON_HEADERS
         reason = {
             200: "OK",
             202: "Accepted",
@@ -310,9 +356,14 @@ class SolveService:
             503: "Service Unavailable",
         }.get(status, "OK")
         connection = "keep-alive" if keep_alive else "close"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"{_JSON_HEADERS}"
+            f"{content_type}"
+            f"{extras}"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n\r\n"
         )
@@ -326,25 +377,53 @@ class SolveService:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
-        path = path.split("?", 1)[0]
+    ) -> tuple[int, dict | str, dict[str, str] | None]:
+        path, _, query = path.partition("?")
         endpoint = path if not path.startswith("/result/") else "/result"
+        req_id = None
+        if endpoint == "/solve" and method == "POST":
+            # Minted before parsing so even a 400 is traceable.
+            req_id = f"r{next(self._seq):08d}"
         loop = asyncio.get_running_loop()
         started = loop.time()
-        with span("service.request", method=method, path=endpoint):
+        attrs = {"method": method, "path": endpoint}
+        if req_id is not None:
+            attrs["req_id"] = req_id
+        with span("service.request", **attrs):
             try:
-                status, payload = await self._route_inner(method, path, body)
+                status, payload = await self._route_inner(
+                    method, path, query, body, req_id
+                )
             except Exception as exc:  # noqa: BLE001 - must answer something
                 obs_counters.emit("service.errors", internal=1)
                 status, payload = 500, {"status": "error", "error": str(exc)}
-        self._metrics.observe(endpoint, status, loop.time() - started)
+        seconds = loop.time() - started
+        self._metrics.observe(endpoint, status, seconds)
+        self.telemetry.observe_request(
+            endpoint=endpoint,
+            method=method,
+            status=status,
+            seconds=seconds,
+            req_id=req_id,
+            reason=(
+                payload.get("reason")
+                if isinstance(payload, dict)
+                else None
+            ),
+        )
         obs_counters.emit("service.http", requests=1)
         obs_counters.add(f"service.http.status_{status}")
-        return status, payload
+        extra = {"X-Repro-Request-Id": req_id} if req_id else None
+        return status, payload, extra
 
     async def _route_inner(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        req_id: str | None,
+    ) -> tuple[int, dict | str]:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"status": "error", "error": "GET only"}
@@ -352,11 +431,13 @@ class SolveService:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"status": "error", "error": "GET only"}
-            return 200, self.metrics_dict()
+            if "format=json" in query.split("&"):
+                return 200, self.metrics_dict()
+            return 200, self.metrics_text()
         if path == "/solve":
             if method != "POST":
                 return 405, {"status": "error", "error": "POST only"}
-            return await self._solve(body)
+            return await self._solve(body, req_id)
         if path.startswith("/result/"):
             if method != "GET":
                 return 405, {"status": "error", "error": "GET only"}
@@ -373,10 +454,12 @@ class SolveService:
         }
 
     def metrics_dict(self) -> dict:
-        """The full ``/metrics`` payload (also used by tests and CI)."""
+        """The ``/metrics?format=json`` payload (also used by tests/CI)."""
         batcher = self._batcher
         return {
             "service": {
+                "host": self.host,
+                "port": self.port,
                 "workers": self.workers,
                 "policy": self._controller.policy.name
                 if self._controller
@@ -392,18 +475,76 @@ class SolveService:
                 "max_wait_s": self._max_wait_s,
             },
             "counters": self._registry.snapshot(),
+            "runtime": self.telemetry.runtime_dict(
+                queue_depth=len(self._queued),
+                energy_j=self._energy_proxy_j(),
+            ),
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition."""
+        return self.telemetry.render_prometheus(
+            metrics=self._metrics,
+            counters=self._registry.snapshot(),
+            admission=self._controller.stats() if self._controller else {},
+            cache=self._cache.stats(),
+            batch={
+                "dispatched": (
+                    len(self._batcher.batch_log) if self._batcher else 0
+                )
+            },
+            info={
+                "policy": (
+                    self._controller.policy.name if self._controller else None
+                ),
+                "workers": self.workers,
+            },
+            queue_depth=len(self._queued),
+            energy_j=self._energy_proxy_j(),
+        )
+
+    # -- runtime sampling -----------------------------------------------
+
+    def _energy_proxy_j(self) -> float:
+        """Energy spent on completed work: seconds of full-speed worker
+        time (units / measured rate) priced on the admission curve."""
+        controller = self._controller
+        if controller is None or not controller.rate_units_per_s:
+            return 0.0
+        seconds = controller.completed_units / controller.rate_units_per_s
+        return seconds * _FULL_POWER_W
+
+    def _sample_state(self) -> dict:
+        """One raw-totals tick for the telemetry ring (never rates)."""
+        controller = self._controller
+        counters = self._registry.snapshot()
+        return {
+            "requests": self._metrics.total_requests,
+            "solve_total": counters.get("service.solve.total", 0),
+            "cached": counters.get("service.solve.cached", 0),
+            "admitted": controller.admitted_total if controller else 0,
+            "rejected": controller.rejected_total if controller else 0,
+            "shed": controller.shed_total if controller else 0,
+            "queue_depth": len(self._queued),
+            "utilisation": controller.utilisation if controller else 0.0,
+            "energy_j": self._energy_proxy_j(),
+        }
+
+    async def _sampler(self) -> None:
+        while True:
+            await asyncio.sleep(self.telemetry.sample_interval_s)
+            self.telemetry.sample(self._sample_state())
 
     # -- the solve path -------------------------------------------------
 
-    async def _solve(self, body: bytes) -> tuple[int, dict]:
+    async def _solve(self, body: bytes, req_id: str) -> tuple[int, dict]:
         obs_counters.emit("service.solve", total=1)
         try:
             parsed = json.loads(body.decode() or "null")
-            request = parse_solve_request(parsed, f"r{next(self._seq):08d}")
+            request = parse_solve_request(parsed, req_id)
         except (RequestError, ValueError) as exc:
             obs_counters.emit("service.solve", invalid=1)
-            return 400, {"status": "error", "error": str(exc)}
+            return 400, {"status": "error", "id": req_id, "error": str(exc)}
         key = self._cache.key(request.instance, request.algorithm, request.eps)
         cached = self._cache.get(key)
         if cached is not None:
@@ -416,13 +557,14 @@ class SolveService:
             }
         if self._draining:
             obs_counters.emit("service.solve", unavailable=1)
-            return 503, {"status": "error", "error": "draining"}
-        decision = self._controller.offer(
-            request.req_id,
-            request.cost_units,
-            request.weight,
-            deadline_s=request.deadline_s,
-        )
+            return 503, {"status": "error", "id": req_id, "error": "draining"}
+        with span("service.admission", req_id=request.req_id):
+            decision = self._controller.offer(
+                request.req_id,
+                request.cost_units,
+                request.weight,
+                deadline_s=request.deadline_s,
+            )
         if not decision.admitted:
             obs_counters.emit("service.solve", rejected=1)
             return 429, {
@@ -478,6 +620,9 @@ class SolveService:
         for entry in entries:
             self._controller.dispatched(entry.req_id)
             self._queued.pop(entry.req_id, None)
+        capture_spans = active_sink() is not None
+        for entry in entries:
+            entry.payload["trace"] = capture_spans
         payloads = [entry.payload for entry in entries]
         loop = asyncio.get_running_loop()
         results = None
@@ -509,6 +654,11 @@ class SolveService:
             counters = result.get("counters")
             if counters:
                 self._registry.merge(counters)
+            # Worker-captured spans re-emit in batch order, exactly like
+            # pooled trials merge in seed order — deterministic given the
+            # batch composition.
+            for record in result.get("spans") or ():
+                emit_record(record)
             if entry.future.done():
                 continue
             if result["ok"]:

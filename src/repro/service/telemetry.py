@@ -1,0 +1,414 @@
+"""Runtime telemetry for the solve service.
+
+:class:`RuntimeTelemetry` is the server's adapter onto
+:mod:`repro.obs.runtime`: it owns the metrics registry, the rolling
+SLO tracker, the time-series ring the sampler task fills, the
+structured access log, and the per-request ``last_request`` label
+table — and it assembles the Prometheus text exposition from all of
+them plus the server's pre-existing JSON metrics sources.
+
+Request-id conventions
+----------------------
+The server mints one id per ``POST /solve`` *before* parsing the body
+(so even a 400 is traceable), echoes it as ``X-Repro-Request-Id``,
+threads it through the admission span, the worker payload, and the
+access-log line, and records it here as the
+``repro_last_request{endpoint,status,req_id}`` series — one series per
+(endpoint, status) pair with replace semantics, so cardinality stays
+bounded while the most recent accepted and rejected request are always
+recoverable from a scrape.
+
+SLO conventions (shared with ``bench-serve`` and ``repro.sim``)
+---------------------------------------------------------------
+429s are the paper's *policy* at work, not an outage: they are
+excluded from SLO samples entirely.  200s contribute a latency sample;
+5xx contribute an availability failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.obs.runtime.metrics import MetricsRegistry
+from repro.obs.runtime.prometheus import CONTENT_TYPE, Family, Sample, render
+from repro.obs.runtime.slo import DEFAULT_SLOS, SloObjective, SloTracker
+from repro.obs.runtime.timeseries import TimeSeriesRing
+from repro.power import xscale_power_model
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["CONTENT_TYPE", "RuntimeTelemetry"]
+
+#: Watts burned retiring admitted work, on the same normalised XScale
+#: curve the admission controller prices with (full speed, s_max=1) —
+#: the serving twin of the simulator's active-energy accounting.
+_FULL_POWER_W = xscale_power_model(s_max=1.0).power(1.0)
+
+_SOLVE_OUTCOMES = (
+    "cached", "admitted", "rejected", "invalid", "unavailable", "failed"
+)
+
+
+class RuntimeTelemetry:
+    """Registry + SLO tracker + ring + access log for one server."""
+
+    def __init__(
+        self,
+        *,
+        slos: Sequence[SloObjective] | None = None,
+        access_log: Any | None = None,
+        ring_capacity: int = 600,
+        sample_interval_s: float = 1.0,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0, got {sample_interval_s}"
+            )
+        self.sample_interval_s = float(sample_interval_s)
+        self.access_log = access_log  # anything with .emit(dict)
+        self.slo = SloTracker(tuple(slos) if slos else DEFAULT_SLOS)
+        self.ring = TimeSeriesRing(ring_capacity)
+        self.registry = MetricsRegistry()
+        self._g_queue = self.registry.gauge(
+            "repro_queue_depth", "Requests admitted but not yet dispatched."
+        )
+        self._g_energy = self.registry.gauge(
+            "repro_energy_proxy_joules",
+            "Energy proxy: completed work units priced at full speed on "
+            "the admission controller's normalised XScale curve.",
+        )
+        self._g_attainment = self.registry.gauge(
+            "repro_slo_attainment_ratio",
+            "Fraction of good samples in the objective's rolling window.",
+            ("objective",),
+        )
+        self._g_burn = self.registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate: (1 - attainment) / (1 - target).",
+            ("objective",),
+        )
+        # (endpoint, status) -> (req_id, unix time); replace semantics.
+        self._lock = threading.Lock()
+        self._last: dict[tuple[str, str], tuple[str, float]] = {}
+
+    # -- per-request path ----------------------------------------------
+
+    def observe_request(
+        self,
+        *,
+        endpoint: str,
+        method: str,
+        status: int,
+        seconds: float,
+        req_id: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        """One served request: access log + SLO sample + label table."""
+        if req_id is not None:
+            with self._lock:
+                self._last[(endpoint, str(status))] = (req_id, time.time())
+        if endpoint == "/solve" and status != 429:
+            # 429 is admission policy, not an SLO event (see module doc).
+            self.slo.record(
+                ok=status < 500,
+                latency_s=seconds if status == 200 else None,
+            )
+        if self.access_log is not None:
+            record: dict[str, Any] = {
+                "kind": "access",
+                "t": time.time(),
+                "method": method,
+                "endpoint": endpoint,
+                "status": status,
+                "ms": seconds * 1e3,
+            }
+            if req_id is not None:
+                record["req_id"] = req_id
+            if reason is not None:
+                record["reason"] = reason
+            try:
+                self.access_log.emit(record)
+            except OSError:  # pragma: no cover - log target vanished
+                pass
+
+    # -- sampling -------------------------------------------------------
+
+    def sample(self, state: Mapping[str, Any]) -> None:
+        """Append one raw-totals sample (the server's sampler tick)."""
+        row = dict(state)
+        row.setdefault("t", time.monotonic())
+        self.ring.append(row)
+        self._g_queue.set(float(row.get("queue_depth", 0)))
+        self._g_energy.set(float(row.get("energy_j", 0.0)))
+        self._refresh_slo_gauges()
+
+    def _refresh_slo_gauges(self) -> list:
+        results = self.slo.results()
+        for result in results:
+            name = result.objective.name
+            self._g_attainment.set(result.attainment, objective=name)
+            self._g_burn.set(result.burn_rate, objective=name)
+        return results
+
+    # -- exposition -----------------------------------------------------
+
+    def runtime_dict(
+        self, *, queue_depth: int, energy_j: float
+    ) -> dict[str, Any]:
+        """The ``runtime`` section of ``/metrics?format=json``."""
+        results = self._refresh_slo_gauges()
+        self._g_queue.set(float(queue_depth))
+        self._g_energy.set(float(energy_j))
+        with self._lock:
+            last = [
+                {
+                    "endpoint": endpoint,
+                    "status": status,
+                    "req_id": req_id,
+                    "t": t,
+                }
+                for (endpoint, status), (req_id, t) in sorted(
+                    self._last.items()
+                )
+            ]
+        return {
+            "sample_interval_s": self.sample_interval_s,
+            "queue_depth": queue_depth,
+            "energy_proxy_j": energy_j,
+            "slo": [result.as_dict() for result in results],
+            "timeseries": self.ring.window(),
+            "last_request": last,
+        }
+
+    def render_prometheus(
+        self,
+        *,
+        metrics: ServiceMetrics,
+        counters: Mapping[str, float],
+        admission: Mapping[str, Any],
+        cache: Mapping[str, Any],
+        batch: Mapping[str, Any],
+        info: Mapping[str, Any],
+        queue_depth: int,
+        energy_j: float,
+    ) -> str:
+        """Full Prometheus text exposition for ``GET /metrics``."""
+        self._refresh_slo_gauges()
+        self._g_queue.set(float(queue_depth))
+        self._g_energy.set(float(energy_j))
+        families = self.registry.collect()
+        families.extend(
+            self._http_families(metrics)
+            + self._solve_family(counters)
+            + self._counter_family(counters)
+            + self._admission_families(admission)
+            + self._cache_batch_families(cache, batch)
+            + self._info_families(info, metrics)
+            + self._last_request_family()
+        )
+        return render(families)
+
+    def _http_families(self, metrics: ServiceMetrics) -> list[Family]:
+        series = metrics.endpoint_series()
+        bounds = metrics.bucket_bounds()
+        requests = Family(
+            "repro_http_requests_total",
+            "counter",
+            "Requests served, by endpoint and status.",
+        )
+        latency = Family(
+            "repro_request_duration_seconds",
+            "histogram",
+            "Server-side request latency, by endpoint.",
+        )
+        for endpoint, statuses, counts, count, sum_s in series:
+            for code, n in sorted(statuses.items()):
+                requests.samples.append(
+                    Sample(
+                        requests.name,
+                        (("endpoint", endpoint), ("status", str(code))),
+                        n,
+                    )
+                )
+            base = (("endpoint", endpoint),)
+            cumulative = 0
+            for bound, n in zip(bounds, counts):
+                cumulative += n
+                le = (
+                    "+Inf"
+                    if bound == float("inf")
+                    else format(bound, ".10g")
+                )
+                latency.samples.append(
+                    Sample(
+                        latency.name + "_bucket",
+                        base + (("le", le),),
+                        cumulative,
+                    )
+                )
+            latency.samples.append(
+                Sample(latency.name + "_sum", base, sum_s)
+            )
+            latency.samples.append(
+                Sample(latency.name + "_count", base, count)
+            )
+        return [requests, latency]
+
+    def _solve_family(self, counters: Mapping[str, float]) -> list[Family]:
+        """``repro_solve_requests_total{outcome=...}``.
+
+        The outcomes partition ``service.solve.total`` (the pinned
+        invariant: total == cached+admitted+rejected+invalid+
+        unavailable), so the family's sum over its disjoint outcome
+        labels equals the JSON total — ``failed`` is intentionally NOT
+        a label here because failed requests were already admitted.
+        """
+        family = Family(
+            "repro_solve_requests_total",
+            "counter",
+            "Solve requests by admission outcome; the labels partition "
+            "the pinned service.solve.total invariant.",
+        )
+        for outcome in _SOLVE_OUTCOMES:
+            if outcome == "failed":
+                continue
+            value = counters.get(f"service.solve.{outcome}", 0)
+            family.samples.append(
+                Sample(family.name, (("outcome", outcome),), value)
+            )
+        return [family]
+
+    def _counter_family(self, counters: Mapping[str, float]) -> list[Family]:
+        family = Family(
+            "repro_obs_counter",
+            "counter",
+            "Raw repro.obs counter registry (solver counters merged "
+            "back from pool workers included).",
+        )
+        for name, value in sorted(counters.items()):
+            family.samples.append(
+                Sample(family.name, (("name", name),), value)
+            )
+        return [family]
+
+    def _admission_families(
+        self, admission: Mapping[str, Any]
+    ) -> list[Family]:
+        if not admission:
+            return []
+        gauges = Family(
+            "repro_admission_utilisation_ratio",
+            "gauge",
+            "Admitted-but-unfinished backlog as a fraction of capacity.",
+            [Sample("repro_admission_utilisation_ratio", (),
+                    admission.get("utilisation", 0.0))],
+        )
+        inflight = Family(
+            "repro_admission_inflight_units",
+            "gauge",
+            "Admitted-but-unfinished work, in operation units.",
+            [Sample("repro_admission_inflight_units", (),
+                    admission.get("inflight_units", 0.0))],
+        )
+        decisions = Family(
+            "repro_admission_decisions_total",
+            "counter",
+            "Admission controller verdicts.",
+            [
+                Sample(
+                    "repro_admission_decisions_total",
+                    (("decision", decision),),
+                    admission.get(decision, 0),
+                )
+                for decision in ("admitted", "rejected", "shed")
+            ],
+        )
+        completed = Family(
+            "repro_completed_work_units_total",
+            "counter",
+            "Work units released back to the pool after completion.",
+            [Sample("repro_completed_work_units_total", (),
+                    admission.get("completed_units", 0.0))],
+        )
+        return [gauges, inflight, decisions, completed]
+
+    def _cache_batch_families(
+        self, cache: Mapping[str, Any], batch: Mapping[str, Any]
+    ) -> list[Family]:
+        lookups = Family(
+            "repro_cache_lookups_total",
+            "counter",
+            "Result-cache lookups by outcome.",
+            [
+                Sample("repro_cache_lookups_total", (("outcome", "hit"),),
+                       cache.get("hits", 0)),
+                Sample("repro_cache_lookups_total", (("outcome", "miss"),),
+                       cache.get("misses", 0)),
+            ],
+        )
+        entries = Family(
+            "repro_cache_entries",
+            "gauge",
+            "Result-cache entries currently held.",
+            [Sample("repro_cache_entries", (), cache.get("entries", 0))],
+        )
+        batches = Family(
+            "repro_batches_dispatched_total",
+            "counter",
+            "Micro-batches dispatched to the worker pool.",
+            [Sample("repro_batches_dispatched_total", (),
+                    batch.get("dispatched", 0))],
+        )
+        return [lookups, entries, batches]
+
+    def _info_families(
+        self, info: Mapping[str, Any], metrics: ServiceMetrics
+    ) -> list[Family]:
+        service = Family(
+            "repro_service_info",
+            "gauge",
+            "Static server identity (value is always 1).",
+            [
+                Sample(
+                    "repro_service_info",
+                    (
+                        ("policy", str(info.get("policy"))),
+                        ("workers", str(info.get("workers"))),
+                    ),
+                    1,
+                )
+            ],
+        )
+        uptime = Family(
+            "repro_uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+            [Sample("repro_uptime_seconds", (),
+                    time.time() - metrics.started_at)],
+        )
+        return [service, uptime]
+
+    def _last_request_family(self) -> list[Family]:
+        with self._lock:
+            items = sorted(self._last.items())
+        family = Family(
+            "repro_last_request",
+            "gauge",
+            "Most recent request id per (endpoint, status); the value "
+            "is its unix timestamp.  Replace semantics keep cardinality "
+            "bounded.",
+            [
+                Sample(
+                    "repro_last_request",
+                    (
+                        ("endpoint", endpoint),
+                        ("status", status),
+                        ("req_id", req_id),
+                    ),
+                    t,
+                )
+                for (endpoint, status), (req_id, t) in items
+            ],
+        )
+        return [family]

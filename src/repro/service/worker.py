@@ -22,6 +22,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None
 
 from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 
 __all__ = ["calibrate", "solve_batch", "solve_payload"]
 
@@ -30,50 +31,42 @@ def solve_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Solve one request payload; never raises.
 
     Returns ``{"req_id", "ok", "solution" | "error"/"error_kind",
-    "counters", "seconds"}``.  ``error_kind`` is ``"bad_request"`` for
-    malformed instances (HTTP 400) and ``"solver"`` for everything else
-    (HTTP 500).
+    "counters", "spans", "seconds"}``.  ``error_kind`` is
+    ``"bad_request"`` for malformed instances (HTTP 400) and
+    ``"solver"`` for everything else (HTTP 500).
+
+    When the server has a trace sink installed it sets
+    ``payload["trace"]`` and the solve runs under a
+    ``service.solve.worker`` span (captured in a worker-local
+    :class:`~repro.obs.trace.MemorySink`, shipped back in ``"spans"``,
+    and re-emitted by the server in batch order — the request id rides
+    in the span attrs, so a scraped trace links ingest to worker).
     """
-    from repro.core.rejection import MultiprocRejectionProblem
-    from repro.io import instance_from_dict, solution_to_dict
-    from repro.runner.cache import cache_key
-    from repro.service.models import RequestError, resolve_solver
+    from repro.io import solution_to_dict
+    from repro.service.models import RequestError
 
     req_id = payload.get("req_id")
+    sink = obs_trace.MemorySink() if payload.get("trace") else None
     start = time.perf_counter()
     counters: dict[str, float] | None = None
     try:
         with obs_counters.counting() as registry:
-            problem = instance_from_dict(payload["instance"])
-            algorithm = payload["algorithm"]
-            solver = resolve_solver(algorithm)
-            if isinstance(problem, MultiprocRejectionProblem) != (
-                algorithm in _MULTIPROC
+            with (
+                obs_trace.tracing(sink) if sink is not None else _NULL_CTX
             ):
-                raise RequestError(
-                    f"{algorithm!r} does not match the instance kind"
-                )
-            if algorithm == "fptas":
-                solution = solver(problem, eps=payload.get("eps", 0.1))
-            elif algorithm == "rand_reject":
-                if np is None:  # pragma: no cover - no-numpy CI job
-                    raise RequestError(
-                        "rand_reject requires numpy on the server"
-                    )
-                # Deterministic: derive the stream from the instance
-                # content so identical payloads produce identical
-                # (cacheable) results in every worker process.
-                key = cache_key("service:rand_reject", payload["instance"])
-                seed = int(key[:8], 16)
-                solution = solver(problem, rng=np.random.default_rng(seed))
-            else:
-                solution = solver(problem)
+                with obs_trace.span(
+                    "service.solve.worker",
+                    req_id=req_id,
+                    algorithm=payload.get("algorithm"),
+                ):
+                    solution = _solve_one(payload)
         counters = registry.snapshot() or None
         return {
             "req_id": req_id,
             "ok": True,
             "solution": solution_to_dict(solution),
             "counters": counters,
+            "spans": sink.records if sink is not None else None,
             "seconds": time.perf_counter() - start,
         }
     except (RequestError, ValueError, KeyError, TypeError) as exc:
@@ -88,8 +81,50 @@ def solve_payload(payload: dict[str, Any]) -> dict[str, Any]:
         "error": message,
         "error_kind": kind,
         "counters": counters,
+        "spans": sink.records if sink is not None else None,
         "seconds": time.perf_counter() - start,
     }
+
+
+class _NullCtx:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+def _solve_one(payload: dict[str, Any]):
+    """The actual solve, shared by traced and untraced paths."""
+    from repro.core.rejection import MultiprocRejectionProblem
+    from repro.io import instance_from_dict
+    from repro.runner.cache import cache_key
+    from repro.service.models import RequestError, resolve_solver
+
+    problem = instance_from_dict(payload["instance"])
+    algorithm = payload["algorithm"]
+    solver = resolve_solver(algorithm)
+    if isinstance(problem, MultiprocRejectionProblem) != (
+        algorithm in _MULTIPROC
+    ):
+        raise RequestError(f"{algorithm!r} does not match the instance kind")
+    if algorithm == "fptas":
+        return solver(problem, eps=payload.get("eps", 0.1))
+    if algorithm == "rand_reject":
+        if np is None:  # pragma: no cover - no-numpy CI job
+            raise RequestError("rand_reject requires numpy on the server")
+        # Deterministic: derive the stream from the instance content so
+        # identical payloads produce identical (cacheable) results in
+        # every worker process.
+        key = cache_key("service:rand_reject", payload["instance"])
+        seed = int(key[:8], 16)
+        return solver(problem, rng=np.random.default_rng(seed))
+    return solver(problem)
 
 
 _MULTIPROC = frozenset(

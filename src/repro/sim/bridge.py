@@ -171,6 +171,8 @@ def paired_summary(
     served: list[tuple[str, int, str]],
     *,
     speed: float | None = None,
+    served_samples: list[tuple[bool, float | None]] | None = None,
+    served_window_s: float | None = None,
 ) -> ExperimentTable:
     """Simulated vs. served outcomes for the same trace, side by side.
 
@@ -186,6 +188,16 @@ def paired_summary(
         rejection reason (``"admitted"`` for 200s).
     speed:
         Speed used to price served busy time; defaults to the report's.
+    served_samples:
+        Optional client-observed SLO samples in the shared
+        ``(ok, latency_s | None)`` schema of
+        :mod:`repro.obs.runtime.slo` (e.g. ``PassStats.slo_samples``
+        from the replay).  When given, the table's notes gain one
+        "SLO drift" row per objective comparing the simulator's
+        attainment (:meth:`SimReport.slo_summary`) with the served one.
+    served_window_s:
+        Evaluation window for *served_samples*; defaults to the replay
+        wall time being unknown, so pass the loadgen's ``elapsed_s``.
     """
     if len(served) != len(entries):
         raise ValueError(
@@ -242,6 +254,24 @@ def paired_summary(
             f"decisions matched: {matched}/{len(served)}",
         ],
     )
+    if served_samples is not None:
+        from repro.obs.runtime.slo import summarize_slo
+
+        window = max(served_window_s or 0.0, 1e-9)
+        served_slo = {
+            r.objective.name: r
+            for r in summarize_slo(served_samples, window_s=window)
+        }
+        for sim_res in report.slo_summary():
+            srv = served_slo.get(sim_res.objective.name)
+            if srv is None:  # pragma: no cover - objective sets match
+                continue
+            table.notes.append(
+                f"SLO drift {sim_res.objective.name}: "
+                f"sim={sim_res.attainment * 100:.3f}% "
+                f"served={srv.attainment * 100:.3f}% "
+                f"delta={(srv.attainment - sim_res.attainment) * 100:+.3f}pp"
+            )
     table.add_row(
         "sim",
         report.offered,

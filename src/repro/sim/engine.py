@@ -150,6 +150,39 @@ class SimReport:
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 
+    def slo_samples(self) -> list[tuple[bool, float | None]]:
+        """SLO samples in the shared ``(ok, latency_s | None)`` schema.
+
+        Mirrors the serving-side convention
+        (:mod:`repro.obs.runtime.slo`): rejected and shed arrivals are
+        the admission *policy* and contribute no sample; completed jobs
+        contribute their response time, with a deadline miss counting
+        as an availability failure (the sim's analogue of a 5xx — the
+        answer arrived too late to be useful).
+        """
+        samples: list[tuple[bool, float | None]] = []
+        for record in self.records:
+            if record.outcome != "completed":
+                continue
+            samples.append((not record.missed, record.response_s))
+        return samples
+
+    def slo_summary(self, objectives=None) -> list:
+        """Batch SLO evaluation over the makespan.
+
+        Returns :class:`repro.obs.runtime.slo.SloResult` rows — the
+        same schema ``bench-serve`` prints, so
+        :func:`repro.sim.bridge.paired_summary` can report sim-vs-served
+        SLO drift row by row.
+        """
+        from repro.obs.runtime.slo import DEFAULT_SLOS, summarize_slo
+
+        return summarize_slo(
+            self.slo_samples(),
+            objectives or DEFAULT_SLOS,
+            window_s=max(self.makespan, 1e-9),
+        )
+
 
 class _Open:
     """Mutable in-flight state for one admitted job."""

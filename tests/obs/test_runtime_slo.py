@@ -1,0 +1,128 @@
+"""SLO objectives, batch summaries, the rolling tracker, line format."""
+
+import pytest
+
+from repro.obs.runtime import (
+    DEFAULT_SLOS,
+    SloObjective,
+    SloTracker,
+    format_slo_line,
+    parse_slo_line,
+    summarize_slo,
+)
+
+
+class TestObjectiveValidation:
+    def test_bad_kind_target_threshold_window(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SloObjective("x", "throughput", target=0.9)
+        with pytest.raises(ValueError, match="target must be in"):
+            SloObjective("x", "availability", target=1.0)
+        with pytest.raises(ValueError, match="threshold_s > 0"):
+            SloObjective("x", "latency", target=0.9)
+        with pytest.raises(ValueError, match="window_s must be positive"):
+            SloObjective("x", "availability", target=0.9, window_s=0.0)
+
+
+class TestSummarize:
+    def test_latency_counts_only_samples_with_latency(self):
+        obj = SloObjective("lat", "latency", target=0.9, threshold_s=0.1)
+        samples = [
+            (True, 0.05),  # good
+            (True, 0.2),  # slow
+            (False, None),  # availability failure: no latency sample
+        ]
+        (res,) = summarize_slo(samples, [obj], window_s=10.0)
+        assert (res.samples, res.good) == (2, 1)
+        assert res.attainment == 0.5
+        assert res.burn_rate == pytest.approx(0.5 / 0.1)
+        assert not res.ok
+
+    def test_availability_counts_every_sample(self):
+        obj = SloObjective("avail", "availability", target=0.5)
+        samples = [(True, 0.05), (True, None), (False, None)]
+        (res,) = summarize_slo(samples, [obj], window_s=10.0)
+        assert (res.samples, res.good) == (3, 2)
+        assert res.ok
+
+    def test_empty_window_consumes_no_budget(self):
+        for res in summarize_slo([], DEFAULT_SLOS, window_s=60.0):
+            assert res.attainment == 1.0
+            assert res.burn_rate == 0.0
+            assert res.ok
+
+    def test_as_dict_schema_is_shared(self):
+        (res, _) = summarize_slo([(True, 0.01)], DEFAULT_SLOS, window_s=1.0)
+        d = res.as_dict()
+        assert set(d) == {
+            "objective",
+            "kind",
+            "target",
+            "threshold_ms",
+            "window_s",
+            "samples",
+            "good",
+            "attainment",
+            "burn_rate",
+            "ok",
+        }
+        assert d["threshold_ms"] == 500.0
+
+
+class TestTracker:
+    def test_rolling_window_expires_old_samples(self):
+        now = [0.0]
+        obj = SloObjective("avail", "availability", target=0.5, window_s=10.0)
+        tracker = SloTracker([obj], clock=lambda: now[0])
+        tracker.record(ok=False)
+        now[0] = 5.0
+        tracker.record(ok=True)
+        (res,) = tracker.results()
+        assert (res.samples, res.good) == (2, 1)
+        now[0] = 12.0  # the failure at t=0 ages out of the 10 s window
+        (res,) = tracker.results()
+        assert (res.samples, res.good) == (1, 1)
+        assert res.ok
+
+    def test_objectives_evaluate_over_their_own_windows(self):
+        now = [100.0]
+        short = SloObjective("s", "availability", target=0.5, window_s=5.0)
+        long = SloObjective("l", "availability", target=0.5, window_s=50.0)
+        tracker = SloTracker([short, long], clock=lambda: now[0])
+        now[0] = 100.0
+        tracker.record(ok=False)
+        now[0] = 104.0
+        by_name = {r.objective.name: r for r in tracker.results()}
+        assert by_name["s"].samples == 1
+        now[0] = 110.0  # outside the short window, inside the long one
+        by_name = {r.objective.name: r for r in tracker.results()}
+        assert by_name["s"].samples == 0
+        assert by_name["l"].samples == 1
+
+
+class TestLineFormat:
+    def test_round_trip(self):
+        (res, avail) = summarize_slo(
+            [(True, 0.01), (True, 0.9), (False, None)],
+            DEFAULT_SLOS,
+            window_s=30.0,
+        )
+        for r in (res, avail):
+            line = format_slo_line(r)
+            assert line.startswith("SLO ")  # pinned: CI greps '^SLO '
+            parsed = parse_slo_line(line)
+            assert parsed["objective"] == r.objective.name
+            assert parsed["kind"] == r.objective.kind
+            assert parsed["target"] == pytest.approx(r.objective.target)
+            assert parsed["samples"] == r.samples
+            assert parsed["good"] == r.good
+            assert parsed["attainment"] == pytest.approx(
+                r.attainment, abs=1e-5
+            )
+            assert parsed["ok"] == r.ok
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not an SLO summary"):
+            parse_slo_line("nothing to see here")
+        with pytest.raises(ValueError, match="malformed SLO field"):
+            parse_slo_line("SLO x kind latency PASS")

@@ -1,0 +1,129 @@
+"""Concurrency contracts for span sinks (satellite of the telemetry PR).
+
+Two properties the service now leans on:
+
+* many threads can emit through one :class:`JsonlSink` and every line
+  on disk is complete, parseable JSON (the sink's lock is the only
+  thing standing between the service's threads and torn writes);
+* worker-captured spans shipped across processes and re-emitted by the
+  parent (the ``emit_record`` path) land in a deterministic order with
+  their original depths, no matter how the capturing threads raced.
+"""
+
+import json
+import threading
+
+from repro.obs import trace
+
+
+class TestJsonlSinkConcurrency:
+    def test_concurrent_writers_produce_whole_json_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        threads, per_thread = 8, 200
+        barrier = threading.Barrier(threads)
+
+        with trace.JsonlSink(path) as sink:
+
+            def writer(worker_id):
+                barrier.wait()  # maximise interleaving
+                for i in range(per_thread):
+                    sink.emit(
+                        {
+                            "name": f"w{worker_id}.s{i}",
+                            "t0": 0.0,
+                            "dur": 0.001,
+                            "depth": 0,
+                            "pid": worker_id,
+                            "attrs": {"payload": "x" * 64},
+                        }
+                    )
+
+            workers = [
+                threading.Thread(target=writer, args=(k,))
+                for k in range(threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == threads * per_thread
+        records = [json.loads(line) for line in lines]  # no torn writes
+        names = {r["name"] for r in records}
+        assert len(names) == threads * per_thread  # nothing lost
+
+    def test_traced_spans_from_many_threads_all_arrive(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        threads = 6
+
+        def worker(k):
+            with trace.span(f"outer{k}", k=k):
+                with trace.span(f"inner{k}", k=k):
+                    pass
+
+        with trace.JsonlSink(path) as sink, trace.tracing(sink):
+            workers = [
+                threading.Thread(target=worker, args=(k,))
+                for k in range(threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert len(records) == 2 * threads
+        for k in range(threads):
+            # depth is tracked per thread: every thread's outer span is
+            # depth 0 even though all six raced on the same sink.
+            assert by_name[f"outer{k}"]["depth"] == 0
+            assert by_name[f"inner{k}"]["depth"] == 1
+
+
+class TestShippedSpanDeterminism:
+    def test_reemitted_worker_spans_keep_order_and_depth(self):
+        """Capture in racing threads, ship, re-emit in a chosen order.
+
+        This is the server's worker-span idiom: each worker captures
+        into its own MemorySink, the parent re-emits the shipped
+        records in batch order — so the final trace is deterministic
+        even though the capture raced.
+        """
+        captured: dict[int, list[dict]] = {}
+
+        def worker(k):
+            sink = trace.MemorySink()
+            with trace.tracing(sink):
+                with trace.span(f"job{k}", k=k):
+                    with trace.span(f"job{k}.sub"):
+                        pass
+            captured[k] = sink.records
+
+        runs = []
+        for _ in range(3):  # three trials must agree exactly
+            captured.clear()
+            workers = [
+                threading.Thread(target=worker, args=(k,)) for k in range(5)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+
+            merged = trace.MemorySink()
+            with trace.tracing(merged):
+                for k in sorted(captured):  # the deterministic re-emit
+                    for record in captured[k]:
+                        trace.emit_record(record)
+            runs.append(
+                [(r["name"], r["depth"]) for r in merged.records]
+            )
+
+        assert runs[0] == runs[1] == runs[2]
+        expected = []
+        for k in range(5):
+            # MemorySink records close-order: the inner span exits first.
+            expected.extend([(f"job{k}.sub", 1), (f"job{k}", 0)])
+        assert runs[0] == expected

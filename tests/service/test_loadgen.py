@@ -113,3 +113,55 @@ class TestRunLoadAgainstServer:
         assert stats.rejected > 0
         assert stats.ok + stats.rejected == 15
         assert stats.reject_rate > 0.5
+
+
+class TestSloSamples:
+    def _stats(self):
+        from repro.service.loadgen import PassStats
+
+        return PassStats(pass_no=1, requests=0, elapsed_s=1.0)
+
+    def test_record_classifies_into_the_shared_schema(self):
+        stats = self._stats()
+        stats.record(200, {}, 0.01)  # latency sample
+        stats.record(429, {"reason": "x"}, 0.002)  # excluded: policy
+        stats.record(500, {}, 0.1)  # availability failure, no latency
+        stats.record(400, {}, 0.005)  # client error: ok, no latency
+        stats.record_transport_error()  # availability failure
+        assert stats.slo_samples == [
+            (True, 0.01),
+            (False, None),
+            (True, None),
+            (False, None),
+        ]
+        assert stats.rejected == 1
+        assert stats.transport_errors == 1
+        assert len(stats.latencies_s) == 4  # 429 still times the wire
+
+    def test_slo_results_aggregate_across_passes(self):
+        from repro.service.loadgen import slo_results
+
+        first, second = self._stats(), self._stats()
+        first.elapsed_s, second.elapsed_s = 2.0, 3.0
+        first.record(200, {}, 0.01)
+        second.record(200, {}, 0.9)  # blows the 500 ms threshold
+        second.record(500, {}, 0.1)
+        results = slo_results([first, second])
+        by_name = {r.objective.name: r for r in results}
+        lat = by_name["latency_p99"]
+        assert (lat.samples, lat.good) == (2, 1)
+        assert lat.window_s == pytest.approx(5.0)
+        avail = by_name["availability"]
+        assert (avail.samples, avail.good) == (3, 2)
+
+    def test_custom_objectives(self):
+        from repro.obs.runtime.slo import SloObjective
+        from repro.service.loadgen import slo_results
+
+        stats = self._stats()
+        stats.record(200, {}, 0.2)
+        (res,) = slo_results(
+            [stats],
+            (SloObjective("lat", "latency", target=0.5, threshold_s=0.5),),
+        )
+        assert res.ok

@@ -1,6 +1,7 @@
 """Exact-value tests for the /metrics latency histogram quantiles."""
 
 import math
+import threading
 
 import pytest
 
@@ -116,3 +117,104 @@ class TestDumps:
         assert math.isfinite(
             dump["endpoints"]["/healthz"]["latency"]["p99_ms"]
         )
+
+
+class TestThreadSafety:
+    """Regression wall for the observe/read/merge races.
+
+    ``observe`` runs on the asyncio loop thread while the sampler task,
+    the ThreadedServer test harness, and future shard aggregation read
+    and merge concurrently — every sample must be accounted for.
+    """
+
+    def test_concurrent_observers_lose_no_samples(self):
+        metrics = ServiceMetrics()
+        threads, per_thread = 8, 500
+        barrier = threading.Barrier(threads)
+
+        def hammer(k):
+            barrier.wait()
+            for i in range(per_thread):
+                metrics.observe("/solve", 200 if i % 3 else 429, 0.001 * k)
+
+        workers = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert metrics.total_requests == threads * per_thread
+        dump = metrics.as_dict()
+        statuses = dump["endpoints"]["/solve"]["statuses"]
+        assert sum(statuses.values()) == threads * per_thread
+        assert dump["endpoints"]["/solve"]["latency"]["count"] == (
+            threads * per_thread
+        )
+
+    def test_concurrent_reads_during_writes_stay_consistent(self):
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                dump = metrics.as_dict()
+                for endpoint, entry in dump["endpoints"].items():
+                    # statuses and the histogram are snapshotted under
+                    # the same locks, so the totals can never disagree.
+                    if sum(entry["statuses"].values()) != entry["latency"][
+                        "count"
+                    ]:
+                        failures.append(endpoint)
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        for i in range(2000):
+            metrics.observe("/solve", 200, 1e-3)
+        stop.set()
+        watcher.join()
+        assert not failures
+
+    def test_merge_sums_shards_and_keeps_earliest_start(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.started_at, b.started_at = 100.0, 50.0
+        a.observe("/solve", 200, 0.01)
+        a.observe("/solve", 429, 0.001)
+        b.observe("/solve", 200, 0.02)
+        b.observe("/healthz", 200, 0.001)
+        a.merge(b)
+        dump = a.as_dict()
+        assert a.total_requests == 4
+        assert a.started_at == 50.0
+        assert dump["endpoints"]["/solve"]["statuses"] == {"200": 2, "429": 1}
+        assert dump["endpoints"]["/solve"]["latency"]["count"] == 3
+        assert "/healthz" in dump["endpoints"]  # unseen endpoint created
+        # the source shard is untouched
+        assert b.total_requests == 2
+
+    def test_histogram_merge_is_exact(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (1e-4, 2e-3, 0.5):
+            a.observe(v)
+        for v in (1e-4, 70.0):
+            b.observe(v)
+        a.merge(b)
+        counts, count, sum_s = a.snapshot()
+        assert count == 5
+        assert sum_s == pytest.approx(1e-4 + 2e-3 + 0.5 + 1e-4 + 70.0)
+        assert sum(counts) == 5
+
+    def test_endpoint_series_rows_are_stable_snapshots(self):
+        metrics = ServiceMetrics()
+        metrics.observe("/solve", 200, 0.01)
+        metrics.observe("/healthz", 200, 0.001)
+        rows = metrics.endpoint_series()
+        assert [row[0] for row in rows] == ["/healthz", "/solve"]  # sorted
+        endpoint, statuses, counts, count, sum_s = rows[1]
+        assert statuses == {200: 1}
+        assert count == 1 and sum(counts) == 1
+        assert len(counts) == len(ServiceMetrics.bucket_bounds())
+        # mutating the returned row must not touch the live metrics
+        counts[0] += 100
+        assert metrics.endpoint_series()[1][2] != counts

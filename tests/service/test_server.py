@@ -83,7 +83,7 @@ class TestSolvePath:
                 svc._draining = False
 
                 status, metrics = await http_json(
-                    host, port, "GET", "/metrics"
+                    host, port, "GET", "/metrics?format=json"
                 )
                 assert status == 200
                 counters = metrics["counters"]
@@ -258,7 +258,7 @@ class TestRejection:
                 assert statuses == [429] * 6
 
                 status, metrics = await http_json(
-                    host, port, "GET", "/metrics"
+                    host, port, "GET", "/metrics?format=json"
                 )
                 counters = metrics["counters"]
                 assert counters["service.solve.total"] == 6

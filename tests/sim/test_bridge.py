@@ -154,3 +154,42 @@ class TestPairedSummary:
         _, entries = load_trace(path)
         with pytest.raises(ValueError, match="served outcomes"):
             paired_summary(report, entries, [])
+
+
+class TestSloDrift:
+    def test_drift_notes_compare_sim_and_served_attainment(
+        self, tmp_path, simulated
+    ):
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        _, entries = load_trace(path)
+        served = []
+        for entry, decision in zip(entries, report.decisions):
+            served.append((entry["req_id"], 200 if decision.admitted else 429,
+                           "admitted" if decision.admitted else "policy"))
+        # a perfectly fast, perfectly available served side
+        samples = [(True, 0.001) for _, status, _ in served if status == 200]
+        table = paired_summary(
+            report,
+            entries,
+            served,
+            served_samples=samples,
+            served_window_s=1.0,
+        )
+        drift = [n for n in table.notes if n.startswith("SLO drift")]
+        assert len(drift) == 2  # one note per default objective
+        assert any("latency_p99" in n for n in drift)
+        assert any("availability" in n for n in drift)
+        for note in drift:
+            assert "sim=" in note and "served=" in note and "delta=" in note
+
+    def test_no_samples_no_drift_notes(self, tmp_path, simulated):
+        arrivals, report = simulated
+        path = write_trace(tmp_path / "t.jsonl", arrivals, report)
+        _, entries = load_trace(path)
+        served = [
+            (e["req_id"], 200 if d.admitted else 429, "x")
+            for e, d in zip(entries, report.decisions)
+        ]
+        table = paired_summary(report, entries, served)
+        assert not any(n.startswith("SLO drift") for n in table.notes)

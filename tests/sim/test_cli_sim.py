@@ -132,3 +132,43 @@ class TestReplayArguments:
         code = main(["bench-serve", "--replay", str(bare)])
         assert code == 2
         assert "simulation parameters" in capsys.readouterr().err
+
+
+class TestSimSloOutput:
+    def test_table_mode_prints_grep_able_slo_lines(self, capsys):
+        code, out, _ = run_sim(capsys)
+        assert code == 0
+        slo_lines = [l for l in out.splitlines() if l.startswith("SLO ")]
+        assert len(slo_lines) == 2
+        assert any(l.startswith("SLO latency_p99 ") for l in slo_lines)
+        assert any(l.startswith("SLO availability ") for l in slo_lines)
+        for line in slo_lines:
+            assert line.endswith(("PASS", "FAIL"))
+
+    def test_json_mode_carries_the_same_schema(self, capsys):
+        from repro.obs.runtime import parse_slo_line
+
+        code, out, _ = run_sim(capsys, "--json")
+        assert code == 0
+        line = next(l for l in out.splitlines() if l.startswith("{"))
+        slo = json.loads(line)["slo"]
+        assert [row["objective"] for row in slo] == [
+            "latency_p99",
+            "availability",
+        ]
+        for row in slo:
+            assert set(row) >= {
+                "kind", "target", "window_s", "samples", "good",
+                "attainment", "burn_rate", "ok",
+            }
+        # the text lines and the JSON rows agree
+        _, text_out, _ = run_sim(capsys)
+        parsed = [
+            parse_slo_line(l)
+            for l in text_out.splitlines()
+            if l.startswith("SLO ")
+        ]
+        for text_row, json_row in zip(parsed, slo):
+            assert text_row["objective"] == json_row["objective"]
+            assert text_row["samples"] == json_row["samples"]
+            assert text_row["ok"] == json_row["ok"]

@@ -293,3 +293,59 @@ class TestValidation:
                 rate_units_per_s=1,
                 context_switch_s=-1,
             )
+
+
+class TestSloSummary:
+    def test_samples_mirror_the_serving_convention(self):
+        # One completed-on-time, one completed-late (deadline miss),
+        # one rejected: the rejection contributes no sample, the miss
+        # is an availability failure that still carries its latency.
+        fast = one_arrival(time=0.0, n=8, deadline_s=10.0)
+        late = Arrival(1, 0.0, 8, "greedy_marginal", 0.1, 1.0, 1e-6, 3)
+        report = simulate(
+            (fast, late), cores=1, deadline_check=False
+        )
+        assert report.completed == 2 and len(report.misses) == 1
+        samples = report.slo_samples()
+        assert len(samples) == 2
+        oks = sorted(ok for ok, _ in samples)
+        assert oks == [False, True]
+        assert all(latency is not None for _, latency in samples)
+
+    def test_rejected_and_shed_contribute_no_samples(self):
+        a = one_arrival(time=0.0)
+        report = simulate((a,), policy=RejectAll())
+        assert report.rejected == 1
+        assert report.slo_samples() == []
+        # an empty window consumes no budget, same as the server
+        for res in report.slo_summary():
+            assert res.attainment == 1.0
+            assert res.ok
+
+    def test_summary_schema_matches_the_served_side(self):
+        arrivals = make_arrivals("bursty", 60, 7)
+        report = simulate(arrivals)
+        results = report.slo_summary()
+        names = [r.objective.name for r in results]
+        assert names == ["latency_p99", "availability"]
+        for res in results:
+            d = res.as_dict()
+            assert d["window_s"] == pytest.approx(report.makespan)
+            assert 0.0 <= d["attainment"] <= 1.0
+            assert d["burn_rate"] >= 0.0
+        # deterministic: same arrivals, same summary
+        again = simulate(arrivals).slo_summary()
+        assert [r.as_dict() for r in results] == [r.as_dict() for r in again]
+
+    def test_custom_objectives_flow_through(self):
+        from repro.obs.runtime.slo import SloObjective
+
+        arrivals = make_arrivals("light", 20, 3)
+        report = simulate(arrivals)
+        strict = SloObjective(
+            "resp_tight", "latency", target=0.5, threshold_s=1e-12
+        )
+        (res,) = report.slo_summary([strict])
+        assert res.objective.name == "resp_tight"
+        assert res.samples == report.completed
+        assert res.good == 0  # nothing responds in a picosecond

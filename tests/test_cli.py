@@ -373,3 +373,62 @@ class TestVerifyKernelMatrix:
         out = capsys.readouterr().out
         for name in kernel_names():
             assert f"[kernel={name}]" in out
+
+
+class TestStatsErrors:
+    def test_missing_file_is_one_line_exit_2(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "no such file" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_json_is_one_line_exit_2(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"experiment": "x", truncated')
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot digest" in err
+        assert "Traceback" not in err
+
+    def test_manifest_missing_keys_is_one_line_exit_2(self, capsys, tmp_path):
+        path = tmp_path / "hollow.json"
+        path.write_text('{"experiment": "x"}')  # no trials/params/...
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot digest" in err
+        assert "Traceback" not in err
+
+    def test_wrong_shaped_records_are_one_line_exit_2(self, capsys, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('[1, 2, 3]\n"just a string"\n')
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot digest" in err
+        assert "Traceback" not in err
+
+
+class TestTopCommand:
+    def test_unreachable_server_is_one_line_exit_2(self, capsys):
+        assert main(["top", "--host", "127.0.0.1", "--port", "1",
+                     "--once"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot scrape" in err
+        assert "Traceback" not in err
+
+    def test_bad_interval_exits_2(self, capsys):
+        assert main(["top", "--interval", "0", "--once"]) == 2
+        assert "--interval" in capsys.readouterr().err
+
+
+class TestServeFlagValidation:
+    def test_bad_sample_interval_exits_2(self, capsys):
+        assert main(["serve", "--sample-interval", "0"]) == 2
+        assert "--sample-interval" in capsys.readouterr().err
+
+    def test_bad_slo_target_exits_2(self, capsys):
+        assert main(["serve", "--slo-latency-target", "1.5"]) == 2
+        assert "bad SLO configuration" in capsys.readouterr().err
+
+    def test_bad_slo_threshold_exits_2(self, capsys):
+        assert main(["serve", "--slo-latency-ms", "0"]) == 2
+        assert "bad SLO configuration" in capsys.readouterr().err
