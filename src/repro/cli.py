@@ -353,6 +353,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result-cache LRU bound",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run an N-shard fleet behind a front-door router "
+        "(per-shard admission leases from one fleet-wide budget; "
+        "shards share the disk cache tier)",
+    )
+    serve.add_argument(
+        "--shard-id",
+        default=None,
+        metavar="ID",
+        help="serve as one shard of a multi-process fleet (request ids "
+        "gain an s<ID>- prefix; combine with --budget-file/--cache-dir)",
+    )
+    serve.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="UNITS",
+        help="fleet-wide admission budget in work units (default with "
+        "--shards: shards x --capacity when --capacity is given)",
+    )
+    serve.add_argument(
+        "--budget-file",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="share the budget ledger across processes through FILE "
+        "(file-locked JSON; requires --budget)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="disk tier for the result cache (default with --shards: "
+        "results/.cache/service; single server: disabled)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="disk-tier byte budget (LRU-by-mtime pruning)",
+    )
+    serve.add_argument(
+        "--reuseport",
+        action="store_true",
+        help="with --shards and SO_REUSEPORT support: additionally bind "
+        "every shard to the kernel-balanced data port <port>+1",
+    )
+    serve.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -636,6 +689,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="timed replay: divide trace timestamps by this factor",
     )
+    bench.add_argument(
+        "--shards",
+        default=None,
+        metavar="N[,N...]",
+        help="saturation mode: spin in-process fleets of these sizes "
+        "and sweep offered load (ignores --host/--port; writes --out)",
+    )
+    bench.add_argument(
+        "--factors",
+        default="0.5,1,2",
+        metavar="F[,F...]",
+        help="saturation mode: offered-load multiples of the probed "
+        "capacity (default 0.5,1,2)",
+    )
+    bench.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="saturation mode: target wall seconds per sweep point",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="saturation mode: worker processes for the fleet pool",
+    )
+    bench.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="saturation mode: per-shard admission window (bounds the "
+        "backlog an admitted request waits behind)",
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results/BENCH_serve.json"),
+        metavar="FILE",
+        help="saturation mode: write the JSON report here",
+    )
     return parser
 
 
@@ -851,6 +947,19 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"bad SLO configuration: {exc}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.shard_id is not None:
+        print(
+            "--shards and --shard-id are mutually exclusive "
+            "(fleet parent vs fleet member)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget_file is not None and args.budget is None:
+        print("--budget-file requires --budget", file=sys.stderr)
+        return 2
     policy = policy_from_spec(
         args.policy, theta=args.theta, reserve=args.reserve
     )
@@ -861,7 +970,7 @@ def _cmd_serve(args) -> int:
 
             args.access_log.parent.mkdir(parents=True, exist_ok=True)
             access_sink = stack.enter_context(JsonlSink(args.access_log))
-        service = SolveService(
+        service_kwargs = dict(
             policy=policy,
             workers=args.workers,
             capacity_units=args.capacity,
@@ -873,8 +982,105 @@ def _cmd_serve(args) -> int:
             slos=slos,
             access_log=access_sink,
             sample_interval_s=args.sample_interval,
+            cache_max_bytes=args.cache_max_bytes,
+        )
+        if args.shards > 1:
+            return _serve_fleet(args, service_kwargs)
+        budget = None
+        if args.budget_file is not None:
+            from repro.service.shard import FileBudget
+
+            # A restarting member attaches to the live ledger; its own
+            # stale leases are forfeited inside SolveService.start.
+            budget = FileBudget(args.budget_file, args.budget, reset=False)
+        elif args.budget is not None:
+            from repro.service.shard import GlobalBudget
+
+            budget = GlobalBudget(args.budget)
+        service = SolveService(
+            shard_id=args.shard_id,
+            budget=budget,
+            cache_dir=args.cache_dir,
+            **service_kwargs,
         )
         return _serve_forever(args, service)
+
+
+def _serve_fleet(args, service_kwargs) -> int:
+    """``repro serve --shards N``: a LocalFleet behind the router."""
+    import asyncio
+    import signal
+
+    from repro.service.cache import default_service_cache_dir
+    from repro.service.shard import (
+        FileBudget,
+        LocalFleet,
+        reuseport_available,
+    )
+
+    budget = None
+    if args.budget_file is not None:
+        budget = FileBudget(args.budget_file, args.budget, reset=True)
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = default_service_cache_dir()
+    fleet = LocalFleet(
+        shards=args.shards,
+        budget_units=args.budget,
+        budget=budget,
+        cache_dir=cache_dir,
+        **service_kwargs,
+    )
+    reuseport_port = None
+    if args.reuseport:
+        if reuseport_available():
+            reuseport_port = args.port + 1 if args.port else 0
+        else:  # pragma: no cover - non-SO_REUSEPORT platform
+            print(
+                "repro serve: SO_REUSEPORT unavailable; "
+                "using the round-robin proxy only",
+                file=sys.stderr,
+            )
+
+    async def _run() -> None:
+        host, port = await fleet.start(
+            args.host, args.port, reuseport_port=reuseport_port
+        )
+        budget_units = (
+            fleet.budget.budget_units if fleet.budget is not None else None
+        )
+        print(
+            f"repro serve: fleet of {args.shards} shards on "
+            f"http://{host}:{port} "
+            f"(budget={'none' if budget_units is None else f'{budget_units:.0f} units'}, "
+            f"cache_dir={cache_dir}"
+            + (
+                f", reuseport_port={fleet.reuseport_port}"
+                if fleet.reuseport_port is not None
+                else ""
+            )
+            + ")",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        await stop.wait()
+        print("repro serve: draining the fleet ...", flush=True)
+        await fleet.stop(drain=True)
+
+    with _maybe_tracing(args.trace_out):
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:  # pragma: no cover - non-posix fallback
+            pass
+    if args.trace_out is not None:
+        print(f"(trace written to {args.trace_out})")
+    return 0
 
 
 def _serve_forever(args, service) -> int:
@@ -1167,6 +1373,8 @@ def _cmd_bench_serve(args) -> int:
 
     if args.replay is not None:
         return _cmd_replay(args)
+    if args.shards is not None:
+        return _cmd_bench_saturation(args)
 
     if args.requests < 1:
         print(
@@ -1230,6 +1438,68 @@ def _cmd_bench_serve(args) -> int:
         for res in slo:
             print(format_slo_line(res))
     return 1 if failed else 0
+
+
+def _cmd_bench_saturation(args) -> int:
+    """``bench-serve --shards``: the fleet saturation sweep."""
+    try:
+        shard_counts = tuple(
+            int(part) for part in str(args.shards).split(",") if part
+        )
+        factors = tuple(
+            float(part) for part in str(args.factors).split(",") if part
+        )
+    except ValueError:
+        print(
+            f"--shards/--factors must be comma-separated numbers, got "
+            f"{args.shards!r} / {args.factors!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not shard_counts or any(n < 1 for n in shard_counts):
+        print(f"--shards entries must be >= 1, got {args.shards!r}",
+              file=sys.stderr)
+        return 2
+    if not factors or any(not f > 0 for f in factors):
+        print(f"--factors entries must be > 0, got {args.factors!r}",
+              file=sys.stderr)
+        return 2
+    if not args.duration > 0:
+        print(f"--duration must be > 0, got {args.duration}",
+              file=sys.stderr)
+        return 2
+    try:
+        import numpy  # noqa: F401 - the seeded stream needs it
+    except ImportError:
+        print(
+            "bench-serve --shards needs numpy (the seeded request "
+            "stream is numpy-drawn)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.service.shard.bench import run_saturation
+
+    report = run_saturation(
+        shard_counts=shard_counts,
+        factors=factors,
+        seed=args.seed,
+        duration_s=args.duration,
+        workers=args.workers,
+        window_s=args.window,
+        concurrency=args.concurrency,
+        out=args.out,
+    )
+    broken = [
+        point for point in report["points"]
+        if not point["invariant"]["holds"]
+    ]
+    if broken:
+        print(
+            f"fleet counter invariant BROKEN at {len(broken)} point(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 @contextlib.contextmanager

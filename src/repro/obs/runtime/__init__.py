@@ -31,6 +31,7 @@ from repro.obs.runtime.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    relabel_snapshot,
 )
 from repro.obs.runtime.prometheus import Family, Sample, render
 from repro.obs.runtime.slo import (
@@ -60,6 +61,7 @@ __all__ = [
     "fetch_snapshot",
     "format_slo_line",
     "parse_slo_line",
+    "relabel_snapshot",
     "render",
     "render_frame",
     "run_top",

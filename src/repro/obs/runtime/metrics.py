@@ -36,6 +36,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "relabel_snapshot",
 ]
 
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -292,6 +293,38 @@ class Histogram(_Metric):
         return Family(
             name=self.name, kind=self.kind, help=self.help, samples=samples
         )
+
+
+def relabel_snapshot(
+    snapshot: Mapping[str, Any], **labels: str
+) -> dict[str, Any]:
+    """A copy of *snapshot* with extra labels prepended to every series.
+
+    The shard aggregation primitive: the router stamps each worker's
+    registry snapshot with ``shard="0"``, ``shard="1"``, ... before
+    merging, so per-shard series stay disjoint in the fleet registry and
+    summed families (``merge`` always sums) decompose exactly into their
+    per-shard parts.  Raises on a label name the snapshot already uses —
+    silently overwriting a shard's own labels would corrupt the sum.
+    """
+    extra = _check_labelnames(labels)
+    out: dict[str, Any] = {}
+    for name, entry in snapshot.items():
+        labelnames = tuple(entry["labelnames"])
+        clash = set(extra) & set(labelnames)
+        if clash:
+            raise ValueError(
+                f"{name}: relabel collides with existing labels "
+                f"{sorted(clash)!r}"
+            )
+        new_entry = dict(entry)
+        new_entry["labelnames"] = list(extra) + list(labelnames)
+        new_entry["series"] = [
+            {**row, "labels": {**labels, **row["labels"]}}
+            for row in entry["series"]
+        ]
+        out[name] = new_entry
+    return out
 
 
 class MetricsRegistry:

@@ -10,13 +10,20 @@ persistent worker pool shared with the experiment runner, and repeated
 instances are answered from a content-addressed cache keyed like the
 runner's on-disk cache.
 
+At fleet scale (``repro serve --shards N``) the same admission stays
+*global*: per-shard controllers lease capacity from one fleet-wide
+budget ledger, shards share a content-addressed disk cache tier, and a
+front-door router merges per-shard telemetry into one ``shard``-labeled
+exposition — see :mod:`repro.service.shard`.
+
 Entry points: ``repro serve`` (the server) and ``repro bench-serve``
-(the seeded open/closed-loop load generator).  See ``docs/service.md``.
+(the seeded open/closed-loop load generator; ``--shards`` runs the
+fleet saturation sweep).  See ``docs/service.md``.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.batching import BatchEntry, MicroBatcher
-from repro.service.cache import ResultCache
+from repro.service.cache import DiskTier, ResultCache
 from repro.service.loadgen import PassStats, run_load
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.models import (
@@ -27,18 +34,29 @@ from repro.service.models import (
     parse_solve_request,
 )
 from repro.service.server import SolveService
+from repro.service.shard import (
+    FileBudget,
+    GlobalBudget,
+    LocalFleet,
+    ShardRouter,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "BatchEntry",
+    "DiskTier",
+    "FileBudget",
+    "GlobalBudget",
     "LatencyHistogram",
+    "LocalFleet",
     "MicroBatcher",
     "PassStats",
     "RequestError",
     "ResultCache",
     "SOLVER_NAMES",
     "ServiceMetrics",
+    "ShardRouter",
     "SolveRequest",
     "SolveService",
     "estimate_cost",

@@ -26,6 +26,13 @@ When a request does not fit at all, the controller applies the paper's
 dispatched — requests with strictly lower density than the newcomer are
 evicted cheapest-density-first until it fits, but only when the evicted
 penalty is less than the newcomer's.
+
+Sharded serving adds one more gate: with a *budget* ledger attached
+(:mod:`repro.service.shard.budget`), every admission leases the
+request's units from the fleet-wide budget and every release returns
+them, so N shards together never admit more than one paper-faithful
+global capacity — a refused lease is a deterministic 429 with reason
+``"budget"``.
 """
 
 from __future__ import annotations
@@ -54,7 +61,9 @@ class AdmissionDecision:
         ``"admitted"``, or why not: ``"policy"`` (the online policy
         declined), ``"capacity"`` (does not fit and shedding could not
         profitably make room), ``"deadline"`` (estimated work cannot
-        finish inside the client's budget even on an idle pool).
+        finish inside the client's budget even on an idle pool),
+        ``"budget"`` (the fleet-wide capacity ledger refused the lease
+        — other shards hold the remaining global headroom).
     shed:
         Request ids evicted from the queue to make room (penalty-density
         order); the server must fail their futures with 429.
@@ -85,6 +94,18 @@ class AdmissionController:
     rate_units_per_s:
         Measured single-request service rate, used for the per-request
         deadline check; ``None`` disables that check.
+    budget:
+        Optional fleet-wide capacity ledger (anything with the
+        ``lease``/``release``/``exchange`` contract of
+        :class:`repro.service.shard.budget.GlobalBudget`).  Admitted
+        units are leased under *shard_id* and returned on release/shed.
+    shard_id:
+        This controller's identity in the budget ledger.
+    counters:
+        Optional :class:`repro.obs.counters.Counters` sink for the
+        ``service.admission.*`` counters; defaults to the ambient
+        registry (in-process fleets pass their own so per-shard
+        counters stay attributed).
     """
 
     def __init__(
@@ -93,6 +114,9 @@ class AdmissionController:
         *,
         capacity_units: float,
         rate_units_per_s: float | None = None,
+        budget=None,
+        shard_id: str = "0",
+        counters: obs_counters.Counters | None = None,
     ) -> None:
         if not capacity_units > 0:
             raise ValueError(
@@ -103,6 +127,9 @@ class AdmissionController:
         self.rate_units_per_s = (
             float(rate_units_per_s) if rate_units_per_s else None
         )
+        self.budget = budget
+        self.shard_id = str(shard_id)
+        self._counters = counters
         # Capacity normalised to 1.0: deadline=1 and s_max=1 make
         # max_workload exactly 1, so backlog fractions are workloads.
         self._energy_fn = ContinuousEnergyFunction(
@@ -114,6 +141,19 @@ class AdmissionController:
         self.rejected_total = 0
         self.shed_total = 0
         self.completed_units = 0.0  # released work, in operation units
+
+    def _emit(self, prefix: str, **values: float) -> None:
+        if self._counters is not None:
+            for key, value in values.items():
+                self._counters.add(f"{prefix}.{key}", value)
+        else:
+            obs_counters.emit(prefix, **values)
+
+    def _bump(self, name: str) -> None:
+        if self._counters is not None:
+            self._counters.add(name)
+        else:
+            obs_counters.add(name)
 
     # -- accounting -----------------------------------------------------
 
@@ -152,6 +192,10 @@ class AdmissionController:
         task = self._task_for(req_id, units, weight)
         if fits(self._workload + task.cycles, 1.0):
             if self.policy.admit(task, self._workload, self._energy_fn):
+                if self.budget is not None and not self.budget.lease(
+                    self.shard_id, task.cycles * self.capacity_units
+                ):
+                    return self._reject("budget")
                 return self._admit(task)
             return self._reject("policy")
         victims = self._shed_plan(task)
@@ -160,12 +204,19 @@ class AdmissionController:
         freed = sum(self._entries[v].task.cycles for v in victims)
         if not self.policy.admit(task, self._workload - freed, self._energy_fn):
             return self._reject("policy")
+        if self.budget is not None and not self.budget.exchange(
+            self.shard_id,
+            freed * self.capacity_units,
+            task.cycles * self.capacity_units,
+        ):
+            # The exchange rolled back; the victims stay queued.
+            return self._reject("budget")
         for victim in victims:
             del self._entries[victim]
         self._workload = max(self._workload - freed, 0.0)
         self.shed_total += len(victims)
         decision = self._admit(task, shed=tuple(victims))
-        obs_counters.emit("service.admission", shed=len(victims))
+        self._emit("service.admission", shed=len(victims))
         return decision
 
     def _admit(
@@ -174,13 +225,13 @@ class AdmissionController:
         self._entries[task.name] = _Entry(task=task)
         self._workload += task.cycles
         self.admitted_total += 1
-        obs_counters.emit("service.admission", offered=1, admitted=1)
+        self._emit("service.admission", offered=1, admitted=1)
         return AdmissionDecision(admitted=True, reason="admitted", shed=shed)
 
     def _reject(self, reason: str) -> AdmissionDecision:
         self.rejected_total += 1
-        obs_counters.emit("service.admission", offered=1, rejected=1)
-        obs_counters.add(f"service.admission.rejected_{reason}")
+        self._emit("service.admission", offered=1, rejected=1)
+        self._bump(f"service.admission.rejected_{reason}")
         return AdmissionDecision(admitted=False, reason=reason)
 
     def _shed_plan(self, task: FrameTask) -> list[str] | None:
@@ -229,12 +280,15 @@ class AdmissionController:
         """
         entry = self._entries.pop(req_id, None)
         if entry is not None:
+            units = entry.task.cycles * self.capacity_units
             self._workload = max(self._workload - entry.task.cycles, 0.0)
-            self.completed_units += entry.task.cycles * self.capacity_units
+            self.completed_units += units
+            if self.budget is not None:
+                self.budget.release(self.shard_id, units)
 
     def stats(self) -> dict:
         """JSON-ready snapshot for ``/metrics``."""
-        return {
+        out = {
             "policy": self.policy.name,
             "capacity_units": self.capacity_units,
             "rate_units_per_s": self.rate_units_per_s,
@@ -245,3 +299,7 @@ class AdmissionController:
             "shed": self.shed_total,
             "completed_units": self.completed_units,
         }
+        if self.budget is not None:
+            out["shard"] = self.shard_id
+            out["budget"] = self.budget.stats()
+        return out

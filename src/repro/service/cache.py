@@ -6,33 +6,185 @@ two byte-different but content-identical instance payloads hash alike,
 and any edit to the ``repro`` sources invalidates served results the
 same way it invalidates experiment tables.
 
-Entries live in memory for the server's lifetime (results are small
-JSON dicts; a bounded LRU keeps the footprint flat under sustained
-unique traffic).  Hits and misses are reported both through the
-instance counters (``/metrics``) and the :mod:`repro.obs` registry.
+Two tiers:
+
+* a bounded in-memory LRU (results are small JSON dicts; the bound
+  keeps the footprint flat under sustained unique traffic), and
+* an optional content-addressed **disk tier** (one JSON file per key
+  under ``results/.cache/service/`` by default) shared between shards:
+  entries are location-independent by key, so a fleet member hits
+  results any other shard solved.  Writes are atomic (temp file +
+  rename), a corrupted or truncated entry is a miss — never a crash —
+  and an optional byte budget prunes least-recently-used entries by
+  mtime (hits ``touch`` their entry), all matching
+  :mod:`repro.runner.cache` semantics.
+
+Hits and misses are reported both through the instance counters
+(``/metrics``) and the :mod:`repro.obs` registry; disk hits are broken
+out separately so the cross-shard test wall can pin them.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
+import os
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any
 
 from repro.obs import counters as obs_counters
-from repro.runner.cache import cache_key
+from repro.runner.cache import cache_key, default_cache_dir
 
-__all__ = ["ResultCache"]
+__all__ = ["DiskTier", "ResultCache", "default_service_cache_dir"]
+
+#: Disk-entry schema version (bump to invalidate existing entries).
+DISK_FORMAT = 1
+
+
+def default_service_cache_dir() -> Path:
+    """``<runner cache dir>/service`` — follows ``REPRO_CACHE_DIR``."""
+    return default_cache_dir() / "service"
+
+
+class DiskTier:
+    """Content-addressed solution files shared between shards.
+
+    Every entry is ``<dir>/<key>.json`` holding ``{"format", "key",
+    "solution"}``; the embedded key is checked on read so a renamed or
+    half-copied file can never serve the wrong solution.  All failure
+    modes (missing file, torn write, truncation, bad JSON, wrong
+    schema) read as a miss.
+    """
+
+    def __init__(
+        self, directory: Path | str, *, max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored solution, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+            if entry["format"] != DISK_FORMAT or entry["key"] != key:
+                return None
+            solution = entry["solution"]
+            if not isinstance(solution, dict):
+                return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        # Touch for LRU-by-mtime pruning: a hit makes the entry young.
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        return solution
+
+    def put(self, key: str, solution: dict) -> None:
+        """Store atomically (temp file + rename), then prune to budget."""
+        path = self._path(key)
+        entry = {"format": DISK_FORMAT, "key": key, "solution": solution}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+            tmp.replace(path)
+        except OSError:
+            # Disk trouble degrades the tier, never the request path.
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return
+        if self.max_bytes is not None:
+            self.prune()
+
+    def prune(self) -> int:
+        """Evict oldest-mtime entries until total bytes fit the budget.
+
+        Returns the number of evicted entries.  Concurrently vanishing
+        files (another shard pruning the shared tier) are skipped.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+            total -= size
+            evicted += 1
+        return evicted
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot (entry count and resident bytes)."""
+        count = 0
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return {
+            "dir": str(self.directory),
+            "entries": count,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+        }
 
 
 class ResultCache:
-    """Bounded in-memory LRU over solved request results."""
+    """Bounded in-memory LRU, optionally backed by a shared disk tier.
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    With a disk tier attached, a memory miss falls through to disk; a
+    disk hit is promoted into memory (and counted separately, so the
+    cross-shard tests can tell tiers apart), and every put lands in
+    both tiers.  ``hits``/``misses`` keep their original meaning —
+    memory hits and overall misses — so the pinned single-process
+    accounting is unchanged.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        *,
+        disk_dir: Path | str | None = None,
+        disk_max_bytes: int | None = None,
+        counters: obs_counters.Counters | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._data: OrderedDict[str, dict] = OrderedDict()
+        self._counters = counters
+        self.disk = (
+            DiskTier(disk_dir, max_bytes=disk_max_bytes)
+            if disk_dir is not None
+            else None
+        )
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0
+
+    def _emit(self, **values: float) -> None:
+        if self._counters is not None:
+            for name, value in values.items():
+                self._counters.add(f"service.cache.{name}", value)
+        else:
+            obs_counters.emit("service.cache", **values)
 
     @staticmethod
     def key(instance: dict[str, Any], algorithm: str, eps: float) -> str:
@@ -44,17 +196,29 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """The cached solution dict, or ``None`` (counted either way)."""
         entry = self._data.get(key)
-        if entry is None:
-            self.misses += 1
-            obs_counters.emit("service.cache", misses=1)
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        obs_counters.emit("service.cache", hits=1)
-        return entry
+        if entry is not None:
+            self._data.move_to_end(key)
+            self.hits += 1
+            self._emit(hits=1)
+            return entry
+        if self.disk is not None:
+            solution = self.disk.get(key)
+            if solution is not None:
+                self._promote(key, solution)
+                self.disk_hits += 1
+                self._emit(disk_hits=1)
+                return solution
+        self.misses += 1
+        self._emit(misses=1)
+        return None
 
     def put(self, key: str, solution: dict) -> None:
-        """Store *solution* under *key*, evicting the LRU on overflow."""
+        """Store *solution* in both tiers, evicting the LRU on overflow."""
+        self._promote(key, solution)
+        if self.disk is not None:
+            self.disk.put(key, solution)
+
+    def _promote(self, key: str, solution: dict) -> None:
         self._data[key] = solution
         self._data.move_to_end(key)
         while len(self._data) > self.max_entries:
@@ -65,9 +229,13 @@ class ResultCache:
 
     def stats(self) -> dict:
         """JSON-ready snapshot for ``/metrics``."""
-        return {
+        out = {
             "entries": len(self._data),
             "max_entries": self.max_entries,
             "hits": self.hits,
             "misses": self.misses,
         }
+        if self.disk is not None:
+            out["disk_hits"] = self.disk_hits
+            out["disk"] = self.disk.stats()
+        return out

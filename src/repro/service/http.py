@@ -1,0 +1,197 @@
+"""Minimal shared HTTP/1.1 plumbing for the serving layer.
+
+One implementation of the wire format used by the solve server
+(:mod:`repro.service.server`), the shard router
+(:mod:`repro.service.shard.router`), and the tiny client in
+:mod:`repro.service.loadgen` — HTTP/1.1 with JSON bodies, explicit
+``Content-Length``, and keep-alive.  It is deliberately not a general
+web server or client; it exists so the server, the router's proxy path,
+the load generator, and the tests all speak the same dialect without
+external dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.runtime.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "read_request",
+    "read_response",
+    "send_request",
+    "write_response",
+]
+
+#: Largest accepted request head+body (instances are small; this is a
+#: safety valve, not a tuning knob).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_JSON_CONTENT_TYPE = "application/json"
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Malformed HTTP input; the connection is answered and closed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """One request off the wire: ``(method, path, headers, body)``.
+
+    ``None`` means clean EOF (the peer closed between requests);
+    malformed input raises :class:`HttpError` with the status to
+    answer before closing.  Header names come back lower-cased.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None  # clean EOF between requests
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head too large") from None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        n_bytes = int(length)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length!r}") from None
+    if n_bytes < 0 or n_bytes > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    body = b""
+    if n_bytes:
+        try:
+            body = await reader.readexactly(n_bytes)
+        except asyncio.IncompleteReadError:
+            return None
+    return method, path, headers, body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: "dict | str | tuple[bytes, str]",
+    *,
+    keep_alive: bool,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Serialise and send one response.
+
+    *payload* is a JSON-able dict (the common case), a pre-rendered
+    text string (the Prometheus exposition), or a raw
+    ``(body_bytes, content_type)`` pair (the router's proxy path, which
+    must forward shard responses byte for byte).
+    """
+    if isinstance(payload, tuple):
+        body, content_type = payload
+    elif isinstance(payload, str):
+        body = payload.encode()
+        content_type = _PROM_CONTENT_TYPE
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        content_type = _JSON_CONTENT_TYPE
+    reason = _REASONS.get(status, "OK")
+    connection = "keep-alive" if keep_alive else "close"
+    extras = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"{extras}"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def send_request(
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    body: bytes,
+    *,
+    host: str = "localhost",
+    keep_alive: bool = True,
+    content_type: str = _JSON_CONTENT_TYPE,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Send one request with an explicit raw *body*."""
+    connection = "keep-alive" if keep_alive else "close"
+    extras = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"{extras}"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """One response off the wire: ``(status, headers, raw_body)``.
+
+    Raises :class:`ConnectionError` on a garbled status line so callers
+    can treat a half-dead peer like any other transport failure.
+    """
+    status_line = await reader.readline()
+    parts = status_line.decode("latin-1").split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"bad status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

@@ -10,7 +10,14 @@ sweeps.  Two shapes:
   the previous one answers — measures sustainable throughput;
 * **open loop**: requests fire at a fixed arrival ``rate`` regardless
   of completions — the tool for demonstrating overload (arrival rate >
-  measured capacity ⇒ the admission policy must shed with 429s).
+  measured capacity ⇒ the admission policy must shed with 429s).  A
+  bounded worker pool (``concurrency`` persistent connections) consumes
+  the arrival schedule, and every request records *service time* (send
+  → response) separately from *queue wait* (how far behind its
+  scheduled fire time it actually went out).  ``latencies_s`` — and
+  therefore the reported p50/p99 — is the service time, so a saturated
+  target shows the true server latency while ``queue_p99_ms`` exposes
+  the local backlog the generator built up.
 
 Everything is derived from ``--seed``: the same seed produces the same
 instance payloads in the same order, so a second pass over the same
@@ -64,7 +71,12 @@ class PassStats:
     server_errors: int = 0
     cache_hits: int = 0
     transport_errors: int = 0
+    #: Service time (just-before-send → response) per answered request.
     latencies_s: list[float] = field(default_factory=list)
+    #: Open-loop only: how late each request fired vs its schedule —
+    #: the load generator's *local* queueing, kept out of the latency
+    #: percentiles so a saturated target reports true server p99.
+    queue_waits_s: list[float] = field(default_factory=list)
     #: SLO samples ``(ok, latency_s | None)`` in the shared schema of
     #: :mod:`repro.obs.runtime.slo` — 429s are excluded (admission
     #: policy, not an outage), 200s carry a latency, 5xx/transport
@@ -84,16 +96,24 @@ class PassStats:
         return self.rejected / self.requests if self.requests else 0.0
 
     def quantile_ms(self, q: float) -> float:
-        """Exact client-side latency quantile in milliseconds."""
-        if not self.latencies_s:
-            return 0.0
-        ordered = sorted(self.latencies_s)
-        idx = min(int(math.ceil(q * len(ordered))) - 1, len(ordered) - 1)
-        return ordered[max(idx, 0)] * 1e3
+        """Exact client-side service-time quantile in milliseconds."""
+        return _quantile_ms(self.latencies_s, q)
 
-    def record(self, status: int, payload: dict, latency_s: float) -> None:
+    def queue_quantile_ms(self, q: float) -> float:
+        """Open-loop local queue-wait quantile in milliseconds."""
+        return _quantile_ms(self.queue_waits_s, q)
+
+    def record(
+        self,
+        status: int,
+        payload: dict,
+        latency_s: float,
+        queue_wait_s: float | None = None,
+    ) -> None:
         """One answered request: latency + status mix + SLO sample."""
         self.latencies_s.append(latency_s)
+        if queue_wait_s is not None:
+            self.queue_waits_s.append(queue_wait_s)
         _classify(self, status, payload)
         if status == 429:
             return
@@ -122,7 +142,17 @@ class PassStats:
             "cache_hits": self.cache_hits,
             "p50_ms": self.quantile_ms(0.5),
             "p99_ms": self.quantile_ms(0.99),
+            "queue_p50_ms": self.queue_quantile_ms(0.5),
+            "queue_p99_ms": self.queue_quantile_ms(0.99),
         }
+
+
+def _quantile_ms(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(int(math.ceil(q * len(ordered))) - 1, len(ordered) - 1)
+    return ordered[max(idx, 0)] * 1e3
 
 
 def format_stats(stats: PassStats) -> str:
@@ -135,6 +165,11 @@ def format_stats(stats: PassStats) -> str:
         f"transport_errors={stats.transport_errors} "
         f"cache_hits={stats.cache_hits}  "
         f"p50={stats.quantile_ms(0.5):.1f}ms p99={stats.quantile_ms(0.99):.1f}ms"
+        + (
+            f" queue_p99={stats.queue_quantile_ms(0.99):.1f}ms"
+            if stats.queue_waits_s
+            else ""
+        )
     )
 
 
@@ -330,23 +365,66 @@ async def _open_loop_pass(
     bodies: list[dict],
     stats: PassStats,
     rate: float,
+    concurrency: int,
 ) -> None:
+    """Fire *bodies* on a fixed arrival schedule (``i / rate``).
+
+    A bounded pool of *concurrency* workers with persistent connections
+    consumes the schedule in index order.  When the target (or the
+    pool) cannot keep up, a request goes out *late*; that lateness is
+    recorded as ``queue_wait`` while the latency sample only covers
+    send → response — so the reported percentiles are the server's
+    service time, not the generator's backlog (the old behaviour folded
+    both into one number and overstated p99 at saturation).
+    """
     loop = asyncio.get_running_loop()
     t0 = loop.time()
+    next_index = 0
 
-    async def one(i: int, body: dict) -> None:
-        delay = t0 + i / rate - loop.time()
-        if delay > 0:
-            await asyncio.sleep(delay)
-        start = time.perf_counter()
-        try:
-            status, payload = await http_json(host, port, "POST", "/solve", body)
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            stats.record_transport_error()
-            return
-        stats.record(status, payload, time.perf_counter() - start)
+    async def worker() -> None:
+        nonlocal next_index
+        reader = writer = None
+        while next_index < len(bodies):
+            i = next_index
+            next_index += 1
+            body = bodies[i]
+            intended = t0 + i / rate
+            delay = intended - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if writer is None:
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                except OSError:
+                    stats.record_transport_error()
+                    continue
+            queue_wait = max(loop.time() - intended, 0.0)
+            start = time.perf_counter()
+            try:
+                status, payload = await http_json(
+                    host,
+                    port,
+                    "POST",
+                    "/solve",
+                    body,
+                    reader=reader,
+                    writer=writer,
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                stats.record_transport_error()
+                writer.close()
+                reader = writer = None
+                continue
+            stats.record(
+                status,
+                payload,
+                time.perf_counter() - start,
+                queue_wait_s=queue_wait,
+            )
+        if writer is not None:
+            writer.close()
 
-    await asyncio.gather(*(one(i, b) for i, b in enumerate(bodies)))
+    await asyncio.gather(*(worker() for _ in range(max(concurrency, 1))))
 
 
 @dataclass(frozen=True)
@@ -532,7 +610,9 @@ def run_load(
                     host, port, bodies, stats, concurrency
                 )
             else:
-                await _open_loop_pass(host, port, bodies, stats, rate)
+                await _open_loop_pass(
+                    host, port, bodies, stats, rate, concurrency
+                )
             stats.elapsed_s = time.perf_counter() - start
             results.append(stats)
         return results

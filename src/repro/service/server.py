@@ -41,6 +41,7 @@ import itertools
 import json
 from collections import OrderedDict
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 
 from repro.obs import counters as obs_counters
 from repro.obs.trace import active_sink, emit_record, span
@@ -49,29 +50,17 @@ from repro.service import worker as worker_mod
 from repro.service.admission import AdmissionController
 from repro.service.batching import BatchEntry, MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    read_request,
+    write_response,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.models import RequestError, parse_solve_request
-from repro.service.telemetry import (
-    _FULL_POWER_W,
-    CONTENT_TYPE,
-    RuntimeTelemetry,
-)
+from repro.service.telemetry import _FULL_POWER_W, RuntimeTelemetry
 
 __all__ = ["SolveService"]
-
-#: Largest accepted request head+body (instances are small; this is a
-#: safety valve, not a tuning knob).
-MAX_BODY_BYTES = 16 * 1024 * 1024
-
-_JSON_HEADERS = "Content-Type: application/json\r\n"
-
-
-class _HttpError(Exception):
-    """Malformed HTTP input; the connection is answered and closed."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 class SolveService:
@@ -105,6 +94,26 @@ class SolveService:
         (e.g. a :class:`repro.obs.trace.JsonlSink`); ``None`` disables.
     sample_interval_s:
         Period of the time-series sampler task.
+    shard_id:
+        Fleet identity.  When set, request ids carry an ``s<id>-``
+        prefix (so the router can route ``/result`` lookups) and the
+        id appears in ``/metrics`` snapshots.
+    budget:
+        Optional fleet-wide capacity ledger
+        (:mod:`repro.service.shard.budget`); the admission controller
+        leases every admitted request's units from it.
+    cache_dir:
+        Directory for the shared disk cache tier (``None`` disables
+        the tier; shards pass one common directory).
+    cache_max_bytes:
+        Disk-tier byte budget (LRU-by-mtime pruning; ``None`` =
+        unbounded).
+    ambient_counters:
+        Install this server's counter registry as the process-wide
+        :func:`repro.obs.counters.counting` sink while serving
+        (the single-process default).  In-process fleets pass
+        ``False`` — each component already writes to its own shard's
+        registry, and a process-global sink cannot be shared.
     """
 
     def __init__(
@@ -121,6 +130,11 @@ class SolveService:
         slos=None,
         access_log=None,
         sample_interval_s: float = 1.0,
+        shard_id: str | None = None,
+        budget=None,
+        cache_dir: Path | str | None = None,
+        cache_max_bytes: int | None = None,
+        ambient_counters: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -133,7 +147,16 @@ class SolveService:
         self.window_s = float(window_s)
         self._max_batch = max_batch
         self._max_wait_s = max_wait_s
-        self._cache = ResultCache(max_entries=cache_entries)
+        self.shard_id = None if shard_id is None else str(shard_id)
+        self._budget = budget
+        self._ambient_counters = bool(ambient_counters)
+        self._registry = obs_counters.Counters()
+        self._cache = ResultCache(
+            max_entries=cache_entries,
+            disk_dir=cache_dir,
+            disk_max_bytes=cache_max_bytes,
+            counters=self._registry,
+        )
         self._metrics = ServiceMetrics()
         self.telemetry = RuntimeTelemetry(
             slos=slos,
@@ -141,11 +164,11 @@ class SolveService:
             sample_interval_s=sample_interval_s,
         )
         self._sampler_task: asyncio.Task | None = None
-        self._registry = obs_counters.Counters()
         self._counting = None
         self._controller: AdmissionController | None = None
         self._batcher: MicroBatcher | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._reuseport_server: asyncio.base_events.Server | None = None
         self._queued: dict[str, BatchEntry] = {}
         self._tickets: OrderedDict[str, asyncio.Future] = OrderedDict()
         self._writers: set[asyncio.StreamWriter] = set()
@@ -165,16 +188,41 @@ class SolveService:
             else self._capacity_override
         )
 
+    def _emit(self, prefix: str, **values: float) -> None:
+        """Bump ``<prefix>.<key>`` counters in this server's registry.
+
+        Writing directly (instead of through the ambient
+        :func:`repro.obs.counters` sink) keeps per-shard attribution
+        correct when several services share one process.
+        """
+        for key, value in values.items():
+            self._registry.add(f"{prefix}.{key}", value)
+
     # -- lifecycle ------------------------------------------------------
 
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        reuseport_port: int | None = None,
     ) -> tuple[str, int]:
-        """Bind, calibrate capacity, and start serving; returns (host, port)."""
+        """Bind, calibrate capacity, and start serving; returns (host, port).
+
+        *reuseport_port* additionally binds a second listener on that
+        port with ``SO_REUSEPORT``, so N shards can share one public
+        port and let the kernel load-balance accepted connections
+        (``repro serve --shards N --reuseport``).
+        """
         if self._server is not None:
             raise RuntimeError("service already started")
-        self._counting = obs_counters.counting(self._registry)
-        self._counting.__enter__()
+        if self._ambient_counters:
+            self._counting = obs_counters.counting(self._registry)
+            self._counting.__enter__()
+        if self._budget is not None and self.shard_id is not None:
+            # Crash recovery: drop any leases a previous incarnation of
+            # this shard left in the ledger, or it can never admit again.
+            self._budget.forfeit(self.shard_id)
         loop = asyncio.get_running_loop()
         executor = get_executor(self.workers)
         rate = self._rate_override
@@ -190,6 +238,9 @@ class SolveService:
             self._policy,
             capacity_units=capacity,
             rate_units_per_s=rate,
+            budget=self._budget,
+            shard_id=self.shard_id if self.shard_id is not None else "0",
+            counters=self._registry,
         )
         self._batcher = MicroBatcher(
             self._dispatch,
@@ -202,6 +253,14 @@ class SolveService:
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        if reuseport_port is not None:
+            self._reuseport_server = await asyncio.start_server(
+                self._handle_conn,
+                host,
+                reuseport_port,
+                limit=MAX_BODY_BYTES,
+                reuse_port=True,
+            )
         self.telemetry.sample(self._sample_state())  # seed the ring
         self._sampler_task = loop.create_task(self._sampler())
         return self.host, self.port
@@ -224,6 +283,8 @@ class SolveService:
             self._sampler_task = None
         if self._server is not None:
             self._server.close()
+        if self._reuseport_server is not None:
+            self._reuseport_server.close()
         if self._batcher is not None:
             await self._batcher.close(drain=drain)
         if drain:
@@ -236,6 +297,8 @@ class SolveService:
             writer.close()
         if self._server is not None:
             await self._server.wait_closed()
+        if self._reuseport_server is not None:
+            await self._reuseport_server.wait_closed()
         if self._counting is not None:
             self._counting.__exit__(None, None, None)
             self._counting = None
@@ -249,9 +312,9 @@ class SolveService:
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
-                except _HttpError as exc:
-                    await self._write_response(
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
                         writer,
                         exc.status,
                         {"status": "error", "error": str(exc)},
@@ -269,7 +332,7 @@ class SolveService:
                     )
                 finally:
                     self._active_requests -= 1
-                await self._write_response(
+                await write_response(
                     writer,
                     status,
                     payload,
@@ -292,87 +355,6 @@ class SolveService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError:
-            return None  # clean EOF between requests
-        except asyncio.LimitOverrunError:
-            raise _HttpError(431, "request head too large") from None
-        lines = head.decode("latin-1").split("\r\n")
-        parts = lines[0].split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _HttpError(400, f"malformed request line {lines[0]!r}")
-        method, path = parts[0].upper(), parts[1]
-        headers: dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if not sep:
-                raise _HttpError(400, f"malformed header {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        length = headers.get("content-length", "0")
-        try:
-            n_bytes = int(length)
-        except ValueError:
-            raise _HttpError(400, f"bad Content-Length {length!r}") from None
-        if n_bytes < 0 or n_bytes > MAX_BODY_BYTES:
-            raise _HttpError(413, "request body too large")
-        body = b""
-        if n_bytes:
-            try:
-                body = await reader.readexactly(n_bytes)
-            except asyncio.IncompleteReadError:
-                return None
-        return method, path, headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict | str,
-        *,
-        keep_alive: bool,
-        extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        if isinstance(payload, str):
-            # Pre-rendered text body (Prometheus exposition).
-            body = payload.encode()
-            content_type = f"Content-Type: {CONTENT_TYPE}\r\n"
-        else:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-            content_type = _JSON_HEADERS
-        reason = {
-            200: "OK",
-            202: "Accepted",
-            400: "Bad Request",
-            404: "Not Found",
-            405: "Method Not Allowed",
-            413: "Payload Too Large",
-            429: "Too Many Requests",
-            431: "Request Header Fields Too Large",
-            500: "Internal Server Error",
-            503: "Service Unavailable",
-        }.get(status, "OK")
-        connection = "keep-alive" if keep_alive else "close"
-        extras = "".join(
-            f"{name}: {value}\r\n"
-            for name, value in (extra_headers or {}).items()
-        )
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"{content_type}"
-            f"{extras}"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n\r\n"
-        )
-        writer.write(head.encode() + body)
-        try:
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass
-
     # -- routing --------------------------------------------------------
 
     async def _route(
@@ -382,8 +364,10 @@ class SolveService:
         endpoint = path if not path.startswith("/result/") else "/result"
         req_id = None
         if endpoint == "/solve" and method == "POST":
-            # Minted before parsing so even a 400 is traceable.
-            req_id = f"r{next(self._seq):08d}"
+            # Minted before parsing so even a 400 is traceable; the
+            # shard prefix lets the router route /result lookups.
+            prefix = "" if self.shard_id is None else f"s{self.shard_id}-"
+            req_id = f"{prefix}r{next(self._seq):08d}"
         loop = asyncio.get_running_loop()
         started = loop.time()
         attrs = {"method": method, "path": endpoint}
@@ -395,7 +379,7 @@ class SolveService:
                     method, path, query, body, req_id
                 )
             except Exception as exc:  # noqa: BLE001 - must answer something
-                obs_counters.emit("service.errors", internal=1)
+                self._emit("service.errors", internal=1)
                 status, payload = 500, {"status": "error", "error": str(exc)}
         seconds = loop.time() - started
         self._metrics.observe(endpoint, status, seconds)
@@ -411,8 +395,8 @@ class SolveService:
                 else None
             ),
         )
-        obs_counters.emit("service.http", requests=1)
-        obs_counters.add(f"service.http.status_{status}")
+        self._emit("service.http", requests=1)
+        self._registry.add(f"service.http.status_{status}")
         extra = {"X-Repro-Request-Id": req_id} if req_id else None
         return status, payload, extra
 
@@ -433,6 +417,8 @@ class SolveService:
                 return 405, {"status": "error", "error": "GET only"}
             if "format=json" in query.split("&"):
                 return 200, self.metrics_dict()
+            if "format=snapshot" in query.split("&"):
+                return 200, self.metrics_snapshot()
             return 200, self.metrics_text()
         if path == "/solve":
             if method != "POST":
@@ -446,12 +432,15 @@ class SolveService:
 
     def _health(self) -> dict:
         controller = self._controller
-        return {
+        health = {
             "status": "draining" if self._draining else "ok",
             "inflight_units": controller.inflight_units if controller else 0.0,
             "utilisation": controller.utilisation if controller else 0.0,
             "uptime_s": self._metrics.as_dict()["uptime_s"],
         }
+        if self.shard_id is not None:
+            health["shard"] = self.shard_id
+        return health
 
     def metrics_dict(self) -> dict:
         """The ``/metrics?format=json`` payload (also used by tests/CI)."""
@@ -465,6 +454,7 @@ class SolveService:
                 if self._controller
                 else None,
                 "draining": self._draining,
+                "shard": self.shard_id,
             },
             "requests": self._metrics.as_dict(),
             "admission": self._controller.stats() if self._controller else {},
@@ -481,27 +471,47 @@ class SolveService:
             ),
         }
 
-    def metrics_text(self) -> str:
-        """The ``GET /metrics`` Prometheus text exposition."""
-        return self.telemetry.render_prometheus(
-            metrics=self._metrics,
-            counters=self._registry.snapshot(),
-            admission=self._controller.stats() if self._controller else {},
-            cache=self._cache.stats(),
-            batch={
+    def _exposition_kwargs(self) -> dict:
+        return {
+            "metrics": self._metrics,
+            "counters": self._registry.snapshot(),
+            "admission": (
+                self._controller.stats() if self._controller else {}
+            ),
+            "cache": self._cache.stats(),
+            "batch": {
                 "dispatched": (
                     len(self._batcher.batch_log) if self._batcher else 0
                 )
             },
-            info={
+            "info": {
                 "policy": (
                     self._controller.policy.name if self._controller else None
                 ),
                 "workers": self.workers,
             },
-            queue_depth=len(self._queued),
-            energy_j=self._energy_proxy_j(),
-        )
+            "queue_depth": len(self._queued),
+            "energy_j": self._energy_proxy_j(),
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition."""
+        return self.telemetry.render_prometheus(**self._exposition_kwargs())
+
+    def metrics_snapshot(self) -> dict:
+        """``/metrics?format=snapshot``: a mergeable registry dump.
+
+        The payload is a :meth:`MetricsRegistry.snapshot` of the full
+        exposition plus this shard's identity and counters — the router
+        relabels every series with ``shard=<id>`` and folds N of these
+        into the fleet-wide text exposition.
+        """
+        registry = self.telemetry.export_registry(**self._exposition_kwargs())
+        return {
+            "shard": self.shard_id,
+            "registry": registry.snapshot(),
+            "counters": self._registry.snapshot(),
+        }
 
     # -- runtime sampling -----------------------------------------------
 
@@ -538,17 +548,17 @@ class SolveService:
     # -- the solve path -------------------------------------------------
 
     async def _solve(self, body: bytes, req_id: str) -> tuple[int, dict]:
-        obs_counters.emit("service.solve", total=1)
+        self._emit("service.solve", total=1)
         try:
             parsed = json.loads(body.decode() or "null")
             request = parse_solve_request(parsed, req_id)
         except (RequestError, ValueError) as exc:
-            obs_counters.emit("service.solve", invalid=1)
+            self._emit("service.solve", invalid=1)
             return 400, {"status": "error", "id": req_id, "error": str(exc)}
         key = self._cache.key(request.instance, request.algorithm, request.eps)
         cached = self._cache.get(key)
         if cached is not None:
-            obs_counters.emit("service.solve", cached=1)
+            self._emit("service.solve", cached=1)
             return 200, {
                 "status": "done",
                 "id": request.req_id,
@@ -556,7 +566,7 @@ class SolveService:
                 "solution": cached,
             }
         if self._draining:
-            obs_counters.emit("service.solve", unavailable=1)
+            self._emit("service.solve", unavailable=1)
             return 503, {"status": "error", "id": req_id, "error": "draining"}
         with span("service.admission", req_id=request.req_id):
             decision = self._controller.offer(
@@ -566,14 +576,14 @@ class SolveService:
                 deadline_s=request.deadline_s,
             )
         if not decision.admitted:
-            obs_counters.emit("service.solve", rejected=1)
+            self._emit("service.solve", rejected=1)
             return 429, {
                 "status": "rejected",
                 "id": request.req_id,
                 "reason": decision.reason,
                 "utilisation": self._controller.utilisation,
             }
-        obs_counters.emit("service.solve", admitted=1)
+        self._emit("service.solve", admitted=1)
         for victim_id in decision.shed:
             victim = self._queued.pop(victim_id, None)
             if victim is not None:
@@ -637,7 +647,7 @@ class SolveService:
                     break
                 except BrokenProcessPool:
                     evict_executor(self.workers)
-                    obs_counters.emit("service.batch", pool_rebuilds=1)
+                    self._emit("service.batch", pool_rebuilds=1)
                     if attempt == 2:
                         results = [
                             {
@@ -679,7 +689,7 @@ class SolveService:
             else:
                 kind = result.get("error_kind", "solver")
                 status = 400 if kind == "bad_request" else 500
-                obs_counters.emit("service.solve", failed=1)
+                self._emit("service.solve", failed=1)
                 entry.future.set_result(
                     (
                         status,

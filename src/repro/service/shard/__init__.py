@@ -1,0 +1,41 @@
+"""Horizontally sharded serving: router, fleet, and the global budget.
+
+The paper's admission policy is a *single* global decision rule; this
+subpackage keeps it that way at fleet scale (ROADMAP item 2):
+
+``budget``
+    The fleet-wide capacity ledger per-shard admission controllers
+    lease from — in-memory (:class:`GlobalBudget`) for in-process
+    fleets, file-locked (:class:`FileBudget`) across processes.
+``router``
+    The front-door proxy: round-robin ``/solve`` fan-out, shard-affine
+    ``/result`` routing, aggregated ``/healthz``, and the merged
+    ``shard``-labeled ``/metrics`` exposition.
+``fleet``
+    :class:`LocalFleet` wires N shards + budget + shared disk cache +
+    router into one loop (``repro serve --shards N``);
+    :class:`ThreadedFleet` hosts it for synchronous callers.
+``bench``
+    The saturation bench behind ``repro bench-serve --shards``: offered
+    load vs p50/p99/throughput/rejection at 1/2/4 shards →
+    ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+from repro.service.shard.budget import FileBudget, GlobalBudget
+from repro.service.shard.fleet import (
+    LocalFleet,
+    ThreadedFleet,
+    reuseport_available,
+)
+from repro.service.shard.router import ShardRouter
+
+__all__ = [
+    "FileBudget",
+    "GlobalBudget",
+    "LocalFleet",
+    "ShardRouter",
+    "ThreadedFleet",
+    "reuseport_available",
+]

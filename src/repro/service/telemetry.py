@@ -32,7 +32,7 @@ import time
 from typing import Any, Mapping, Sequence
 
 from repro.obs.runtime.metrics import MetricsRegistry
-from repro.obs.runtime.prometheus import CONTENT_TYPE, Family, Sample, render
+from repro.obs.runtime.prometheus import CONTENT_TYPE, render
 from repro.obs.runtime.slo import DEFAULT_SLOS, SloObjective, SloTracker
 from repro.obs.runtime.timeseries import TimeSeriesRing
 from repro.power import xscale_power_model
@@ -181,6 +181,44 @@ class RuntimeTelemetry:
             "last_request": last,
         }
 
+    def export_registry(
+        self,
+        *,
+        metrics: ServiceMetrics,
+        counters: Mapping[str, float],
+        admission: Mapping[str, Any],
+        cache: Mapping[str, Any],
+        batch: Mapping[str, Any],
+        info: Mapping[str, Any],
+        queue_depth: int,
+        energy_j: float,
+    ) -> MetricsRegistry:
+        """The full exposition as one fresh :class:`MetricsRegistry`.
+
+        Everything ``GET /metrics`` shows — the runtime gauges this
+        object owns plus every family derived from the server's JSON
+        metrics sources — is folded into a single registry, so a shard
+        can ship ``registry.snapshot()`` through a pipe and the router
+        can relabel + merge N of them into one fleet exposition
+        (:func:`repro.obs.runtime.relabel_snapshot`).
+        """
+        self._refresh_slo_gauges()
+        self._g_queue.set(float(queue_depth))
+        self._g_energy.set(float(energy_j))
+        registry = MetricsRegistry()
+        registry.merge(self.registry.snapshot())
+        registry.merge(
+            self._exposition_snapshot(
+                metrics=metrics,
+                counters=counters,
+                admission=admission,
+                cache=cache,
+                batch=batch,
+                info=info,
+            )
+        )
+        return registry
+
     def render_prometheus(
         self,
         *,
@@ -194,221 +232,226 @@ class RuntimeTelemetry:
         energy_j: float,
     ) -> str:
         """Full Prometheus text exposition for ``GET /metrics``."""
-        self._refresh_slo_gauges()
-        self._g_queue.set(float(queue_depth))
-        self._g_energy.set(float(energy_j))
-        families = self.registry.collect()
-        families.extend(
-            self._http_families(metrics)
-            + self._solve_family(counters)
-            + self._counter_family(counters)
-            + self._admission_families(admission)
-            + self._cache_batch_families(cache, batch)
-            + self._info_families(info, metrics)
-            + self._last_request_family()
+        registry = self.export_registry(
+            metrics=metrics,
+            counters=counters,
+            admission=admission,
+            cache=cache,
+            batch=batch,
+            info=info,
+            queue_depth=queue_depth,
+            energy_j=energy_j,
         )
-        return render(families)
+        return render(registry.collect())
 
-    def _http_families(self, metrics: ServiceMetrics) -> list[Family]:
-        series = metrics.endpoint_series()
-        bounds = metrics.bucket_bounds()
-        requests = Family(
-            "repro_http_requests_total",
-            "counter",
-            "Requests served, by endpoint and status.",
-        )
-        latency = Family(
-            "repro_request_duration_seconds",
-            "histogram",
-            "Server-side request latency, by endpoint.",
-        )
-        for endpoint, statuses, counts, count, sum_s in series:
-            for code, n in sorted(statuses.items()):
-                requests.samples.append(
-                    Sample(
-                        requests.name,
-                        (("endpoint", endpoint), ("status", str(code))),
-                        n,
-                    )
-                )
-            base = (("endpoint", endpoint),)
-            cumulative = 0
-            for bound, n in zip(bounds, counts):
-                cumulative += n
-                le = (
-                    "+Inf"
-                    if bound == float("inf")
-                    else format(bound, ".10g")
-                )
-                latency.samples.append(
-                    Sample(
-                        latency.name + "_bucket",
-                        base + (("le", le),),
-                        cumulative,
-                    )
-                )
-            latency.samples.append(
-                Sample(latency.name + "_sum", base, sum_s)
-            )
-            latency.samples.append(
-                Sample(latency.name + "_count", base, count)
-            )
-        return [requests, latency]
+    def _exposition_snapshot(
+        self,
+        *,
+        metrics: ServiceMetrics,
+        counters: Mapping[str, float],
+        admission: Mapping[str, Any],
+        cache: Mapping[str, Any],
+        batch: Mapping[str, Any],
+        info: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        """The derived families in registry-snapshot form.
 
-    def _solve_family(self, counters: Mapping[str, float]) -> list[Family]:
-        """``repro_solve_requests_total{outcome=...}``.
-
-        The outcomes partition ``service.solve.total`` (the pinned
-        invariant: total == cached+admitted+rejected+invalid+
-        unavailable), so the family's sum over its disjoint outcome
-        labels equals the JSON total — ``failed`` is intentionally NOT
-        a label here because failed requests were already admitted.
+        Built directly in the :meth:`MetricsRegistry.snapshot` schema
+        (series rows under declared label names) and folded in through
+        the public ``merge`` path, so the exposition and the shard
+        snapshot can never drift apart.
         """
-        family = Family(
-            "repro_solve_requests_total",
-            "counter",
-            "Solve requests by admission outcome; the labels partition "
-            "the pinned service.solve.total invariant.",
-        )
-        for outcome in _SOLVE_OUTCOMES:
-            if outcome == "failed":
-                continue
-            value = counters.get(f"service.solve.{outcome}", 0)
-            family.samples.append(
-                Sample(family.name, (("outcome", outcome),), value)
-            )
-        return [family]
 
-    def _counter_family(self, counters: Mapping[str, float]) -> list[Family]:
-        family = Family(
-            "repro_obs_counter",
-            "counter",
-            "Raw repro.obs counter registry (solver counters merged "
-            "back from pool workers included).",
-        )
-        for name, value in sorted(counters.items()):
-            family.samples.append(
-                Sample(family.name, (("name", name),), value)
-            )
-        return [family]
+        def value_rows(rows):
+            return [
+                {"labels": labels, "value": value} for labels, value in rows
+            ]
 
-    def _admission_families(
-        self, admission: Mapping[str, Any]
-    ) -> list[Family]:
-        if not admission:
-            return []
-        gauges = Family(
-            "repro_admission_utilisation_ratio",
-            "gauge",
-            "Admitted-but-unfinished backlog as a fraction of capacity.",
-            [Sample("repro_admission_utilisation_ratio", (),
-                    admission.get("utilisation", 0.0))],
-        )
-        inflight = Family(
-            "repro_admission_inflight_units",
-            "gauge",
-            "Admitted-but-unfinished work, in operation units.",
-            [Sample("repro_admission_inflight_units", (),
-                    admission.get("inflight_units", 0.0))],
-        )
-        decisions = Family(
-            "repro_admission_decisions_total",
-            "counter",
-            "Admission controller verdicts.",
-            [
-                Sample(
-                    "repro_admission_decisions_total",
-                    (("decision", decision),),
-                    admission.get(decision, 0),
+        snap: dict[str, Any] = {}
+        snap["repro_http_requests_total"] = {
+            "type": "counter",
+            "help": "Requests served, by endpoint and status.",
+            "labelnames": ["endpoint", "status"],
+            "series": [],
+        }
+        bounds = metrics.bucket_bounds()
+        snap["repro_request_duration_seconds"] = {
+            "type": "histogram",
+            "help": "Server-side request latency, by endpoint.",
+            "labelnames": ["endpoint"],
+            "buckets": [
+                "+Inf" if bound == float("inf") else bound
+                for bound in bounds
+            ],
+            "series": [],
+        }
+        for endpoint, statuses, counts, count, sum_s in (
+            metrics.endpoint_series()
+        ):
+            snap["repro_http_requests_total"]["series"].extend(
+                value_rows(
+                    ({"endpoint": endpoint, "status": str(code)}, n)
+                    for code, n in sorted(statuses.items())
                 )
-                for decision in ("admitted", "rejected", "shed")
-            ],
-        )
-        completed = Family(
-            "repro_completed_work_units_total",
-            "counter",
-            "Work units released back to the pool after completion.",
-            [Sample("repro_completed_work_units_total", (),
-                    admission.get("completed_units", 0.0))],
-        )
-        return [gauges, inflight, decisions, completed]
-
-    def _cache_batch_families(
-        self, cache: Mapping[str, Any], batch: Mapping[str, Any]
-    ) -> list[Family]:
-        lookups = Family(
-            "repro_cache_lookups_total",
-            "counter",
-            "Result-cache lookups by outcome.",
-            [
-                Sample("repro_cache_lookups_total", (("outcome", "hit"),),
-                       cache.get("hits", 0)),
-                Sample("repro_cache_lookups_total", (("outcome", "miss"),),
-                       cache.get("misses", 0)),
-            ],
-        )
-        entries = Family(
-            "repro_cache_entries",
-            "gauge",
-            "Result-cache entries currently held.",
-            [Sample("repro_cache_entries", (), cache.get("entries", 0))],
-        )
-        batches = Family(
-            "repro_batches_dispatched_total",
-            "counter",
-            "Micro-batches dispatched to the worker pool.",
-            [Sample("repro_batches_dispatched_total", (),
-                    batch.get("dispatched", 0))],
-        )
-        return [lookups, entries, batches]
-
-    def _info_families(
-        self, info: Mapping[str, Any], metrics: ServiceMetrics
-    ) -> list[Family]:
-        service = Family(
-            "repro_service_info",
-            "gauge",
-            "Static server identity (value is always 1).",
-            [
-                Sample(
-                    "repro_service_info",
-                    (
-                        ("policy", str(info.get("policy"))),
-                        ("workers", str(info.get("workers"))),
+            )
+            snap["repro_request_duration_seconds"]["series"].append(
+                {
+                    "labels": {"endpoint": endpoint},
+                    "counts": list(counts),
+                    "sum": sum_s,
+                    "count": count,
+                }
+            )
+        # The outcomes partition service.solve.total (the pinned
+        # invariant: total == cached+admitted+rejected+invalid+
+        # unavailable), so the family's sum over its disjoint outcome
+        # labels equals the JSON total — "failed" is intentionally NOT
+        # a label here because failed requests were already admitted.
+        snap["repro_solve_requests_total"] = {
+            "type": "counter",
+            "help": "Solve requests by admission outcome; the labels "
+            "partition the pinned service.solve.total invariant.",
+            "labelnames": ["outcome"],
+            "series": value_rows(
+                ({"outcome": outcome},
+                 counters.get(f"service.solve.{outcome}", 0))
+                for outcome in _SOLVE_OUTCOMES
+                if outcome != "failed"
+            ),
+        }
+        snap["repro_obs_counter"] = {
+            "type": "counter",
+            "help": "Raw repro.obs counter registry (solver counters "
+            "merged back from pool workers included).",
+            "labelnames": ["name"],
+            "series": value_rows(
+                ({"name": name}, value)
+                for name, value in sorted(counters.items())
+            ),
+        }
+        if admission:
+            snap["repro_admission_utilisation_ratio"] = {
+                "type": "gauge",
+                "help": "Admitted-but-unfinished backlog as a fraction "
+                "of capacity.",
+                "labelnames": [],
+                "series": value_rows(
+                    [({}, admission.get("utilisation", 0.0))]
+                ),
+            }
+            snap["repro_admission_inflight_units"] = {
+                "type": "gauge",
+                "help": "Admitted-but-unfinished work, in operation "
+                "units.",
+                "labelnames": [],
+                "series": value_rows(
+                    [({}, admission.get("inflight_units", 0.0))]
+                ),
+            }
+            snap["repro_admission_decisions_total"] = {
+                "type": "counter",
+                "help": "Admission controller verdicts.",
+                "labelnames": ["decision"],
+                "series": value_rows(
+                    ({"decision": decision}, admission.get(decision, 0))
+                    for decision in ("admitted", "rejected", "shed")
+                ),
+            }
+            snap["repro_completed_work_units_total"] = {
+                "type": "counter",
+                "help": "Work units released back to the pool after "
+                "completion.",
+                "labelnames": [],
+                "series": value_rows(
+                    [({}, admission.get("completed_units", 0.0))]
+                ),
+            }
+            budget = admission.get("budget")
+            if budget:
+                snap["repro_budget_capacity_units"] = {
+                    "type": "gauge",
+                    "help": "The fleet-wide admission budget this shard "
+                    "leases from.",
+                    "labelnames": [],
+                    "series": value_rows(
+                        [({}, budget.get("budget_units", 0.0))]
                     ),
-                    1,
-                )
-            ],
-        )
-        uptime = Family(
-            "repro_uptime_seconds",
-            "gauge",
-            "Seconds since the server started.",
-            [Sample("repro_uptime_seconds", (),
-                    time.time() - metrics.started_at)],
-        )
-        return [service, uptime]
-
-    def _last_request_family(self) -> list[Family]:
+                }
+                snap["repro_budget_leased_units"] = {
+                    "type": "gauge",
+                    "help": "Units currently leased across the fleet "
+                    "(as this shard last saw the ledger).",
+                    "labelnames": [],
+                    "series": value_rows(
+                        [({}, budget.get("leased_units", 0.0))]
+                    ),
+                }
+        lookup_rows = [
+            ({"outcome": "hit"}, cache.get("hits", 0)),
+            ({"outcome": "miss"}, cache.get("misses", 0)),
+        ]
+        if "disk_hits" in cache:
+            lookup_rows.insert(
+                1, ({"outcome": "disk_hit"}, cache.get("disk_hits", 0))
+            )
+        snap["repro_cache_lookups_total"] = {
+            "type": "counter",
+            "help": "Result-cache lookups by outcome.",
+            "labelnames": ["outcome"],
+            "series": value_rows(lookup_rows),
+        }
+        snap["repro_cache_entries"] = {
+            "type": "gauge",
+            "help": "Result-cache entries currently held.",
+            "labelnames": [],
+            "series": value_rows([({}, cache.get("entries", 0))]),
+        }
+        snap["repro_batches_dispatched_total"] = {
+            "type": "counter",
+            "help": "Micro-batches dispatched to the worker pool.",
+            "labelnames": [],
+            "series": value_rows([({}, batch.get("dispatched", 0))]),
+        }
+        snap["repro_service_info"] = {
+            "type": "gauge",
+            "help": "Static server identity (value is always 1).",
+            "labelnames": ["policy", "workers"],
+            "series": value_rows(
+                [
+                    (
+                        {
+                            "policy": str(info.get("policy")),
+                            "workers": str(info.get("workers")),
+                        },
+                        1,
+                    )
+                ]
+            ),
+        }
+        snap["repro_uptime_seconds"] = {
+            "type": "gauge",
+            "help": "Seconds since the server started.",
+            "labelnames": [],
+            "series": value_rows([({}, time.time() - metrics.started_at)]),
+        }
         with self._lock:
             items = sorted(self._last.items())
-        family = Family(
-            "repro_last_request",
-            "gauge",
-            "Most recent request id per (endpoint, status); the value "
-            "is its unix timestamp.  Replace semantics keep cardinality "
-            "bounded.",
-            [
-                Sample(
-                    "repro_last_request",
-                    (
-                        ("endpoint", endpoint),
-                        ("status", status),
-                        ("req_id", req_id),
-                    ),
+        snap["repro_last_request"] = {
+            "type": "gauge",
+            "help": "Most recent request id per (endpoint, status); the "
+            "value is its unix timestamp.  Replace semantics keep "
+            "cardinality bounded.",
+            "labelnames": ["endpoint", "status", "req_id"],
+            "series": value_rows(
+                (
+                    {
+                        "endpoint": endpoint,
+                        "status": status,
+                        "req_id": req_id,
+                    },
                     t,
                 )
                 for (endpoint, status), (req_id, t) in items
-            ],
-        )
-        return [family]
+            ),
+        }
+        return snap

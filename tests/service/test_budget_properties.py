@@ -1,0 +1,156 @@
+"""Hypothesis properties of the fleet-wide admission budget.
+
+The ledger is the piece that keeps sharded admission paper-faithful,
+so its contract gets property coverage in the style of
+``tests/core/test_online_properties.py``:
+
+* under any interleaving of ``lease``/``release``/``exchange``/
+  ``forfeit`` across shards, the leased total never exceeds the
+  budget (within the shared ``fits`` tolerance),
+* a shard that crashed holding leases is never deadlocked — after
+  ``forfeit`` it can always lease whatever headroom the others leave,
+* :class:`GlobalBudget` and :class:`FileBudget` are observationally
+  identical: same op results, same held map, on every sequence.
+"""
+
+import math
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro._validation import fits
+from repro.service.shard.budget import FileBudget, GlobalBudget
+
+BUDGET = 100.0
+SHARDS = ("0", "1", "2")
+
+#: One ledger op: (kind, shard, units[, acquire_units]).
+ops = st.one_of(
+    st.tuples(
+        st.just("lease"),
+        st.sampled_from(SHARDS),
+        st.floats(min_value=0.0, max_value=80.0),
+    ),
+    st.tuples(
+        st.just("release"),
+        st.sampled_from(SHARDS),
+        st.floats(min_value=0.0, max_value=80.0),
+    ),
+    st.tuples(
+        st.just("exchange"),
+        st.sampled_from(SHARDS),
+        st.floats(min_value=0.0, max_value=80.0),
+        st.floats(min_value=0.0, max_value=80.0),
+    ),
+    st.tuples(st.just("forfeit"), st.sampled_from(SHARDS)),
+)
+
+
+def _apply(ledger, op):
+    """Run one op; returns the observable result."""
+    if op[0] == "lease":
+        return ledger.lease(op[1], op[2])
+    if op[0] == "release":
+        return ledger.release(op[1], op[2])
+    if op[0] == "exchange":
+        return ledger.exchange(op[1], op[2], op[3])
+    return ledger.forfeit(op[1])
+
+
+class TestLedgerInvariants:
+    @given(sequence=st.lists(ops, max_size=40))
+    def test_leased_total_never_exceeds_budget(self, sequence):
+        ledger = GlobalBudget(BUDGET)
+        for op in sequence:
+            _apply(ledger, op)
+            assert fits(ledger.leased_units, BUDGET)
+            assert ledger.leased_units >= 0.0
+
+    @given(
+        sequence=st.lists(ops, max_size=40),
+        crashed=st.sampled_from(SHARDS),
+    )
+    def test_forfeit_never_deadlocks_a_recovering_shard(
+        self, sequence, crashed
+    ):
+        ledger = GlobalBudget(BUDGET)
+        for op in sequence:
+            _apply(ledger, op)
+        # Crash recovery: the shard's leases vanish in one step ...
+        ledger.forfeit(crashed)
+        assert ledger.held(crashed) == 0.0
+        # ... and whatever headroom the others leave is leasable again.
+        headroom = BUDGET - ledger.leased_units
+        if headroom > 0.0:
+            assert ledger.lease(crashed, headroom * 0.5)
+
+    @given(sequence=st.lists(ops, max_size=40))
+    def test_release_is_clamped_to_held(self, sequence):
+        ledger = GlobalBudget(BUDGET)
+        for op in sequence:
+            _apply(ledger, op)
+            for shard in SHARDS:
+                assert ledger.held(shard) >= 0.0
+
+    @given(units=st.floats(min_value=0.0, max_value=BUDGET))
+    def test_failed_exchange_rolls_back(self, units):
+        ledger = GlobalBudget(BUDGET)
+        assert ledger.lease("0", units)
+        held = ledger.held("0")
+        # Acquiring more than the whole budget must fail and must not
+        # leak the released half.
+        assert not ledger.exchange("0", units / 2, BUDGET * 2)
+        assert ledger.held("0") == held
+
+
+class TestFileLedgerDifferential:
+    @settings(max_examples=25)
+    @given(sequence=st.lists(ops, max_size=25))
+    def test_file_budget_matches_in_memory_budget(self, sequence):
+        # A fresh directory per example (tmp_path is function-scoped,
+        # which Hypothesis rightly refuses to reuse across examples).
+        with tempfile.TemporaryDirectory() as tmp:
+            self._check(Path(tmp) / "budget.json", sequence)
+
+    def _check(self, path, sequence):
+        memory = GlobalBudget(BUDGET)
+        disk = FileBudget(path, BUDGET, reset=True)
+        for op in sequence:
+            got_memory = _apply(memory, op)
+            got_disk = _apply(disk, op)
+            if isinstance(got_memory, float):
+                assert math.isclose(
+                    got_memory, got_disk, rel_tol=1e-9, abs_tol=1e-9
+                )
+            else:
+                assert got_memory == got_disk
+            for shard in SHARDS:
+                assert math.isclose(
+                    memory.held(shard),
+                    disk.held(shard),
+                    rel_tol=1e-9,
+                    abs_tol=1e-9,
+                )
+            assert fits(disk.leased_units, BUDGET)
+
+    def test_corrupt_state_file_reads_as_empty_ledger(self, tmp_path):
+        path = tmp_path / "budget.json"
+        ledger = FileBudget(path, BUDGET, reset=True)
+        assert ledger.lease("0", 60.0)
+        path.write_text("{ torn wr")
+        assert ledger.held("0") == 0.0
+        # And the ledger keeps working from the empty state.
+        assert ledger.lease("1", BUDGET)
+
+    def test_state_survives_a_new_handle(self, tmp_path):
+        path = tmp_path / "budget.json"
+        first = FileBudget(path, BUDGET, reset=True)
+        assert first.lease("0", 42.0)
+        # A second process attaches without reset and sees the leases.
+        second = FileBudget(path, BUDGET)
+        assert second.held("0") == 42.0
+        assert not second.lease("1", BUDGET)
+        second.forfeit("0")
+        assert first.held("0") == 0.0

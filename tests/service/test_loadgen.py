@@ -1,5 +1,8 @@
 """Tests for the seeded load generator (``repro bench-serve``)."""
 
+import asyncio
+import threading
+
 import pytest
 
 from repro.core.rejection.online import ThresholdPolicy
@@ -113,6 +116,119 @@ class TestRunLoadAgainstServer:
         assert stats.rejected > 0
         assert stats.ok + stats.rejected == 15
         assert stats.reject_rate > 0.5
+
+
+class SlowStub:
+    """A one-connection-at-a-time HTTP stub with a fixed service time.
+
+    Every request is answered 200 after exactly *delay_s* — the
+    deliberately slow server the open-loop split is pinned against:
+    with concurrency=1 and an offered rate far above ``1/delay_s``, the
+    generator's backlog grows without bound while the *server* never
+    gets slower, so service-time quantiles must stay near ``delay_s``
+    and the backlog must surface as queue wait instead.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+        self.host: str | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    async def _handle(self, reader, writer) -> None:
+        from repro.service.http import read_request, write_response
+
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                await asyncio.sleep(self.delay_s)
+                await write_response(
+                    writer,
+                    200,
+                    {"status": "done", "id": "stub", "cache": "miss"},
+                    keep_alive=True,
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            server = await asyncio.start_server(
+                self._handle, "127.0.0.1", 0
+            )
+            self.host, self.port = server.sockets[0].getsockname()[:2]
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "SlowStub":
+        self._thread.start()
+        assert self._ready.wait(timeout=30)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+class TestOpenLoopSplit:
+    DELAY_S = 0.05
+
+    def test_backlog_lands_in_queue_wait_not_service_time(self):
+        # 12 requests at 200 rps into a 20 rps server: the intended
+        # send times outrun completions ~10×, so the true backlog by
+        # the last request is ~10 service times.  Before the split the
+        # latency samples absorbed that backlog and "p99" said the
+        # *server* was slow; now service time stays near delay_s.
+        with SlowStub(self.DELAY_S) as stub:
+            stats = run_load(
+                stub.host,
+                stub.port,
+                requests=12,
+                seed=0,
+                passes=1,
+                mode="open",
+                rate=200.0,
+                concurrency=1,
+            )[0]
+        assert stats.ok == 12
+        assert len(stats.queue_waits_s) == 12
+        service_p50 = stats.quantile_ms(0.5)
+        service_p99 = stats.quantile_ms(0.99)
+        queue_p99 = stats.queue_quantile_ms(0.99)
+        assert service_p50 >= self.DELAY_S * 1000 * 0.9
+        assert queue_p99 > 2 * service_p99
+        assert queue_p99 > 4 * self.DELAY_S * 1000
+        as_dict = stats.as_dict()
+        assert as_dict["queue_p99_ms"] == pytest.approx(queue_p99)
+        assert "queue_p99" in format_stats(stats)
+
+    def test_closed_loop_records_no_queue_waits(self):
+        with SlowStub(0.001) as stub:
+            stats = run_load(
+                stub.host,
+                stub.port,
+                requests=4,
+                seed=0,
+                passes=1,
+                mode="closed",
+                concurrency=2,
+            )[0]
+        assert stats.ok == 4
+        assert stats.queue_waits_s == []
+        assert "queue_p99" not in format_stats(stats)
 
 
 class TestSloSamples:
