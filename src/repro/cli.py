@@ -76,6 +76,16 @@ SOLVERS = {
     "accept_all_repair": "accept_all_repair",
 }
 
+#: Heterogeneous-platform algorithms reachable from ``repro solve``
+#: (the instance must carry a platform, or one is given via --platform).
+HETERO_SOLVERS = ("exhaustive_hetero", "typed_global", "typed_ltf")
+
+#: ``--policy`` spellings shared by ``repro serve`` and ``repro sim``.
+#: Mirrors :data:`repro.core.rejection.online.POLICY_CHOICES` without
+#: importing the solver stack at parser-build time (kept in sync by
+#: ``tests/test_cli.py``).
+_POLICY_CHOICES = ("accept", "threshold", "reject_all", "mk")
+
 
 class _Parser(argparse.ArgumentParser):
     """Argparse with PR-2-style one-line errors on stderr + exit 2."""
@@ -194,12 +204,21 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("instance", type=Path, help="instance .json path")
     solve.add_argument(
         "--algorithm",
-        default="fptas",
-        choices=sorted(SOLVERS),
-        help="which algorithm to run",
+        default=None,
+        choices=sorted([*SOLVERS, *HETERO_SOLVERS]),
+        help="which algorithm to run (default: fptas, or typed_ltf on a "
+        "heterogeneous-platform instance)",
     )
     solve.add_argument(
         "--eps", type=float, default=0.1, help="FPTAS accuracy parameter"
+    )
+    solve.add_argument(
+        "--platform",
+        default=None,
+        metavar="SPEC",
+        help="solve the instance's tasks on a heterogeneous platform, "
+        "e.g. 'lp:2,hp:1' (replaces the instance's energy function or "
+        "platform; selects the typed solvers)",
     )
     solve.add_argument(
         "-o",
@@ -300,20 +319,37 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--policy",
         default="accept",
-        choices=("accept", "threshold", "reject_all"),
-        help="admission policy (threshold = marginal-energy rule)",
+        choices=_POLICY_CHOICES,
+        help="admission policy (threshold = marginal-energy rule, "
+        "mk = (m,k)-firm skip contract around the threshold rule)",
     )
     serve.add_argument(
         "--theta",
         type=float,
         default=1.0,
-        help="threshold policy acceptance parameter (> 0)",
+        help="threshold/mk policy acceptance parameter (> 0)",
     )
     serve.add_argument(
         "--reserve",
         action="store_true",
-        help="threshold policy: price marginals at the capacity-filling "
+        help="threshold/mk policy: price marginals at the capacity-filling "
         "anchor (holds headroom back under overload)",
+    )
+    serve.add_argument(
+        "--mk-m",
+        type=int,
+        default=1,
+        metavar="M",
+        dest="mk_m",
+        help="mk policy: minimum accepts per window (default 1)",
+    )
+    serve.add_argument(
+        "--mk-k",
+        type=int,
+        default=2,
+        metavar="K",
+        dest="mk_k",
+        help="mk policy: window length (default 2; requires 1 <= M <= K)",
     )
     serve.add_argument(
         "--capacity",
@@ -546,22 +582,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cores", type=int, default=2, metavar="K", help="identical cores"
     )
     sim.add_argument(
+        "--cores-spec",
+        default=None,
+        metavar="SPEC",
+        dest="cores_spec",
+        help="heterogeneous core set, e.g. 'lp:2,hp:1' (supersedes "
+        "--cores; LP cores run their type's power curve at half speed)",
+    )
+    sim.add_argument(
         "--policy",
         default="accept",
-        choices=("accept", "threshold", "reject_all"),
+        choices=_POLICY_CHOICES,
         help="admission policy (same vocabulary as repro serve)",
     )
     sim.add_argument(
         "--theta",
         type=float,
         default=1.0,
-        help="threshold policy acceptance parameter (> 0)",
+        help="threshold/mk policy acceptance parameter (> 0)",
     )
     sim.add_argument(
         "--reserve",
         action="store_true",
-        help="threshold policy: price marginals at the capacity-filling "
+        help="threshold/mk policy: price marginals at the capacity-filling "
         "anchor",
+    )
+    sim.add_argument(
+        "--mk-m",
+        type=int,
+        default=1,
+        metavar="M",
+        dest="mk_m",
+        help="mk policy: minimum accepts per window (default 1)",
+    )
+    sim.add_argument(
+        "--mk-k",
+        type=int,
+        default=2,
+        metavar="K",
+        dest="mk_k",
+        help="mk policy: window length (default 2; requires 1 <= M <= K)",
     )
     sim.add_argument(
         "--capacity",
@@ -784,26 +844,86 @@ def _cmd_solve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.hetero.assign import (
+        HeteroRejectionProblem,
+        exhaustive_hetero,
+        typed_global_reject,
+        typed_ltf_reject,
+    )
+    from repro.hetero.stochastic import StochasticHeteroProblem
     from repro.obs import counters as obs_counters
 
-    solver = getattr(rejection, SOLVERS[args.algorithm])
-    with obs_counters.counting() as registry:
-        if args.algorithm == "fptas":
-            solution = solver(problem, eps=args.eps)
-        else:
+    if isinstance(problem, StochasticHeteroProblem):
+        # Offline solving prices the worst case; repro sim exercises the
+        # realised-cycles side of a stochastic instance.
+        problem = problem.wcet_problem()
+    if args.platform is not None:
+        from repro.hetero.platform import parse_cores_spec
+
+        try:
+            platform = parse_cores_spec(args.platform)
+        except ValueError as exc:
+            print(f"bad --platform spec: {exc}", file=sys.stderr)
+            return 2
+        problem = HeteroRejectionProblem(
+            tasks=problem.tasks,
+            platform=platform,
+            mk=getattr(problem, "mk", None),
+        )
+    hetero = isinstance(problem, HeteroRejectionProblem)
+    algorithm = args.algorithm or ("typed_ltf" if hetero else "fptas")
+    if hetero and algorithm not in HETERO_SOLVERS:
+        print(
+            f"{args.instance} is a heterogeneous-platform instance; "
+            f"--algorithm must be one of {', '.join(HETERO_SOLVERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if not hetero and algorithm in HETERO_SOLVERS:
+        print(
+            f"--algorithm {algorithm} needs a platform "
+            "(a platform instance, or --platform lp:2,hp:1)",
+            file=sys.stderr,
+        )
+        return 2
+    if hetero:
+        solver = {
+            "typed_ltf": typed_ltf_reject,
+            "typed_global": typed_global_reject,
+            "exhaustive_hetero": exhaustive_hetero,
+        }[algorithm]
+        with obs_counters.counting() as registry:
             solution = solver(problem)
+    else:
+        solver = getattr(rejection, SOLVERS[algorithm])
+        with obs_counters.counting() as registry:
+            if algorithm == "fptas":
+                solution = solver(problem, eps=args.eps)
+            else:
+                solution = solver(problem)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         with open(args.output, "w") as fh:
             json.dump(solution_to_dict(solution), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.output}")
-    rejected = ", ".join(t.name for t in solution.rejected_tasks) or "-"
-    print(
-        f"{solution.algorithm}: cost={solution.cost:.6g} "
-        f"(energy={solution.energy:.6g}, penalty={solution.penalty:.6g}); "
-        f"rejected: {rejected}"
-    )
+    if hetero:
+        names = sorted(problem.tasks[i].name for i in solution.rejected)
+        rejected = ", ".join(names) or "-"
+        breakdown = solution.breakdown
+        print(
+            f"{solution.algorithm} on {problem.platform.spec()}: "
+            f"cost={solution.cost:.6g} "
+            f"(energy={breakdown.energy:.6g}, "
+            f"penalty={breakdown.penalty:.6g}); rejected: {rejected}"
+        )
+    else:
+        rejected = ", ".join(t.name for t in solution.rejected_tasks) or "-"
+        print(
+            f"{solution.algorithm}: cost={solution.cost:.6g} "
+            f"(energy={solution.energy:.6g}, penalty={solution.penalty:.6g}); "
+            f"rejected: {rejected}"
+        )
     if args.explain:
         print(f"kernel: {get_kernel().name}")
         counters = registry.snapshot()
@@ -916,8 +1036,15 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.policy == "threshold" and not args.theta > 0:
+    if args.policy in ("threshold", "mk") and not args.theta > 0:
         print(f"--theta must be > 0, got {args.theta}", file=sys.stderr)
+        return 2
+    if args.policy == "mk" and not 1 <= args.mk_m <= args.mk_k:
+        print(
+            f"--mk-m/--mk-k must satisfy 1 <= m <= k, got "
+            f"({args.mk_m},{args.mk_k})",
+            file=sys.stderr,
+        )
         return 2
     if args.capacity is not None and not args.capacity > 0:
         print(f"--capacity must be > 0, got {args.capacity}", file=sys.stderr)
@@ -961,7 +1088,11 @@ def _cmd_serve(args) -> int:
         print("--budget-file requires --budget", file=sys.stderr)
         return 2
     policy = policy_from_spec(
-        args.policy, theta=args.theta, reserve=args.reserve
+        args.policy,
+        theta=args.theta,
+        reserve=args.reserve,
+        mk_m=args.mk_m,
+        mk_k=args.mk_k,
     )
     with _contextlib.ExitStack() as stack:
         access_sink = None
@@ -1169,8 +1300,24 @@ def _cmd_sim(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.policy == "threshold" and not args.theta > 0:
+    platform = None
+    if args.cores_spec is not None:
+        from repro.hetero.platform import parse_cores_spec
+
+        try:
+            platform = parse_cores_spec(args.cores_spec)
+        except ValueError as exc:
+            print(f"bad --cores-spec: {exc}", file=sys.stderr)
+            return 2
+    if args.policy in ("threshold", "mk") and not args.theta > 0:
         print(f"--theta must be > 0, got {args.theta}", file=sys.stderr)
+        return 2
+    if args.policy == "mk" and not 1 <= args.mk_m <= args.mk_k:
+        print(
+            f"--mk-m/--mk-k must satisfy 1 <= m <= k, got "
+            f"({args.mk_m},{args.mk_k})",
+            file=sys.stderr,
+        )
         return 2
     for flag, value in (
         ("--capacity", args.capacity),
@@ -1186,7 +1333,11 @@ def _cmd_sim(args) -> int:
 
     arrivals = make_arrivals(args.family, args.arrivals, args.seed)
     policy = policy_from_spec(
-        args.policy, theta=args.theta, reserve=args.reserve
+        args.policy,
+        theta=args.theta,
+        reserve=args.reserve,
+        mk_m=args.mk_m,
+        mk_k=args.mk_k,
     )
     report = ArrivalSimulator(
         arrivals,
@@ -1198,6 +1349,7 @@ def _cmd_sim(args) -> int:
         context_switch_s=args.cs_time,
         context_switch_j=args.cs_energy,
         deadline_check=not args.no_deadline_check,
+        platform=platform,
     ).run()
 
     params = sim_params(
@@ -1211,12 +1363,16 @@ def _cmd_sim(args) -> int:
         speed=args.speed,
         context_switch_s=args.cs_time,
         context_switch_j=args.cs_energy,
+        cores_spec=args.cores_spec,
     )
     # The trace header carries the full parameter set so bench-serve
     # --replay can rebuild the identical simulation from the file alone.
     params["theta"] = args.theta
     params["reserve"] = bool(args.reserve)
     params["deadline_check"] = not args.no_deadline_check
+    if args.policy == "mk":
+        params["mk_m"] = args.mk_m
+        params["mk_k"] = args.mk_k
     manifest = write_sim_manifest(
         report, family=args.family, seed=args.seed, params=params
     )
@@ -1285,7 +1441,14 @@ def _cmd_replay(args) -> int:
             header["policy"],
             theta=header.get("theta", 1.0),
             reserve=header.get("reserve", False),
+            mk_m=header.get("mk_m", 1),
+            mk_k=header.get("mk_k", 2),
         )
+        platform = None
+        if header.get("cores_spec"):
+            from repro.hetero.platform import parse_cores_spec
+
+            platform = parse_cores_spec(header["cores_spec"])
         report = ArrivalSimulator(
             arrivals,
             cores=header["cores"],
@@ -1296,6 +1459,7 @@ def _cmd_replay(args) -> int:
             context_switch_s=header.get("context_switch_s", 0.0),
             context_switch_j=header.get("context_switch_j", 0.0),
             deadline_check=header.get("deadline_check", True),
+            platform=platform,
         ).run()
     except (KeyError, ValueError) as exc:
         print(

@@ -72,6 +72,7 @@ from repro.core.rejection.heterogeneous import (
 )
 from repro.core.rejection.online import (
     AcceptIfFeasible,
+    MKFirmSkipPolicy,
     OnlinePolicy,
     RejectAll,
     ThresholdPolicy,
@@ -140,6 +141,7 @@ __all__ = [
     "simulate_partitioned_solution",
     "OnlinePolicy",
     "ThresholdPolicy",
+    "MKFirmSkipPolicy",
     "AcceptIfFeasible",
     "RejectAll",
     "run_online",

@@ -40,6 +40,7 @@ from repro._validation import fits
 from repro.core.rejection.problem import CostBreakdown
 from repro.core.rejection.relaxation import fractional_lower_bound
 from repro.energy.base import EnergyFunction
+from repro.kernels import get_kernel
 from repro.multiproc.partition import (
     Partition,
     greedy_partition,
@@ -95,7 +96,13 @@ class MultiprocRejectionProblem:
     def cost_of(self, partition: Partition) -> CostBreakdown:
         """Cost of a partition (unassigned items are the rejected set)."""
         sizes = [t.cycles for t in self.tasks]
-        energy = sum(self.energy_fn.energy(w) for w in partition.loads(sizes))
+        table = get_kernel().energy_table(
+            self.energy_fn, partition.loads(sizes)
+        )
+        # Left-to-right accumulation keeps the sum bit-identical to the
+        # scalar generator it replaces (the kernel evaluates each load
+        # with the same scalar energy call).
+        energy = sum(float(e) for e in table)
         penalty = sum(self.tasks[i].penalty for i in partition.unassigned)
         return CostBreakdown(energy=energy, penalty=penalty)
 

@@ -47,9 +47,12 @@ try:  # NumPy is optional: it only appears in rng type annotations here.
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None  # annotations are strings (PEP 563); never evaluated
 
+from collections import deque
+
 from repro._validation import fits, require_positive
 from repro.core.rejection.problem import RejectionProblem, RejectionSolution
 from repro.energy.base import EnergyFunction
+from repro.hetero.mk import MKSpec
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 from repro.tasks.model import FrameTask
@@ -136,13 +139,85 @@ class ThresholdPolicy(OnlinePolicy):
         return marginal <= self._theta * task.penalty
 
 
+class MKFirmSkipPolicy(OnlinePolicy):
+    """(m,k)-firm skip admission: shed only when the window can afford it.
+
+    Baskaran & Thambidurai's weakly-hard semantics as an online rejection
+    rule: out of any ``k`` consecutive *decisions this policy makes*, at
+    least ``m`` must be accepts.  A job may be skipped iff the previous
+    ``k-1`` decisions already contain ``m`` accepts (pre-stream history
+    padded as accepts — see :mod:`repro.hetero.mk` for the correctness
+    argument); when skipping is allowed, the usual marginal-energy
+    threshold rule expresses the preference, and when it is not, the job
+    is a *mandatory accept*.
+
+    The policy is **stateful** (it remembers its own decision window), so
+    replaying a decision log must construct a fresh instance — which is
+    exactly what :func:`policy_from_spec` gives every call site.  Note the
+    window tracks decisions the policy was *consulted* for: arrivals the
+    surrounding controller drops on its own (deadline-infeasible,
+    capacity-infeasible with no shed plan, budget-refused) never reach
+    ``admit`` and are forced skips outside the weakly-hard contract.
+
+    Parameters
+    ----------
+    m, k:
+        The (m,k)-firm window: ``1 <= m <= k``.  ``m == k`` (and the
+        degenerate ``(1,1)``) never skip.
+    theta, reserve:
+        The :class:`ThresholdPolicy` preference applied when skipping is
+        allowed.
+    """
+
+    def __init__(
+        self,
+        m: int = 1,
+        k: int = 2,
+        *,
+        theta: float = 1.0,
+        reserve: bool = False,
+    ) -> None:
+        self._spec = MKSpec(m=m, k=k)
+        self._pref = ThresholdPolicy(theta, reserve=reserve)
+        self._window: deque[bool] = deque(maxlen=self._spec.k - 1)
+        #: Full decision stream (True = accept), for invariant checks.
+        self.decisions: list[bool] = []
+        suffix = "r" if reserve else ""
+        self.name = f"mk({m},{k};{theta:g}{suffix})"
+
+    @property
+    def spec(self) -> MKSpec:
+        """The (m,k) window specification."""
+        return self._spec
+
+    def skip_allowed(self) -> bool:
+        """True when skipping the next job cannot violate any window."""
+        maxlen = self._window.maxlen or 0
+        accepts = sum(self._window) + (maxlen - len(self._window))
+        return accepts >= self._spec.m
+
+    def admit(self, task, accepted_workload, energy_fn) -> bool:
+        if self.skip_allowed():
+            decision = self._pref.admit(task, accepted_workload, energy_fn)
+        else:
+            decision = True
+        self._window.append(decision)
+        self.decisions.append(decision)
+        return decision
+
+
 #: Policy spellings accepted by :func:`policy_from_spec` (the shared
 #: vocabulary of ``repro serve --policy`` and ``repro sim --policy``).
-POLICY_CHOICES = ("accept", "threshold", "reject_all")
+POLICY_CHOICES = ("accept", "threshold", "reject_all", "mk")
 
 
 def policy_from_spec(
-    name: str = "accept", *, theta: float = 1.0, reserve: bool = False
+    name: str = "accept",
+    *,
+    theta: float = 1.0,
+    reserve: bool = False,
+    mk_m: int = 1,
+    mk_k: int = 2,
 ) -> OnlinePolicy:
     """Build the policy object a ``--policy`` spelling names.
 
@@ -158,6 +233,8 @@ def policy_from_spec(
         return ThresholdPolicy(theta, reserve=reserve)
     if name == "reject_all":
         return RejectAll()
+    if name == "mk":
+        return MKFirmSkipPolicy(mk_m, mk_k, theta=theta, reserve=reserve)
     raise ValueError(
         f"unknown policy {name!r}; choose from {', '.join(POLICY_CHOICES)}"
     )

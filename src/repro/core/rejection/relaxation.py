@@ -30,6 +30,7 @@ from repro.core.rejection.problem import (
     best_solution,
 )
 from repro.energy.base import EnergyFunction
+from repro.kernels import get_kernel
 
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
 
@@ -106,7 +107,10 @@ def fractional_relaxation(problem: RejectionProblem) -> FractionalRelaxation:
     """Solve the fractional relaxation exactly (see module docstring)."""
     g = _require_convex(problem.energy_fn)
     tasks = problem.tasks
-    order = sorted(range(len(tasks)), key=lambda i: tasks[i].penalty_density)
+    kern = get_kernel()
+    order = kern.density_order(
+        [t.cycles for t in tasks], [t.penalty for t in tasks]
+    )
     cycles = [tasks[i].cycles for i in order]
     penalties = [tasks[i].penalty for i in order]
 
@@ -116,12 +120,11 @@ def fractional_relaxation(problem: RejectionProblem) -> FractionalRelaxation:
     w_lo = 0.0
 
     # Prefix sums: rejecting the first k tasks (density order) sheds
-    # cum_c[k] cycles at cum_p[k] penalty.
-    cum_c = [0.0]
-    cum_p = [0.0]
-    for c, p in zip(cycles, penalties):
-        cum_c.append(cum_c[-1] + c)
-        cum_p.append(cum_p[-1] + p)
+    # cum_c[k] cycles at cum_p[k] penalty.  Both kernels accumulate
+    # strictly left to right, so the floats match the scalar loop bit
+    # for bit.
+    cum_c = [float(v) for v in kern.prefix_sums(cycles)]
+    cum_p = [float(v) for v in kern.prefix_sums(penalties)]
 
     def shed_cost(rejected_cycles: float) -> float:
         """Min fractional penalty to shed *rejected_cycles* (piecewise lin)."""

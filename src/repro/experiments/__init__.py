@@ -21,6 +21,8 @@ from repro.experiments import (
     fig_r11,
     fig_r12,
     fig_r13,
+    fig_h1,
+    fig_h2,
     tab_r1,
     tab_r2,
     tab_r3,
@@ -42,6 +44,8 @@ ALL_EXPERIMENTS = {
     "fig_r11": fig_r11.run,
     "fig_r12": fig_r12.run,
     "fig_r13": fig_r13.run,
+    "fig_h1": fig_h1.run,
+    "fig_h2": fig_h2.run,
     "tab_r1": tab_r1.run,
     "tab_r2": tab_r2.run,
     "tab_r3": tab_r3.run,

@@ -1,0 +1,90 @@
+"""Per-core DVFS frequency selection against the typed curves.
+
+Once the typed assignment fixes each core's accepted workload, the
+per-core frequency problem is the uniprocessor one the energy functions
+already solve: each core independently runs its type's optimal plan for
+its own load (Nélis et al.'s *partitioned per-core DVFS*).  This module
+turns a :class:`HeteroRejectionSolution` into those plans plus a
+human-readable per-core summary for the CLI's ``--explain`` output and
+the experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.base import SpeedPlan
+from repro.hetero.assign import HeteroRejectionSolution
+
+__all__ = ["CoreDVFS", "dvfs_plans", "dvfs_summary"]
+
+
+@dataclass(frozen=True)
+class CoreDVFS:
+    """One core's frequency decision.
+
+    Attributes
+    ----------
+    core:
+        Flattened core index.
+    type_name:
+        The core's type (``"lp"`` / ``"hp"`` for the presets).
+    load:
+        Accepted cycles assigned to the core.
+    speed:
+        The constant execution speed of the plan's busy segment (0 for
+        an idle core).
+    plan:
+        The full speed plan over the frame.
+    """
+
+    core: int
+    type_name: str
+    load: float
+    speed: float
+    plan: SpeedPlan
+
+    @property
+    def energy(self) -> float:
+        """Frame energy of the plan."""
+        return self.plan.energy
+
+
+def dvfs_plans(solution: HeteroRejectionSolution) -> tuple[CoreDVFS, ...]:
+    """Per-core optimal speed plans for a typed assignment."""
+    problem = solution.problem
+    type_names = [t.name for t in problem.platform.core_types]
+    out: list[CoreDVFS] = []
+    for core, load in enumerate(solution.loads()):
+        fn = problem.core_energy_fns[core]
+        plan = fn.plan(load)
+        speed = max((seg.speed for seg in plan.segments), default=0.0)
+        out.append(
+            CoreDVFS(
+                core=core,
+                type_name=type_names[problem.core_types[core]],
+                load=load,
+                speed=max(speed, 0.0),
+                plan=plan,
+            )
+        )
+    return tuple(out)
+
+
+def dvfs_summary(solution: HeteroRejectionSolution) -> list[dict[str, object]]:
+    """JSON-friendly per-core rows: core, type, tasks, load, speed, energy."""
+    plans = dvfs_plans(solution)
+    rows: list[dict[str, object]] = []
+    for entry in plans:
+        tasks = solution.partition.assignments[entry.core]
+        rows.append(
+            {
+                "core": entry.core,
+                "type": entry.type_name,
+                "tasks": [solution.problem.tasks[i].name for i in tasks],
+                "load": entry.load,
+                "speed": entry.speed,
+                "energy": entry.energy,
+            }
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""(m,k)-firm skip specifications and window checking.
+
+Baskaran & Thambidurai's weakly-hard semantics: out of any ``k``
+consecutive jobs of a stream, at least ``m`` must be accepted (executed
+to completion).  A *skip* is a rejection with structure — the admission
+layer may shed a job only when doing so cannot push any length-``k``
+window below ``m`` accepts.
+
+This module is deliberately stdlib-only: ``core.rejection.online``
+imports :class:`MKSpec` at class-definition time, and the import chain
+``core.rejection.__init__ → online → hetero.mk`` must never re-enter
+``core.rejection`` or pull optional dependencies into the
+no-NumPy serving builds.
+
+The online rule (used by ``MKFirmSkipPolicy``) is: *a job may be
+skipped iff the previous ``k - 1`` decisions contain at least ``m``
+accepts*, with pre-stream history padded as accepts.  Correctness: take
+any window ``W = [t-k+1, t]`` and let ``s`` be the last skip in it (if
+none, the window is all accepts).  The rule at time ``s`` guarantees at
+least ``m`` accepts in ``[s-k+1, s-1]``; of those, at most ``t - s``
+fall before ``W`` (positions ``[s-k+1, t-k]``), and every position
+after ``s`` in ``W`` is an accept (exactly ``t - s`` of them).  So
+accepts in ``W`` ≥ ``(m - (t-s)) + (t-s) = m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["MKSpec", "mk_window_ok"]
+
+
+@dataclass(frozen=True)
+class MKSpec:
+    """An (m,k)-firm constraint: ≥ *m* accepts in any *k* consecutive jobs.
+
+    ``m == k`` forbids skipping entirely; ``m == 0`` would allow
+    unconstrained shedding, which the plain rejection policies already
+    model, so ``m >= 1`` is required here.
+    """
+
+    m: int
+    k: int
+
+    def __post_init__(self) -> None:
+        for label, value in (("m", self.m), ("k", self.k)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"mk spec field {label}: must be an integer, got {value!r}")
+        if self.k < 1:
+            raise ValueError(f"mk spec field k: must be >= 1, got {self.k}")
+        if not 1 <= self.m <= self.k:
+            raise ValueError(
+                f"mk spec field m: must satisfy 1 <= m <= k, got m={self.m} k={self.k}"
+            )
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {"m": self.m, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> MKSpec:
+        """Rebuild from :meth:`to_dict` output; raises ``ValueError`` naming the field."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"mk spec: expected an object, got {type(data).__name__}")
+        out: dict[str, int] = {}
+        for label in ("m", "k"):
+            if label not in data:
+                raise ValueError(f"mk spec field {label}: missing")
+            value = data[label]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"mk spec field {label}: must be an integer, got {value!r}")
+            out[label] = value
+        return cls(m=out["m"], k=out["k"])
+
+    def __str__(self) -> str:
+        return f"({self.m},{self.k})"
+
+
+def mk_window_ok(decisions: Iterable[bool], m: int, k: int) -> bool:
+    """True iff every length-``k`` window of *decisions* has ≥ ``m`` accepts.
+
+    *decisions* is the per-job accept/skip stream (True = accepted).
+    Pre-stream history counts as accepts, matching the online rule:
+    windows that extend before the first job are padded with accepts, so
+    short prefixes are never violations.
+    """
+    spec = MKSpec(m=m, k=k)
+    stream = [bool(d) for d in decisions]
+    # Sliding count of accepts over the last k positions, with the
+    # virtual all-accept prefix.
+    window: list[bool] = [True] * spec.k
+    accepts = spec.k
+    for decision in stream:
+        accepts += int(decision) - int(window.pop(0))
+        window.append(decision)
+        if accepts < spec.m:
+            return False
+    return True

@@ -1,0 +1,213 @@
+"""Two-type heterogeneous platform model (big.LITTLE-style LP/HP cores).
+
+The paper — and everything the reproduction built so far — treats the
+platform as an implicit processor count ``m`` with one shared power
+curve.  Real energy-constrained fleets are heterogeneous: a cluster of
+slow, efficient LP ("LITTLE") cores next to fast, power-hungry HP
+("big") cores, each type with its own ``P(s) = β0 + β1·sᵅ`` curve and
+its own speed ceiling (Thammawichai & Kerrigan's two-type formulations
+in PAPERS.md).  This module makes the platform a first-class modelled
+object:
+
+* :class:`CoreType` — a named group of identical cores with one
+  serialisable polynomial power model;
+* :class:`Platform` — an ordered tuple of core types plus the frame
+  deadline, exposing per-type energy functions/capacities and a
+  flattened per-core view (the order cores present to the schedulers);
+* :func:`parse_cores_spec` — the ``"lp:2,hp:1"`` spelling shared by
+  ``repro sim --cores-spec`` and ``repro solve --platform``;
+* :data:`CORE_TYPE_PRESETS` — the reference LP/HP curves (HP is the
+  normalised XScale curve the uniprocessor experiments use; LP trades
+  a 0.5 speed ceiling for a ~4× cheaper dynamic term).
+
+Everything here is dependency-free pure Python, so the simulator and
+the service can model heterogeneous platforms in the no-NumPy builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.continuous import ContinuousEnergyFunction
+from repro.power.polynomial import PolynomialPowerModel
+
+__all__ = [
+    "CORE_TYPE_PRESETS",
+    "CoreType",
+    "Platform",
+    "lp_hp_platform",
+    "parse_cores_spec",
+]
+
+#: Named per-type power curves the ``type:count`` spec vocabulary knows.
+#: ``hp`` is the normalised Intel XScale curve of the uniprocessor
+#: experiments; ``lp`` is an efficiency core: half the speed ceiling,
+#: ~4× smaller dynamic coefficient, ~4× smaller leakage.  At any common
+#: speed the LP core is strictly cheaper per cycle; the HP core exists
+#: for throughput.
+CORE_TYPE_PRESETS: dict[str, dict[str, float]] = {
+    "lp": {"beta0": 0.02, "beta1": 0.40, "alpha": 3.0, "s_max": 0.5},
+    "hp": {"beta0": 0.08, "beta1": 1.52, "alpha": 3.0, "s_max": 1.0},
+}
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """``count`` identical cores sharing one power curve.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``"lp"``/``"hp"`` for the presets; any
+        non-empty string for custom types).
+    count:
+        Number of cores of this type (>= 0 so ratio sweeps can include
+        the degenerate endpoints; the :class:`Platform` requires at
+        least one core overall).
+    power_model:
+        The type's serialisable ``P(s) = β0 + β1·sᵅ`` curve; its
+        ``s_max`` is the type's speed ceiling.
+    """
+
+    name: str
+    count: int
+    power_model: PolynomialPowerModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("core type name must be non-empty")
+        if not isinstance(self.count, int) or isinstance(self.count, bool):
+            raise ValueError(
+                f"core type {self.name!r}: count must be an integer, "
+                f"got {self.count!r}"
+            )
+        if self.count < 0:
+            raise ValueError(
+                f"core type {self.name!r}: count must be >= 0, "
+                f"got {self.count!r}"
+            )
+
+    @property
+    def s_max(self) -> float:
+        """The type's speed ceiling."""
+        return self.power_model.s_max
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An ordered heterogeneous platform: core types + frame deadline.
+
+    The flattened core order (type order, then core index within the
+    type) is the order the simulator and the typed assignment solvers
+    see cores in — putting the efficient type first in the spec means
+    free cores fill efficient-first, deterministically.
+    """
+
+    core_types: tuple[CoreType, ...]
+    deadline: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.core_types:
+            raise ValueError("a platform needs at least one core type")
+        names = [t.name for t in self.core_types]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate core type names in {names}")
+        if not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline!r}")
+        if self.total_cores < 1:
+            raise ValueError("a platform needs at least one core")
+
+    @property
+    def total_cores(self) -> int:
+        """Number of cores over all types."""
+        return sum(t.count for t in self.core_types)
+
+    def energy_functions(self) -> tuple[ContinuousEnergyFunction, ...]:
+        """Per-type workload→energy functions over the frame deadline."""
+        return tuple(
+            ContinuousEnergyFunction(t.power_model, self.deadline)
+            for t in self.core_types
+        )
+
+    def capacities(self) -> tuple[float, ...]:
+        """Per-type per-core capacity ``s_max · D``."""
+        return tuple(fn.max_workload for fn in self.energy_functions())
+
+    def core_type_indices(self) -> tuple[int, ...]:
+        """``result[c]`` = index into :attr:`core_types` of core ``c``."""
+        out: list[int] = []
+        for idx, core_type in enumerate(self.core_types):
+            out.extend([idx] * core_type.count)
+        return tuple(out)
+
+    def spec(self) -> str:
+        """The ``"lp:2,hp:1"`` spelling of this platform's shape.
+
+        Only round-trips through :func:`parse_cores_spec` when every
+        type uses its preset curve — custom curves travel through
+        :mod:`repro.io` instead.
+        """
+        return ",".join(f"{t.name}:{t.count}" for t in self.core_types)
+
+
+def _preset_model(name: str) -> PolynomialPowerModel:
+    params = CORE_TYPE_PRESETS[name]
+    return PolynomialPowerModel(
+        beta0=params["beta0"],
+        beta1=params["beta1"],
+        alpha=params["alpha"],
+        s_max=params["s_max"],
+    )
+
+
+def lp_hp_platform(
+    lp: int, hp: int, *, deadline: float = 1.0
+) -> Platform:
+    """The reference two-type platform: *lp* LITTLE + *hp* big cores."""
+    return Platform(
+        core_types=(
+            CoreType("lp", lp, _preset_model("lp")),
+            CoreType("hp", hp, _preset_model("hp")),
+        ),
+        deadline=deadline,
+    )
+
+
+def parse_cores_spec(spec: str, *, deadline: float = 1.0) -> Platform:
+    """Parse the ``"type:count[,type:count...]"`` platform spelling.
+
+    Types come from :data:`CORE_TYPE_PRESETS`; counts are non-negative
+    integers with at least one core overall.  Raises ``ValueError`` with
+    a one-line message naming the offending entry (the CLI prints it
+    verbatim and exits 2).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError("cores spec must be a non-empty 'type:count' list")
+    core_types: list[CoreType] = []
+    seen: set[str] = set()
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if ":" not in entry:
+            raise ValueError(
+                f"cores spec entry {entry!r} is not 'type:count' "
+                f"(example: 'lp:2,hp:1')"
+            )
+        name, _, count_text = entry.partition(":")
+        name = name.strip().lower()
+        if name not in CORE_TYPE_PRESETS:
+            raise ValueError(
+                f"unknown core type {name!r}; choose from "
+                f"{', '.join(sorted(CORE_TYPE_PRESETS))}"
+            )
+        if name in seen:
+            raise ValueError(f"core type {name!r} listed twice in {spec!r}")
+        seen.add(name)
+        try:
+            count = int(count_text.strip())
+        except ValueError:
+            raise ValueError(
+                f"cores spec entry {entry!r}: count must be an integer"
+            ) from None
+        core_types.append(CoreType(name, count, _preset_model(name)))
+    platform = Platform(core_types=tuple(core_types), deadline=deadline)
+    return platform

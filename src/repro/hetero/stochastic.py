@@ -1,0 +1,399 @@
+"""Stochastic execution cycles and expected-energy frequency selection.
+
+Berten/Chang/Kuo-style stochastic DVS (PAPERS.md): a task's actual
+cycle demand is a random variable; the frequency must still guarantee
+the *worst case* meets the deadline, but the energy-optimal choice
+minimises **expected** energy over the distribution — which differs
+from the WCET-optimal speed exactly when unused slack has value (a
+dormant mode to fall into, leakage to shed).
+
+The pieces:
+
+* :class:`CycleDistribution` — a tiny serialisable distribution algebra
+  (``fixed``, ``uniform``, ``choice``) with exact means, worst cases,
+  quadrature nodes for expectations, and seeded sampling;
+* :class:`StochasticTask` / :class:`StochasticHeteroProblem` —
+  distribution-carrying tasks over a typed :class:`Platform`, with a
+  WCET projection (:meth:`StochasticHeteroProblem.wcet_problem`) into
+  the deterministic solvers and seeded realisation
+  (:meth:`StochasticHeteroProblem.realize`) through the experiments'
+  ``derived_rng`` discipline;
+* :func:`expected_energy` / :func:`select_speed` — per-task expected
+  frame energy at a fixed speed, and the speed minimising it subject to
+  WCET feasibility.
+
+Sampling needs NumPy (the rng type the whole repo uses); everything
+else — distributions, expectations, speed selection — is pure Python so
+the no-NumPy builds can still plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro._validation import require_nonnegative, require_positive
+from repro.hetero.mk import MKSpec
+from repro.hetero.platform import Platform
+from repro.power.base import DormantMode, PowerModel
+from repro.tasks.model import FrameTask, FrameTaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+__all__ = [
+    "CycleDistribution",
+    "StochasticHeteroProblem",
+    "StochasticTask",
+    "expected_energy",
+    "select_speed",
+]
+
+#: Midpoint-rule nodes used to integrate expectations over ``uniform``.
+_UNIFORM_NODES = 33
+
+
+@dataclass(frozen=True)
+class CycleDistribution:
+    """A distribution over execution cycles.
+
+    Kinds and their ``params``:
+
+    * ``"fixed"``   — ``(v,)``: the deterministic special case.
+    * ``"uniform"`` — ``(lo, hi)``: continuous uniform on ``[lo, hi]``.
+    * ``"choice"``  — ``(v1, p1, v2, p2, ...)``: finite support with
+      probabilities summing to 1.
+
+    Values must be positive (a task with zero demand is not a task) and
+    ``wcet()`` is always finite, so WCET feasibility checks stay exact.
+    """
+
+    kind: str
+    params: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        params = tuple(float(p) for p in self.params)
+        object.__setattr__(self, "params", params)
+        if self.kind == "fixed":
+            if len(params) != 1:
+                raise ValueError(
+                    f"fixed distribution takes 1 parameter, got {len(params)}"
+                )
+            require_positive("cycles", params[0])
+        elif self.kind == "uniform":
+            if len(params) != 2:
+                raise ValueError(
+                    f"uniform distribution takes 2 parameters, got {len(params)}"
+                )
+            lo, hi = params
+            require_positive("lo", lo)
+            if hi < lo:
+                raise ValueError(f"uniform needs lo <= hi, got [{lo}, {hi}]")
+        elif self.kind == "choice":
+            if len(params) < 2 or len(params) % 2:
+                raise ValueError(
+                    "choice distribution takes (value, prob) pairs, got "
+                    f"{len(params)} parameters"
+                )
+            total = 0.0
+            for v, p in zip(params[::2], params[1::2]):
+                require_positive("value", v)
+                require_nonnegative("prob", p)
+                total += p
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"choice probabilities sum to {total!r}, not 1")
+        else:
+            raise ValueError(
+                f"unknown distribution kind {self.kind!r}; "
+                "choose from fixed, uniform, choice"
+            )
+
+    @classmethod
+    def fixed(cls, cycles: float) -> "CycleDistribution":
+        return cls("fixed", (cycles,))
+
+    @classmethod
+    def uniform(cls, lo: float, hi: float) -> "CycleDistribution":
+        return cls("uniform", (lo, hi))
+
+    @classmethod
+    def choice(cls, *pairs: tuple[float, float]) -> "CycleDistribution":
+        flat: list[float] = []
+        for value, prob in pairs:
+            flat.extend((value, prob))
+        return cls("choice", tuple(flat))
+
+    def mean(self) -> float:
+        """Exact expected cycles."""
+        if self.kind == "fixed":
+            return self.params[0]
+        if self.kind == "uniform":
+            lo, hi = self.params
+            return (lo + hi) / 2.0
+        return sum(v * p for v, p in zip(self.params[::2], self.params[1::2]))
+
+    def wcet(self) -> float:
+        """Worst-case cycles (the feasibility currency)."""
+        if self.kind == "fixed":
+            return self.params[0]
+        if self.kind == "uniform":
+            return self.params[1]
+        return max(
+            v for v, p in zip(self.params[::2], self.params[1::2]) if p > 0.0
+        )
+
+    def nodes(self) -> tuple[tuple[float, float], ...]:
+        """(value, weight) quadrature nodes for expectations.
+
+        ``choice`` is exact; ``uniform`` uses an ``_UNIFORM_NODES``-point
+        midpoint rule (exact for the piecewise-linear integrands the
+        energy model produces away from the sleep kink, and within the
+        documented tolerance across it).
+        """
+        if self.kind == "fixed":
+            return ((self.params[0], 1.0),)
+        if self.kind == "choice":
+            return tuple(
+                (v, p)
+                for v, p in zip(self.params[::2], self.params[1::2])
+                if p > 0.0
+            )
+        lo, hi = self.params
+        if hi == lo:
+            return ((lo, 1.0),)
+        width = (hi - lo) / _UNIFORM_NODES
+        return tuple(
+            (lo + (i + 0.5) * width, 1.0 / _UNIFORM_NODES)
+            for i in range(_UNIFORM_NODES)
+        )
+
+    def sample(self, rng: "np.random.Generator") -> float:
+        """One seeded draw (requires NumPy — the repo's rng currency)."""
+        if self.kind == "fixed":
+            return self.params[0]
+        if self.kind == "uniform":
+            lo, hi = self.params
+            return float(rng.uniform(lo, hi))
+        values = list(self.params[::2])
+        probs = list(self.params[1::2])
+        return float(values[rng.choice(len(values), p=probs)])
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {"kind": self.kind, "params": list(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CycleDistribution":
+        """Rebuild from :meth:`to_dict` output; errors name the field."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"distribution: expected an object, got {type(data).__name__}"
+            )
+        kind = data.get("kind")
+        if not isinstance(kind, str):
+            raise ValueError("distribution field kind: missing or not a string")
+        params = data.get("params")
+        if not isinstance(params, (list, tuple)):
+            raise ValueError("distribution field params: missing or not a list")
+        try:
+            values = tuple(float(p) for p in params)
+        except (TypeError, ValueError):
+            raise ValueError(
+                "distribution field params: values must be numbers"
+            ) from None
+        return cls(kind, values)
+
+
+@dataclass(frozen=True)
+class StochasticTask:
+    """A frame task whose cycle demand is a distribution."""
+
+    name: str
+    dist: CycleDistribution
+    penalty: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        require_nonnegative("penalty", self.penalty)
+
+    def wcet_task(self) -> FrameTask:
+        """The deterministic WCET projection."""
+        return FrameTask(name=self.name, cycles=self.dist.wcet(), penalty=self.penalty)
+
+
+def expected_energy(
+    dist: CycleDistribution,
+    power_model: PowerModel,
+    deadline: float,
+    *,
+    speed: float,
+    dormant: DormantMode | None = None,
+) -> float:
+    """Expected frame energy running *dist* at constant *speed*.
+
+    Per realisation ``x``: execute for ``x / speed``, then spend the
+    remaining slack in the cheaper of idling at the static power or one
+    sleep round-trip at ``e_sw`` (when a dormant mode is given and the
+    slack admits the transition).  Without leakage or a dormant mode the
+    expectation degenerates to ``mean / speed · P(speed)`` and the
+    WCET-optimal speed is also expectation-optimal; *with* them the
+    slack's value makes the whole distribution matter — which is the
+    point of stochastic DVS.
+
+    Raises ``ValueError`` when the worst case cannot finish by the
+    deadline at *speed*.
+    """
+    require_positive("speed", speed)
+    require_positive("deadline", deadline)
+    if speed > power_model.s_max * (1.0 + 1e-12):
+        raise ValueError(
+            f"speed {speed!r} exceeds the model ceiling {power_model.s_max!r}"
+        )
+    if dist.wcet() / speed > deadline * (1.0 + 1e-12):
+        raise ValueError(
+            f"worst case {dist.wcet()!r} cycles misses the deadline "
+            f"{deadline!r} at speed {speed!r}"
+        )
+    static = power_model.static_power
+    total = 0.0
+    for x, weight in dist.nodes():
+        busy = min(x / speed, deadline)
+        energy = busy * power_model.power(speed)
+        slack = deadline - busy
+        if slack > 0.0:
+            idle_cost = static * slack
+            if (
+                dormant is not None
+                and slack >= dormant.t_sw
+                and dormant.e_sw < idle_cost
+            ):
+                energy += dormant.e_sw
+            else:
+                energy += idle_cost
+        total += weight * energy
+    return total
+
+
+def select_speed(
+    dist: CycleDistribution,
+    power_model: PowerModel,
+    deadline: float,
+    *,
+    dormant: DormantMode | None = None,
+    levels: Sequence[float] | None = None,
+    grid: int = 64,
+) -> tuple[float, float]:
+    """(speed, expected energy) minimising :func:`expected_energy`.
+
+    Feasibility first: every candidate satisfies ``s >= wcet / D`` (and
+    the model's ``s_min``), so the worst case always meets the deadline.
+    With *levels* (a discrete frequency set) the argmin over feasible
+    levels wins, first minimum on ties.  Otherwise the continuous range
+    is scanned on a *grid* and refined by golden section around the best
+    cell — the expectation is not convex in general (the sleep/idle
+    switch per node kinks it), so the scan brackets the basin before
+    refining.
+    """
+    s_floor = max(dist.wcet() / deadline, power_model.s_min)
+    s_max = power_model.s_max
+    if s_floor > s_max * (1.0 + 1e-12):
+        raise ValueError(
+            f"worst case {dist.wcet()!r} cycles cannot meet deadline "
+            f"{deadline!r} within s_max={s_max!r}"
+        )
+    s_floor = min(s_floor, s_max)
+
+    def cost(s: float) -> float:
+        return expected_energy(
+            dist, power_model, deadline, speed=s, dormant=dormant
+        )
+
+    if levels is not None:
+        feasible = sorted(
+            s for s in levels if s_floor * (1.0 - 1e-12) <= s <= s_max * (1.0 + 1e-12)
+        )
+        if not feasible:
+            raise ValueError(
+                f"no frequency level in {sorted(levels)!r} is feasible for "
+                f"wcet={dist.wcet()!r}, deadline={deadline!r}"
+            )
+        best_s = feasible[0]
+        best_e = cost(best_s)
+        for s in feasible[1:]:
+            e = cost(s)
+            if e < best_e - 1e-15:
+                best_s, best_e = s, e
+        return best_s, best_e
+
+    if grid < 2 or s_max - s_floor <= 1e-12:
+        return s_floor, cost(s_floor)
+    step = (s_max - s_floor) / grid
+    samples = [s_floor + i * step for i in range(grid + 1)]
+    costs = [cost(s) for s in samples]
+    k = min(range(len(samples)), key=costs.__getitem__)
+    lo = samples[max(k - 1, 0)]
+    hi = samples[min(k + 1, len(samples) - 1)]
+    from repro.core.rejection.relaxation import _minimize_convex
+
+    s, e = _minimize_convex(cost, lo, hi)
+    if costs[k] < e:
+        return samples[k], costs[k]
+    return s, e
+
+
+@dataclass(frozen=True)
+class StochasticHeteroProblem:
+    """Distribution-carrying tasks over a typed platform.
+
+    The deterministic solvers consume the WCET projection
+    (:meth:`wcet_problem`); experiments and the simulator consume seeded
+    realisations (:meth:`realize`).
+    """
+
+    tasks: tuple[StochasticTask, ...]
+    platform: Platform
+    mk: MKSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        if not self.tasks:
+            raise ValueError("a rejection problem needs at least one task")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique")
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return len(self.tasks)
+
+    def wcet_problem(self) -> "HeteroRejectionProblem":
+        """The deterministic worst-case instance (feasibility currency)."""
+        from repro.hetero.assign import HeteroRejectionProblem
+
+        return HeteroRejectionProblem(
+            tasks=FrameTaskSet(t.wcet_task() for t in self.tasks),
+            platform=self.platform,
+            mk=self.mk,
+        )
+
+    def realize(
+        self, seed_tuple: Sequence[int], *, stream: str = "stochastic-cycles"
+    ) -> "HeteroRejectionProblem":
+        """One seeded realisation: sample every task's cycles.
+
+        Draws come from one ``derived_rng(seed_tuple, stream)`` consumed
+        in task order, so the realisation is a pure function of the seed
+        tuple and the stream label regardless of what else the trial
+        runs.  Requires NumPy.
+        """
+        from repro.experiments.common import derived_rng
+        from repro.hetero.assign import HeteroRejectionProblem
+
+        rng = derived_rng(seed_tuple, stream)
+        tasks = FrameTaskSet(
+            FrameTask(name=t.name, cycles=t.dist.sample(rng), penalty=t.penalty)
+            for t in self.tasks
+        )
+        return HeteroRejectionProblem(tasks=tasks, platform=self.platform, mk=self.mk)

@@ -14,7 +14,21 @@ with other tools, and replayed bit-exactly:
   written by earlier versions still load;
 * :func:`solution_to_dict` — a solved instance's decision + cost
   breakdown + speed plan (uniprocessor) or per-processor assignment
-  (multiprocessor), ready for ``json.dump``.
+  (multiprocessor / heterogeneous), ready for ``json.dump``.
+
+Heterogeneous instances (:class:`repro.hetero.HeteroRejectionProblem`)
+carry a ``"platform"`` object (deadline + typed core groups, each with
+its own power model) instead of a single ``"energy_fn"``; stochastic
+instances (:class:`repro.hetero.StochasticHeteroProblem`) additionally
+spell each task's ``"cycles"`` as a distribution object
+(``{"kind": ..., "params": [...]}``), and either may attach an
+``"mk": {"m": ..., "k": ...}`` skip spec.  Uniprocessor and
+homogeneous-multiprocessor payloads are byte-identical to earlier
+versions.
+
+Malformed files fail with a one-line ``ValueError`` naming the
+offending field (``instance field tasks[3].cycles: ...``) — the CLI
+prints it verbatim and exits 2.
 
 The schema is deliberately explicit (no pickling, no class names) so a
 non-Python consumer can read it; ``schema_version`` guards evolution.
@@ -38,11 +52,88 @@ from repro.energy import (
     DiscreteEnergyFunction,
     EnergyFunction,
 )
+from repro.hetero.assign import HeteroRejectionProblem, HeteroRejectionSolution
+from repro.hetero.mk import MKSpec
+from repro.hetero.platform import CoreType, Platform
+from repro.hetero.stochastic import (
+    CycleDistribution,
+    StochasticHeteroProblem,
+    StochasticTask,
+)
 from repro.power import DormantMode, PolynomialPowerModel
 from repro.power.discrete import SpeedLevels
 from repro.tasks import FrameTask, FrameTaskSet
 
 SCHEMA_VERSION = 1
+
+#: Union of everything :func:`save_instance` / :func:`load_instance` handle.
+AnyProblem = (
+    "RejectionProblem | MultiprocRejectionProblem | HeteroRejectionProblem"
+    " | StochasticHeteroProblem"
+)
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _require(data: Any, key: str, path: str) -> Any:
+    """Fetch ``data[key]`` with a field-path error on failure.
+
+    Every structural access in the readers goes through here (or the
+    sibling checks below), so a malformed file always dies with a
+    single line naming the offending field instead of a raw
+    ``KeyError`` traceback.  *path* is the dotted location of *data*
+    itself (empty at the document root).
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"instance field {path or '<root>'}: expected an object, "
+            f"got {type(data).__name__}"
+        )
+    if key not in data:
+        raise ValueError(f"instance field {_join(path, key)}: missing")
+    return data[key]
+
+
+def _require_number(data: Any, key: str, path: str) -> float:
+    value = _require(data, key, path)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"instance field {_join(path, key)}: expected a number, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_int(data: Any, key: str, path: str) -> int:
+    value = _require(data, key, path)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"instance field {_join(path, key)}: expected an integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_str(data: Any, key: str, path: str) -> str:
+    value = _require(data, key, path)
+    if not isinstance(value, str):
+        raise ValueError(
+            f"instance field {_join(path, key)}: expected a string, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_list(data: Any, key: str, path: str) -> list:
+    value = _require(data, key, path)
+    if not isinstance(value, list):
+        raise ValueError(
+            f"instance field {_join(path, key)}: expected a list, "
+            f"got {type(value).__name__}"
+        )
+    return value
 
 
 def _power_model_to_dict(model: PolynomialPowerModel) -> dict[str, Any]:
@@ -62,15 +153,20 @@ def _power_model_to_dict(model: PolynomialPowerModel) -> dict[str, Any]:
     }
 
 
-def _power_model_from_dict(data: dict[str, Any]) -> PolynomialPowerModel:
-    if data.get("kind") != "polynomial":
-        raise ValueError(f"unsupported power model kind {data.get('kind')!r}")
+def _power_model_from_dict(
+    data: dict[str, Any], path: str = "power_model"
+) -> PolynomialPowerModel:
+    kind = _require(data, "kind", path)
+    if kind != "polynomial":
+        raise ValueError(
+            f"instance field {path}.kind: unsupported power model kind {kind!r}"
+        )
     return PolynomialPowerModel(
-        beta0=data["beta0"],
-        beta1=data["beta1"],
-        alpha=data["alpha"],
+        beta0=_require_number(data, "beta0", path),
+        beta1=_require_number(data, "beta1", path),
+        alpha=_require_number(data, "alpha", path),
         s_min=data.get("s_min", 0.0),
-        s_max=data["s_max"],
+        s_max=_require_number(data, "s_max", path),
     )
 
 
@@ -102,10 +198,14 @@ def _energy_fn_to_dict(fn: EnergyFunction) -> dict[str, Any]:
     raise TypeError(f"cannot serialise energy function {type(fn).__name__}")
 
 
-def _energy_fn_from_dict(data: dict[str, Any]) -> EnergyFunction:
-    kind = data.get("kind")
-    model = _power_model_from_dict(data["power_model"])
-    deadline = data["deadline"]
+def _energy_fn_from_dict(
+    data: dict[str, Any], path: str = "energy_fn"
+) -> EnergyFunction:
+    kind = _require(data, "kind", path)
+    model = _power_model_from_dict(
+        _require(data, "power_model", path), f"{path}.power_model"
+    )
+    deadline = _require_number(data, "deadline", path)
     if kind == "continuous":
         return ContinuousEnergyFunction(model, deadline)
     if kind == "critical":
@@ -127,27 +227,95 @@ def _energy_fn_from_dict(data: dict[str, Any]) -> EnergyFunction:
             )
         return DiscreteEnergyFunction(
             model,
-            SpeedLevels(data["levels"]),
+            SpeedLevels(_require_list(data, "levels", path)),
             deadline,
             dormant=dormant,
         )
-    raise ValueError(f"unsupported energy function kind {kind!r}")
+    raise ValueError(
+        f"instance field {path}.kind: unsupported energy function kind {kind!r}"
+    )
 
 
-def instance_to_dict(
-    problem: RejectionProblem | MultiprocRejectionProblem,
-) -> dict[str, Any]:
+def _platform_to_dict(platform: Platform) -> dict[str, Any]:
+    return {
+        "deadline": platform.deadline,
+        "core_types": [
+            {
+                "name": t.name,
+                "count": t.count,
+                "power_model": _power_model_to_dict(t.power_model),
+            }
+            for t in platform.core_types
+        ],
+    }
+
+
+def _platform_from_dict(data: dict[str, Any], path: str = "platform") -> Platform:
+    deadline = _require_number(data, "deadline", path)
+    entries = _require_list(data, "core_types", path)
+    core_types: list[CoreType] = []
+    for idx, entry in enumerate(entries):
+        sub = f"{path}.core_types[{idx}]"
+        core_types.append(
+            CoreType(
+                name=_require_str(entry, "name", sub),
+                count=_require_int(entry, "count", sub),
+                power_model=_power_model_from_dict(
+                    _require(entry, "power_model", sub), f"{sub}.power_model"
+                ),
+            )
+        )
+    try:
+        return Platform(core_types=tuple(core_types), deadline=deadline)
+    except ValueError as exc:
+        raise ValueError(f"instance field {path}: {exc}") from None
+
+
+def _mk_from_dict(data: Any, path: str = "mk") -> MKSpec:
+    try:
+        return MKSpec.from_dict(data)
+    except ValueError as exc:
+        raise ValueError(f"instance field {path}: {exc}") from None
+
+
+def instance_to_dict(problem) -> dict[str, Any]:
     """The JSON-ready representation of a rejection instance.
 
     A :class:`MultiprocRejectionProblem` additionally carries
     ``"processors": m``; uniprocessor payloads omit the key entirely, so
     the uniprocessor schema is byte-identical to earlier versions.
+    Heterogeneous instances carry ``"platform"`` (and optionally
+    ``"mk"``) instead of ``"energy_fn"``; stochastic ones spell each
+    task's cycles as a distribution object.
     """
+    if isinstance(problem, (HeteroRejectionProblem, StochasticHeteroProblem)):
+        if isinstance(problem, StochasticHeteroProblem):
+            tasks = [
+                {
+                    "name": t.name,
+                    "cycles": t.dist.to_dict(),
+                    "penalty": t.penalty,
+                }
+                for t in problem.tasks
+            ]
+        else:
+            tasks = [
+                {"name": t.name, "cycles": t.cycles, "penalty": t.penalty}
+                for t in problem.tasks
+            ]
+        data: dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "tasks": tasks,
+            "platform": _platform_to_dict(problem.platform),
+        }
+        if problem.mk is not None:
+            data["mk"] = problem.mk.to_dict()
+        return data
     if not isinstance(problem, (RejectionProblem, MultiprocRejectionProblem)):
         raise TypeError(
             f"cannot serialise instance of type {type(problem).__name__}"
         )
-    data: dict[str, Any] = {
+    data = {
         "schema_version": SCHEMA_VERSION,
         "tasks": [
             {"name": t.name, "cycles": t.cycles, "penalty": t.penalty}
@@ -160,37 +328,91 @@ def instance_to_dict(
     return data
 
 
-def instance_from_dict(
-    data: dict[str, Any],
-) -> RejectionProblem | MultiprocRejectionProblem:
+def instance_from_dict(data: dict[str, Any]):
     """Rebuild a rejection instance from :func:`instance_to_dict` output.
 
-    Payloads with a ``"processors"`` key come back as
-    :class:`MultiprocRejectionProblem`; all others as
+    Payloads with a ``"platform"`` key come back as
+    :class:`~repro.hetero.assign.HeteroRejectionProblem` (or
+    :class:`~repro.hetero.stochastic.StochasticHeteroProblem` when any
+    task's cycles is a distribution object); ``"processors"`` payloads
+    as :class:`MultiprocRejectionProblem`; all others as
     :class:`RejectionProblem`.
     """
-    version = data.get("schema_version")
+    version = _require(data, "schema_version", "")
     if version != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported schema_version {version!r} "
             f"(this build reads {SCHEMA_VERSION})"
         )
-    tasks = FrameTaskSet(
-        FrameTask(name=t["name"], cycles=t["cycles"], penalty=t["penalty"])
-        for t in data["tasks"]
+    entries = _require_list(data, "tasks", "")
+    hetero = "platform" in data
+    stochastic = hetero and any(
+        isinstance(t, dict) and isinstance(t.get("cycles"), dict)
+        for t in entries
     )
-    energy_fn = _energy_fn_from_dict(data["energy_fn"])
+    if stochastic:
+        stasks: list[StochasticTask] = []
+        for idx, entry in enumerate(entries):
+            sub = f"tasks[{idx}]"
+            cycles = _require(entry, "cycles", sub)
+            if isinstance(cycles, dict):
+                try:
+                    dist = CycleDistribution.from_dict(cycles)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"instance field {sub}.cycles: {exc}"
+                    ) from None
+            else:
+                if isinstance(cycles, bool) or not isinstance(
+                    cycles, (int, float)
+                ):
+                    raise ValueError(
+                        f"instance field {sub}.cycles: expected a number or "
+                        f"distribution object, got {cycles!r}"
+                    )
+                dist = CycleDistribution.fixed(cycles)
+            stasks.append(
+                StochasticTask(
+                    name=_require_str(entry, "name", sub),
+                    dist=dist,
+                    penalty=_require_number(entry, "penalty", sub),
+                )
+            )
+        return StochasticHeteroProblem(
+            tasks=tuple(stasks),
+            platform=_platform_from_dict(_require(data, "platform", "")),
+            mk=_mk_from_dict(data["mk"]) if "mk" in data else None,
+        )
+    frame_tasks: list[FrameTask] = []
+    for idx, entry in enumerate(entries):
+        sub = f"tasks[{idx}]"
+        frame_tasks.append(
+            FrameTask(
+                name=_require_str(entry, "name", sub),
+                cycles=_require_number(entry, "cycles", sub),
+                penalty=_require_number(entry, "penalty", sub),
+            )
+        )
+    tasks = FrameTaskSet(frame_tasks)
+    if hetero:
+        if "energy_fn" in data:
+            raise ValueError(
+                "instance field energy_fn: a platform payload carries its "
+                "own per-type curves; energy_fn is not allowed"
+            )
+        return HeteroRejectionProblem(
+            tasks=tasks,
+            platform=_platform_from_dict(_require(data, "platform", "")),
+            mk=_mk_from_dict(data["mk"]) if "mk" in data else None,
+        )
+    energy_fn = _energy_fn_from_dict(_require(data, "energy_fn", ""))
     if "processors" in data:
-        m = data["processors"]
-        if not isinstance(m, int) or isinstance(m, bool):
-            raise ValueError(f"processors must be an integer, got {m!r}")
+        m = _require_int(data, "processors", "")
         return MultiprocRejectionProblem(tasks=tasks, energy_fn=energy_fn, m=m)
     return RejectionProblem(tasks=tasks, energy_fn=energy_fn)
 
 
-def save_instance(
-    problem: RejectionProblem | MultiprocRejectionProblem, path: str | Path
-) -> Path:
+def save_instance(problem, path: str | Path) -> Path:
     """Write *problem* to *path* as JSON and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -200,9 +422,7 @@ def save_instance(
     return path
 
 
-def load_instance(
-    path: str | Path,
-) -> RejectionProblem | MultiprocRejectionProblem:
+def load_instance(path: str | Path):
     """Read a rejection instance written by :func:`save_instance`."""
     with open(path) as fh:
         return instance_from_dict(json.load(fh))
@@ -214,8 +434,11 @@ def solution_to_dict(
     """JSON-ready dump of a solution.
 
     Uniprocessor solutions carry the optimal speed plan; multiprocessor
-    solutions carry the per-processor assignment and loads instead.
+    solutions carry the per-processor assignment and loads instead;
+    heterogeneous solutions add per-core types and DVFS speeds.
     """
+    if isinstance(solution, HeteroRejectionSolution):
+        return _hetero_solution_to_dict(solution)
     if isinstance(solution, MultiprocRejectionSolution):
         return _multiproc_solution_to_dict(solution)
     plan = solution.speed_plan()
@@ -266,3 +489,29 @@ def _multiproc_solution_to_dict(
         ],
         "loads": solution.partition.loads(sizes),
     }
+
+
+def _hetero_solution_to_dict(solution: HeteroRejectionSolution) -> dict[str, Any]:
+    from repro.hetero.dvfs import dvfs_summary
+
+    problem = solution.problem
+    tasks = problem.tasks
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "algorithm": solution.algorithm,
+        "cost": solution.cost,
+        "energy": solution.breakdown.energy,
+        "penalty": solution.breakdown.penalty,
+        "platform": _platform_to_dict(problem.platform),
+        "accepted": sorted(
+            tasks[i].name
+            for i in range(problem.n)
+            if i not in solution.rejected
+        ),
+        "rejected": sorted(tasks[i].name for i in solution.rejected),
+        "acceptance_ratio": solution.acceptance_ratio,
+        "cores": dvfs_summary(solution),
+    }
+    if problem.mk is not None:
+        data["mk"] = problem.mk.to_dict()
+    return data

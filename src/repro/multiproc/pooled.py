@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.energy.base import EnergyFunction, SpeedPlan
+from repro.kernels import get_kernel
 from repro.multiproc.partition import Partition
 
 
@@ -26,9 +27,12 @@ def partition_energy(
     """Total energy of a partition: ``Σj g(Wj)``.
 
     Raises ValueError (from the energy function) when any processor's
-    load is infeasible.
+    load is infeasible.  The per-load energies come from the active
+    array kernel's table op and are summed strictly left to right, so
+    the result is bit-identical across kernels.
     """
-    return sum(energy_fn.energy(load) for load in partition.loads(sizes))
+    table = get_kernel().energy_table(energy_fn, partition.loads(sizes))
+    return sum(float(e) for e in table)
 
 
 class PooledEnergyFunction(EnergyFunction):

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 from repro._validation import require_nonnegative, require_positive
 from repro.core.rejection.online import OnlinePolicy
+from repro.hetero.platform import Platform
 from repro.power import xscale_power_model
 from repro.power.base import PowerModel
 from repro.sched.edf import DeadlineMiss, Job, TraceInterval, deadline_missed
@@ -126,6 +127,7 @@ class SimReport:
     records: tuple[ArrivalRecord, ...]
     admission_log: tuple[tuple, ...]
     trace: tuple[TraceInterval, ...] = ()
+    cores_spec: str | None = None
 
     @property
     def total_energy(self) -> float:
@@ -228,6 +230,21 @@ class ArrivalSimulator:
         Per-pickup context-switch wall time / energy (see
         :class:`repro.sched.edf.EdfSimulator`; defaults of zero give
         free preemption).
+    platform:
+        Optional heterogeneous platform
+        (:func:`repro.hetero.parse_cores_spec`).  When given, ``cores``
+        and ``power_model`` are superseded: the core count is the
+        platform's flattened core list, and each core runs its *type's*
+        power curve at ``clamp_speed(speed)`` for that type — so LP
+        cores retire work at ``rate × s_max,lp`` while HP cores run the
+        requested speed.  The controller never sees cores, but job
+        completion times do feed back into its outstanding-units state
+        via releases, so the decision stream — and
+        :meth:`SimReport.decision_digest` — is platform-invariant only
+        while admission is insensitive to outstanding workload (e.g.
+        ``accept`` under ample capacity); under a binding capacity or a
+        workload-priced policy, a slower platform holds units longer
+        and can tip later verdicts.
     record_trace:
         Keep the per-core execution trace (``what`` is
         ``"c<k>:<req_id>"`` / ``"c<k>:idle"``).
@@ -246,23 +263,45 @@ class ArrivalSimulator:
         context_switch_s: float = 0.0,
         context_switch_j: float = 0.0,
         deadline_check: bool = True,
+        platform: Platform | None = None,
         record_trace: bool = False,
     ) -> None:
-        if cores < 1:
-            raise ValueError(f"cores must be a positive integer, got {cores!r}")
         for prev, cur in zip(arrivals, arrivals[1:]):
             if cur.time < prev.time:
                 raise ValueError("arrivals must be time-ordered")
         self._arrivals = tuple(arrivals)
-        self._cores = int(cores)
         self._policy = policy
         self._capacity = require_positive("capacity_units", capacity_units)
         self._rate = require_positive("rate_units_per_s", rate_units_per_s)
-        self._model = power_model if power_model is not None else (
-            xscale_power_model(s_max=1.0)
-        )
-        self._speed = self._model.clamp_speed(require_positive("speed", speed))
-        self._model.power(self._speed)  # validates the speed is in range
+        self._platform = platform
+        if platform is not None:
+            if power_model is not None:
+                raise ValueError(
+                    "platform and power_model are mutually exclusive; the "
+                    "platform carries its own per-type curves"
+                )
+            self._cores = platform.total_cores
+            self._speed = require_positive("speed", speed)
+            type_indices = platform.core_type_indices()
+            self._core_models = [
+                platform.core_types[t].power_model for t in type_indices
+            ]
+            self._core_speeds = [
+                m.clamp_speed(self._speed) for m in self._core_models
+            ]
+        else:
+            if cores < 1:
+                raise ValueError(
+                    f"cores must be a positive integer, got {cores!r}"
+                )
+            self._cores = int(cores)
+            model = power_model if power_model is not None else (
+                xscale_power_model(s_max=1.0)
+            )
+            self._speed = model.clamp_speed(require_positive("speed", speed))
+            model.power(self._speed)  # validates the speed is in range
+            self._core_models = [model] * self._cores
+            self._core_speeds = [self._speed] * self._cores
         self._cs_time = require_nonnegative("context_switch_s", context_switch_s)
         self._cs_energy = require_nonnegative(
             "context_switch_j", context_switch_j
@@ -279,9 +318,12 @@ class ArrivalSimulator:
             capacity_units=self._capacity,
             rate_units_per_s=self._rate if self._deadline_check else None,
         )
-        exec_rate = self._rate * self._speed
-        active_power = self._model.power(self._speed)
-        static_power = self._model.static_power
+        exec_rates = [self._rate * s for s in self._core_speeds]
+        active_powers = [
+            m.power(s) for m, s in zip(self._core_models, self._core_speeds)
+        ]
+        static_powers = [m.static_power for m in self._core_models]
+        static_total = sum(static_powers)
 
         log: list[tuple] = []
         decisions: list[Decision] = []
@@ -464,7 +506,7 @@ class ArrivalSimulator:
                 gap = gap_end - now
                 if gap > 0:
                     idle += gap * self._cores
-                    energy_idle += static_power * gap * self._cores
+                    energy_idle += static_total * gap
                     if self._record:
                         for c in range(self._cores):
                             trace.append(
@@ -476,8 +518,8 @@ class ArrivalSimulator:
                 continue
 
             finish = min(
-                now + j.overhead_s + j.remaining / exec_rate
-                for j in running
+                now + j.overhead_s + j.remaining / exec_rates[c]
+                for c, j in enumerate(running)
                 if j is not None
             )
             if next_arrival < len(self._arrivals):
@@ -489,7 +531,7 @@ class ArrivalSimulator:
                 for c, job in enumerate(running):
                     if job is None:
                         idle += dt
-                        energy_idle += static_power * dt
+                        energy_idle += static_powers[c] * dt
                         if self._record:
                             trace.append(
                                 TraceInterval(now, run_until, f"c{c}:idle", 0.0)
@@ -497,14 +539,17 @@ class ArrivalSimulator:
                         continue
                     switch_dt = min(job.overhead_s, dt)
                     job.overhead_s -= switch_dt
-                    executed = (dt - switch_dt) * exec_rate
+                    executed = (dt - switch_dt) * exec_rates[c]
                     job.remaining = max(job.remaining - executed, 0.0)
                     busy += dt
-                    energy_active += active_power * dt
+                    energy_active += active_powers[c] * dt
                     if self._record:
                         trace.append(
                             TraceInterval(
-                                now, run_until, f"c{c}:{job.name}", self._speed
+                                now,
+                                run_until,
+                                f"c{c}:{job.name}",
+                                self._core_speeds[c],
                             )
                         )
             now = run_until
@@ -568,4 +613,7 @@ class ArrivalSimulator:
             records=ordered,
             admission_log=tuple(log),
             trace=tuple(trace),
+            cores_spec=(
+                self._platform.spec() if self._platform is not None else None
+            ),
         )

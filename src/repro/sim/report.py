@@ -83,9 +83,14 @@ def sim_params(
     speed: float,
     context_switch_s: float,
     context_switch_j: float,
+    cores_spec: str | None = None,
 ) -> dict[str, Any]:
-    """The canonical parameter dict identifying one simulation run."""
-    return {
+    """The canonical parameter dict identifying one simulation run.
+
+    ``cores_spec`` names a heterogeneous core set ('lp:2,hp:1'); it is
+    only included when set so homogeneous manifests keep their shape.
+    """
+    params = {
         "family": family,
         "count": count,
         "cores": cores,
@@ -97,6 +102,9 @@ def sim_params(
         "context_switch_j": context_switch_j,
         "seed": seed,
     }
+    if cores_spec is not None:
+        params["cores_spec"] = cores_spec
+    return params
 
 
 def write_sim_manifest(

@@ -33,10 +33,16 @@ from repro.verify.invariants import (
     check_sandwich,
     check_solution,
 )
-from repro.verify.oracles import crosscheck, crosscheck_multiproc, crosscheck_uniproc
-from repro.verify.shrink import shrink_multiproc, shrink_problem
+from repro.verify.oracles import (
+    crosscheck,
+    crosscheck_hetero,
+    crosscheck_multiproc,
+    crosscheck_uniproc,
+)
+from repro.verify.shrink import shrink_hetero, shrink_multiproc, shrink_problem
 from repro.verify.strategies import (
     ALL_STRATEGIES,
+    HETERO_STRATEGIES,
     MULTIPROC_STRATEGIES,
     UNIPROC_STRATEGIES,
     Strategy,
@@ -47,6 +53,7 @@ __all__ = [
     "ALL_STRATEGIES",
     "UNIPROC_STRATEGIES",
     "MULTIPROC_STRATEGIES",
+    "HETERO_STRATEGIES",
     "Violation",
     "check_solution",
     "check_sandwich",
@@ -55,7 +62,9 @@ __all__ = [
     "crosscheck",
     "crosscheck_uniproc",
     "crosscheck_multiproc",
+    "crosscheck_hetero",
     "shrink_problem",
+    "shrink_hetero",
     "shrink_multiproc",
     "VerifyReport",
     "run_verification",

@@ -22,11 +22,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.hetero.assign import HeteroRejectionProblem
 from repro.io import instance_to_dict, save_instance
 from repro.obs import counters as obs_counters
 from repro.obs.trace import span
 from repro.verify.oracles import crosscheck
-from repro.verify.shrink import shrink_multiproc, shrink_problem
+from repro.verify.shrink import shrink_hetero, shrink_multiproc, shrink_problem
 from repro.verify.strategies import ALL_STRATEGIES, Strategy
 
 
@@ -92,6 +93,7 @@ def _write_reproducer(
 ) -> Path:
     """Save the instance JSON + a sidecar describing why it failed."""
     stem = f"verify-{strategy}-seed{seed}-trial{trial}"
+    algorithm = "exhaustive"
     if isinstance(problem, MultiprocRejectionProblem):
         # Instance JSON carries the shared task set + platform; `m` and
         # the replay hint live in the sidecar (repro solve is uniproc).
@@ -103,14 +105,18 @@ def _write_reproducer(
             fh.write("\n")
         extra = {"m": problem.m}
     else:
+        # Uniproc and hetero instances round-trip through repro.io
+        # directly (the hetero schema carries the platform and mk spec).
         path = save_instance(problem, out_dir / f"{stem}.json")
         extra = {}
+        if isinstance(problem, HeteroRejectionProblem):
+            algorithm = "exhaustive_hetero"
     meta = {
         "strategy": strategy,
         "seed": seed,
         "trial": trial,
         "violations": [str(v) for v in violations],
-        "replay": f"repro solve {path.name} --algorithm exhaustive",
+        "replay": f"repro solve {path.name} --algorithm {algorithm}",
         **extra,
     }
     with open(path.with_suffix(".meta.json"), "w") as fh:
@@ -206,7 +212,9 @@ def _handle_failure(
     """Shrink, persist, and record one failing trial."""
     if shrink:
         with span("verify.shrink", strategy=strategy.name, trial=trial):
-            if isinstance(problem, MultiprocRejectionProblem):
+            if isinstance(problem, HeteroRejectionProblem):
+                problem = shrink_hetero(problem, _still_fails)
+            elif isinstance(problem, MultiprocRejectionProblem):
                 problem = shrink_multiproc(problem, _still_fails)
             else:
                 problem = shrink_problem(problem, _still_fails)

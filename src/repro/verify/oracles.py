@@ -17,6 +17,15 @@ On a multiprocessor instance the oracle is ``exhaustive_multiproc`` and
 the same spirit applies to ``ltf_reject`` / ``rand_reject`` /
 ``global_greedy_reject`` and ``pooled_lower_bound``.
 
+On a heterogeneous (two-type) instance the oracle is
+``exhaustive_hetero``; ``typed_ltf_reject`` / ``typed_global_reject``
+must not beat it and ``hetero_pooled_lower_bound`` must not exceed it.
+When the instance carries an (m,k) contract the skip-policy invariants
+are checked too: the decision stream of a fresh
+:class:`~repro.core.rejection.online.MKFirmSkipPolicy` never violates
+any m-of-k window, and replaying the same arrivals through a second
+fresh policy reproduces it decision-for-decision.
+
 Solver crashes are reported as violations too — an unexpected exception
 on a generated instance is exactly the kind of regression this harness
 exists to catch.
@@ -29,6 +38,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.rejection import (
+    MKFirmSkipPolicy,
     MultiprocRejectionProblem,
     RejectionProblem,
     accept_all_repair,
@@ -50,6 +60,15 @@ from repro.core.rejection import (
     reject_random,
 )
 from repro.core.rejection.multiproc import MAX_ENUM_ASSIGNMENTS
+from repro.hetero.assign import (
+    HeteroRejectionProblem,
+    exhaustive_hetero,
+    hetero_pooled_lower_bound,
+    typed_global_reject,
+    typed_ltf_reject,
+)
+from repro.hetero.assign import MAX_ENUM_ASSIGNMENTS as MAX_HETERO_ASSIGNMENTS
+from repro.hetero.mk import mk_window_ok
 from repro.obs.trace import span
 from repro.verify.invariants import (
     Violation,
@@ -279,12 +298,126 @@ def crosscheck_multiproc(
     return out
 
 
-def crosscheck(
-    problem: RejectionProblem | MultiprocRejectionProblem,
+def _drive_mk_policy(problem: HeteroRejectionProblem) -> MKFirmSkipPolicy:
+    """Run a *fresh* (m,k) skip policy over the instance's arrival order.
+
+    The controller contract mirrors :func:`run_online`: a task that
+    cannot fit the reference core at all is dropped without consulting
+    the policy (a forced skip outside the weakly-hard window).
+    """
+    spec = problem.mk
+    assert spec is not None
+    policy = MKFirmSkipPolicy(spec.m, spec.k)
+    fn = problem.platform.energy_functions()[0]
+    cap = fn.max_workload
+    workload = 0.0
+    for task in problem.tasks:
+        if workload + task.cycles > cap * (1.0 + 1e-12):
+            continue
+        if policy.admit(task, workload, fn):
+            workload += task.cycles
+    return policy
+
+
+def crosscheck_hetero(
+    problem: HeteroRejectionProblem,
     *,
     rng: np.random.Generator | None = None,
 ) -> list[Violation]:
-    """Dispatch to the uniprocessor or multiprocessor cross-check."""
+    """Heterogeneous-platform differential checks on *problem*."""
+    out: list[Violation] = []
+    for fn in problem.platform.energy_functions():
+        out.extend(check_convexity_claim(fn, rng=rng))
+    total = problem.platform.total_cores
+    if (total + 1) ** problem.n > MAX_HETERO_ASSIGNMENTS:
+        raise ValueError(
+            f"(C+1)^n = {(total + 1) ** problem.n} exceeds the typed "
+            "enumeration oracle guard; generate smaller instances"
+        )
+
+    oracle = _run("exhaustive_hetero", lambda: exhaustive_hetero(problem), out)
+    if oracle is None:
+        return out
+    opt = oracle.cost
+
+    lower = _run(
+        "hetero_pooled_lower_bound",
+        lambda: hetero_pooled_lower_bound(problem),
+        out,
+    )
+    if lower is not None and lower > opt + _tol(lower, opt):
+        out.append(
+            Violation(
+                "bound",
+                f"hetero_pooled_lower_bound {lower!r} exceeds the typed "
+                f"optimum {opt!r}",
+            )
+        )
+
+    heuristics: list[tuple[str, Callable[[], object]]] = [
+        ("typed_ltf_reject", lambda: typed_ltf_reject(problem)),
+        ("typed_global_reject", lambda: typed_global_reject(problem)),
+    ]
+    for name, call in heuristics:
+        # solution() inside each solver validates the typed partition
+        # (per-core capacity on the right core type, index coverage); a
+        # raise here is an infeasible heuristic output and lands in
+        # `out` as a crash.
+        sol = _run(name, call, out)
+        if sol is None:
+            continue
+        if sol.cost < opt - _tol(sol.cost, opt):
+            out.append(
+                Violation(
+                    "oracle",
+                    f"{name} cost {sol.cost!r} beats exhaustive_hetero "
+                    f"{opt!r}",
+                )
+            )
+        if lower is not None and sol.cost < lower - _tol(sol.cost, lower):
+            out.append(
+                Violation(
+                    "bound",
+                    f"{name} cost {sol.cost!r} beats "
+                    f"hetero_pooled_lower_bound {lower!r}",
+                )
+            )
+
+    if problem.mk is not None:
+        spec = problem.mk
+        first = _run("mk_skip_policy", lambda: _drive_mk_policy(problem), out)
+        if first is not None:
+            if not mk_window_ok(first.decisions, spec.m, spec.k):
+                out.append(
+                    Violation(
+                        "mk",
+                        f"skip stream {first.decisions!r} violates the "
+                        f"({spec.m},{spec.k})-firm window",
+                    )
+                )
+            second = _run(
+                "mk_skip_policy_replay", lambda: _drive_mk_policy(problem), out
+            )
+            if second is not None and second.decisions != first.decisions:
+                out.append(
+                    Violation(
+                        "mk",
+                        "replaying the arrivals through a fresh "
+                        f"({spec.m},{spec.k}) policy diverged: "
+                        f"{second.decisions!r} != {first.decisions!r}",
+                    )
+                )
+    return out
+
+
+def crosscheck(
+    problem: RejectionProblem | MultiprocRejectionProblem | HeteroRejectionProblem,
+    *,
+    rng: np.random.Generator | None = None,
+) -> list[Violation]:
+    """Dispatch to the matching cross-check for the problem family."""
+    if isinstance(problem, HeteroRejectionProblem):
+        return crosscheck_hetero(problem, rng=rng)
     if isinstance(problem, MultiprocRejectionProblem):
         return crosscheck_multiproc(problem, rng=rng)
     return crosscheck_uniproc(problem, rng=rng)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.hetero.assign import HeteroRejectionProblem
 from repro.tasks import FrameTask, FrameTaskSet
 
 #: Hard ceiling on predicate evaluations per shrink.
@@ -40,6 +41,10 @@ def _holds(predicate: Callable[[object], bool], candidate: object, budget: list[
 
 
 def _with_tasks(problem, tasks: list[FrameTask]):
+    if isinstance(problem, HeteroRejectionProblem):
+        return HeteroRejectionProblem(
+            tasks=FrameTaskSet(tasks), platform=problem.platform, mk=problem.mk
+        )
     if isinstance(problem, MultiprocRejectionProblem):
         return MultiprocRejectionProblem(
             tasks=FrameTaskSet(tasks), energy_fn=problem.energy_fn, m=problem.m
@@ -127,4 +132,28 @@ def shrink_multiproc(
         if not _holds(predicate, candidate, budget):
             break
         problem = candidate
+    return problem
+
+
+def shrink_hetero(
+    problem: HeteroRejectionProblem,
+    predicate: Callable[[HeteroRejectionProblem], bool],
+    *,
+    max_probes: int = MAX_PROBES,
+) -> HeteroRejectionProblem:
+    """Minimise a failing heterogeneous instance (tasks, values, then mk).
+
+    The platform itself is kept as-is — the core-type mix is usually the
+    point of the counterexample — but an (m,k) contract that is not
+    load-bearing is stripped so the reproducer stays minimal.
+    """
+    budget = [max_probes]
+    problem = _shrink_tasks(problem, predicate, budget)
+    problem = _shrink_values(problem, predicate, budget)
+    if problem.mk is not None:
+        candidate = HeteroRejectionProblem(
+            tasks=problem.tasks, platform=problem.platform, mk=None
+        )
+        if _holds(predicate, candidate, budget):
+            problem = candidate
     return problem

@@ -18,7 +18,10 @@ wrong and builds a random instance of it from a seeded NumPy generator:
   the ``is_convex`` bug;
 * ``critical_leakage`` — the continuous dormant-enable analogue;
 * ``multiproc*``       — partitioned instances small enough for the
-  exhaustive multiprocessor oracle.
+  exhaustive multiprocessor oracle;
+* ``hetero*``          — two-type (LP/HP) platforms small enough for the
+  exhaustive typed-assignment oracle, with and without an (m,k)-firm
+  skip contract, including per-type-capacity boundary tasks.
 
 Everything an instance needs travels through :mod:`repro.io`, so failing
 instances can be written as reproducer JSON and replayed bit-exactly.
@@ -34,6 +37,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
+from repro.hetero.assign import HeteroRejectionProblem
+from repro.hetero.mk import MKSpec
+from repro.hetero.platform import lp_hp_platform
 from repro.energy import (
     ContinuousEnergyFunction,
     CriticalSpeedEnergyFunction,
@@ -54,7 +60,8 @@ class Strategy:
     name:
         Stable identifier (used in reports and reproducer file names).
     kind:
-        ``"uniproc"`` or ``"multiproc"`` — selects the oracle family.
+        ``"uniproc"``, ``"multiproc"`` or ``"hetero"`` — selects the
+        oracle family.
     build:
         Seeded generator → problem instance.
     """
@@ -62,7 +69,8 @@ class Strategy:
     name: str
     kind: str
     build: Callable[
-        [np.random.Generator], RejectionProblem | MultiprocRejectionProblem
+        [np.random.Generator],
+        RejectionProblem | MultiprocRejectionProblem | HeteroRejectionProblem,
     ]
 
 
@@ -317,6 +325,83 @@ def build_multiproc_boundary(rng: np.random.Generator) -> MultiprocRejectionProb
     return MultiprocRejectionProblem(tasks=FrameTaskSet(tasks), energy_fn=fn, m=m)
 
 
+# --------------------------------------------------------------------- #
+# Heterogeneous (two-type) strategies                                   #
+# --------------------------------------------------------------------- #
+
+
+def _random_mk(rng: np.random.Generator) -> MKSpec | None:
+    """An (m,k) contract about half the time, including the degenerate ones."""
+    if rng.random() < 0.5:
+        return None
+    k = int(rng.integers(1, 5))
+    m = int(rng.integers(1, k + 1))
+    return MKSpec(m=m, k=k)
+
+
+def build_hetero(rng: np.random.Generator) -> HeteroRejectionProblem:
+    """Small LP/HP instances within the typed-enumeration oracle's reach."""
+    lp = int(rng.integers(1, 3))
+    hp = int(rng.integers(1, 3))
+    platform = lp_hp_platform(lp, hp)
+    total_cap = sum(
+        ct.count * cap
+        for ct, cap in zip(platform.core_types, platform.capacities())
+    )
+    n = int(rng.integers(2, 6))  # (C+1)^n <= 5^5 = 3125 assignments
+    tasks = _tasks(
+        rng,
+        n,
+        total_cap,
+        load=float(rng.uniform(0.4, 2.0)),
+        penalty_scale=float(rng.uniform(0.5, 2.0)),
+    )
+    return HeteroRejectionProblem(
+        tasks=FrameTaskSet(tasks), platform=platform, mk=_random_mk(rng)
+    )
+
+
+def build_hetero_boundary(rng: np.random.Generator) -> HeteroRejectionProblem:
+    """LP/HP instances with tasks pinned to the per-type capacity edges.
+
+    A task exactly at the LP capacity fits either core type; a task just
+    above it fits only an HP core — the regime where a typed router with
+    an inconsistent feasibility tolerance strands work or miscounts the
+    marginal.
+    """
+    platform = lp_hp_platform(1, int(rng.integers(1, 3)))
+    caps = platform.capacities()
+    lp_cap, hp_cap = min(caps), max(caps)
+    n = int(rng.integers(1, 4))
+    tasks = _tasks(
+        rng,
+        n,
+        platform.total_cores * lp_cap,
+        load=float(rng.uniform(0.5, 1.5)),
+        penalty_scale=1.0,
+    )
+    tasks.append(
+        FrameTask(name="lp_edge", cycles=lp_cap, penalty=float(rng.uniform(0.1, 2.0)))
+    )
+    if rng.random() < 0.5:
+        tasks.append(
+            FrameTask(
+                name="hp_only",
+                cycles=float(np.nextafter(lp_cap, np.inf)),
+                penalty=float(rng.uniform(0.1, 2.0)),
+            )
+        )
+    if rng.random() < 0.5:
+        tasks.append(
+            FrameTask(
+                name="hp_edge", cycles=hp_cap, penalty=float(rng.uniform(0.1, 2.0))
+            )
+        )
+    return HeteroRejectionProblem(
+        tasks=FrameTaskSet(tasks), platform=platform, mk=_random_mk(rng)
+    )
+
+
 #: The uniprocessor strategy registry, in fuzzing rotation order.
 UNIPROC_STRATEGIES: tuple[Strategy, ...] = (
     Strategy("boundary", "uniproc", build_boundary),
@@ -335,5 +420,13 @@ MULTIPROC_STRATEGIES: tuple[Strategy, ...] = (
     Strategy("multiproc_boundary", "multiproc", build_multiproc_boundary),
 )
 
+#: The heterogeneous (two-type platform) strategy registry.
+HETERO_STRATEGIES: tuple[Strategy, ...] = (
+    Strategy("hetero", "hetero", build_hetero),
+    Strategy("hetero_boundary", "hetero", build_hetero_boundary),
+)
+
 #: Every strategy, the harness's default rotation.
-ALL_STRATEGIES: tuple[Strategy, ...] = UNIPROC_STRATEGIES + MULTIPROC_STRATEGIES
+ALL_STRATEGIES: tuple[Strategy, ...] = (
+    UNIPROC_STRATEGIES + MULTIPROC_STRATEGIES + HETERO_STRATEGIES
+)

@@ -1,0 +1,193 @@
+"""(m,k)-firm skip semantics: window invariants and replayability.
+
+The two properties the subsystem promises (hypothesis-driven):
+
+1. whatever preference stream drives it, the decision stream of an
+   :class:`MKFirmSkipPolicy` never violates the m-of-k window
+   (:func:`mk_window_ok`);
+2. a simulation run under the mk policy replays byte-identically
+   through a *fresh* :class:`AdmissionController` + fresh policy — the
+   sim-vs-served equivalence the paper-scale experiments lean on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rejection import RejectionProblem, run_online
+from repro.core.rejection.online import (
+    POLICY_CHOICES,
+    MKFirmSkipPolicy,
+    policy_from_spec,
+)
+from repro.experiments.common import xscale_energy
+from repro.hetero.mk import MKSpec, mk_window_ok
+from repro.hetero.platform import parse_cores_spec
+from repro.service.admission import AdmissionController
+from repro.sim.engine import ArrivalSimulator
+from repro.sim.workload import make_arrivals
+from repro.tasks import frame_instance
+from repro.tasks.model import FrameTask
+
+#: (m, k) with 1 <= m <= k.
+mk_pairs = st.integers(min_value=1, max_value=6).flatmap(
+    lambda k: st.tuples(st.integers(min_value=1, max_value=k), st.just(k))
+)
+
+
+def drive(policy, prefs):
+    """Feed an arbitrary accept/skip preference stream through *policy*.
+
+    A huge penalty makes the inner threshold rule prefer accepting; a
+    zero penalty makes it prefer skipping (any positive marginal exceeds
+    ``theta * 0``).
+    """
+    fn = xscale_energy()
+    out = []
+    for pref in prefs:
+        task = FrameTask(
+            name="t", cycles=0.1, penalty=1e9 if pref else 0.0
+        )
+        out.append(policy.admit(task, 0.0, fn))
+    return out
+
+
+class TestWindowInvariant:
+    @given(prefs=st.lists(st.booleans(), max_size=80), mk=mk_pairs)
+    def test_decision_stream_never_violates_the_window(self, prefs, mk):
+        m, k = mk
+        policy = MKFirmSkipPolicy(m, k, theta=1.0)
+        decisions = drive(policy, prefs)
+        assert decisions == policy.decisions
+        assert mk_window_ok(policy.decisions, m, k)
+        # Forced accepts only ever flip skips to accepts, never the
+        # other way: an accept preference is always honoured.
+        for pref, decision in zip(prefs, decisions):
+            if pref:
+                assert decision
+
+    @given(prefs=st.lists(st.booleans(), max_size=40),
+           k=st.integers(min_value=1, max_value=6))
+    def test_m_equals_k_never_skips(self, prefs, k):
+        policy = MKFirmSkipPolicy(k, k, theta=1.0)
+        assert all(drive(policy, prefs))
+
+    def test_one_one_window_never_skips(self):
+        policy = MKFirmSkipPolicy(1, 1, theta=1.0)
+        assert drive(policy, [False, False, False]) == [True, True, True]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        mk=mk_pairs,
+        n=st.integers(min_value=1, max_value=12),
+    )
+    def test_run_online_stream_respects_the_contract(self, seed, mk, n):
+        m, k = mk
+        rng = np.random.default_rng(seed)
+        tasks = frame_instance(
+            rng, n_tasks=n, load=2.0, penalty_model="energy",
+            penalty_scale=2.0,
+        )
+        problem = RejectionProblem(tasks=tasks, energy_fn=xscale_energy())
+        policy = MKFirmSkipPolicy(m, k, theta=1.0)
+        run_online(problem, policy, rng=np.random.default_rng(seed + 1))
+        assert mk_window_ok(policy.decisions, m, k)
+
+
+class TestSimReplay:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        count=st.integers(min_value=1, max_value=50),
+        mk=mk_pairs,
+        spec=st.sampled_from([None, "lp:2,hp:1", "lp:1,hp:2"]),
+    )
+    def test_sim_mk_decisions_replay_into_a_fresh_controller(
+        self, seed, count, mk, spec
+    ):
+        m, k = mk
+        arrivals = make_arrivals("heavy", count, seed)
+
+        def fresh_policy():
+            # MKFirmSkipPolicy is stateful; each side needs its own.
+            return policy_from_spec("mk", theta=1.0, mk_m=m, mk_k=k)
+
+        platform = parse_cores_spec(spec) if spec else None
+        report = ArrivalSimulator(
+            arrivals,
+            cores=2,
+            policy=fresh_policy(),
+            capacity_units=2_000.0,
+            rate_units_per_s=5_000.0,
+            platform=platform,
+        ).run()
+
+        controller = AdmissionController(
+            fresh_policy(),
+            capacity_units=2_000.0,
+            rate_units_per_s=5_000.0,
+        )
+        replayed = []
+        for event in report.admission_log:
+            kind = event[0]
+            if kind == "offer":
+                _, req_id, units, weight, deadline_s, *_ = event
+                got = controller.offer(req_id, units, weight, deadline_s)
+                replayed.append(
+                    (req_id, got.admitted, got.reason, got.shed)
+                )
+            elif kind == "dispatched":
+                controller.dispatched(event[1])
+            elif kind == "release":
+                controller.release(event[1])
+        assert replayed == [d.as_tuple() for d in report.decisions]
+
+
+class TestMKSpec:
+    def test_round_trip(self):
+        spec = MKSpec(m=2, k=5)
+        assert MKSpec.from_dict(spec.to_dict()) == spec
+        assert str(spec) == "(2,5)"
+
+    @pytest.mark.parametrize(
+        "m, k, fragment",
+        [
+            (0, 2, "1 <= m <= k"),
+            (3, 2, "1 <= m <= k"),
+            (1, 0, "k: must be >= 1"),
+            (True, 2, "must be an integer"),
+            (1.0, 2, "must be an integer"),
+        ],
+    )
+    def test_validation_names_the_field(self, m, k, fragment):
+        with pytest.raises(ValueError) as exc:
+            MKSpec(m=m, k=k)
+        assert fragment in str(exc.value)
+
+    def test_from_dict_errors_name_the_field(self):
+        with pytest.raises(ValueError, match="field m: missing"):
+            MKSpec.from_dict({"k": 3})
+        with pytest.raises(ValueError, match="field k: must be an integer"):
+            MKSpec.from_dict({"m": 1, "k": "three"})
+        with pytest.raises(ValueError, match="expected an object"):
+            MKSpec.from_dict([1, 2])
+
+
+class TestWindowOk:
+    def test_all_accepts_is_always_fine(self):
+        assert mk_window_ok([True] * 10, 3, 4)
+
+    def test_pre_stream_history_pads_as_accepts(self):
+        assert mk_window_ok([False], 1, 2)
+        assert not mk_window_ok([False, False], 1, 2)
+
+    def test_m_equals_k_flags_any_skip(self):
+        assert not mk_window_ok([True, False], 2, 2)
+
+    def test_alternating_stream_satisfies_one_of_two(self):
+        assert mk_window_ok([True, False] * 5, 1, 2)
+
+    def test_policy_choices_include_mk(self):
+        assert "mk" in POLICY_CHOICES

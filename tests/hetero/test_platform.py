@@ -1,0 +1,120 @@
+"""The two-type platform model and its ``type:count`` spec spelling."""
+
+import pytest
+
+from repro.hetero.platform import (
+    CORE_TYPE_PRESETS,
+    CoreType,
+    Platform,
+    lp_hp_platform,
+    parse_cores_spec,
+)
+from repro.power.polynomial import PolynomialPowerModel
+
+
+class TestParseCoresSpec:
+    def test_round_trips_the_spelling(self):
+        platform = parse_cores_spec("lp:2,hp:1")
+        assert platform.spec() == "lp:2,hp:1"
+        assert platform.total_cores == 3
+        assert platform.core_type_indices() == (0, 0, 1)
+
+    def test_capacities_follow_the_speed_ceilings(self):
+        platform = parse_cores_spec("lp:1,hp:1")
+        assert platform.capacities() == (0.5, 1.0)
+
+    def test_deadline_scales_capacities(self):
+        platform = parse_cores_spec("lp:1,hp:1", deadline=2.0)
+        assert platform.capacities() == (1.0, 2.0)
+
+    def test_type_order_is_the_core_order(self):
+        platform = parse_cores_spec("hp:1,lp:2")
+        assert [t.name for t in platform.core_types] == ["hp", "lp"]
+        assert platform.core_type_indices() == (0, 1, 1)
+
+    def test_zero_count_endpoints_are_allowed(self):
+        platform = parse_cores_spec("lp:0,hp:2")
+        assert platform.total_cores == 2
+        assert platform.capacities() == (0.5, 1.0)  # the type still exists
+
+    def test_whitespace_and_case_are_forgiven(self):
+        platform = parse_cores_spec(" LP : 2 , hp:1 ")
+        assert platform.spec() == "lp:2,hp:1"
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("", "non-empty"),
+            ("   ", "non-empty"),
+            ("lp2", "not 'type:count'"),
+            ("xl:2", "unknown core type"),
+            ("lp:2,lp:1", "listed twice"),
+            ("lp:two", "count must be an integer"),
+            ("lp:-1", "count must be >= 0"),
+            ("lp:0,hp:0", "at least one core"),
+        ],
+    )
+    def test_bad_specs_are_one_line_value_errors(self, spec, fragment):
+        with pytest.raises(ValueError) as exc:
+            parse_cores_spec(spec)
+        message = str(exc.value)
+        assert fragment in message
+        assert "\n" not in message  # the CLI prints it verbatim
+
+
+class TestPresets:
+    def test_lp_is_strictly_cheaper_at_any_common_speed(self):
+        platform = lp_hp_platform(1, 1)
+        lp, hp = platform.core_types
+        for i in range(1, 11):
+            s = 0.05 * i  # (0, 0.5], the shared feasible speed range
+            assert lp.power_model.power(s) < hp.power_model.power(s)
+
+    def test_hp_is_the_normalised_xscale_curve(self):
+        hp = CORE_TYPE_PRESETS["hp"]
+        assert hp["s_max"] == 1.0
+        assert hp["alpha"] == 3.0
+
+    def test_lp_trades_speed_for_efficiency(self):
+        lp, hp = CORE_TYPE_PRESETS["lp"], CORE_TYPE_PRESETS["hp"]
+        assert lp["s_max"] < hp["s_max"]
+        assert lp["beta0"] < hp["beta0"]
+        assert lp["beta1"] < hp["beta1"]
+
+
+class TestModelValidation:
+    def _model(self):
+        return PolynomialPowerModel(
+            beta0=0.02, beta1=0.4, alpha=3.0, s_max=0.5
+        )
+
+    def test_core_type_rejects_bool_count(self):
+        with pytest.raises(ValueError, match="count must be an integer"):
+            CoreType("lp", True, self._model())
+
+    def test_core_type_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="count must be >= 0"):
+            CoreType("lp", -1, self._model())
+
+    def test_core_type_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CoreType("", 1, self._model())
+
+    def test_platform_rejects_duplicate_type_names(self):
+        ct = CoreType("lp", 1, self._model())
+        with pytest.raises(ValueError, match="duplicate"):
+            Platform(core_types=(ct, ct))
+
+    def test_platform_rejects_nonpositive_deadline(self):
+        ct = CoreType("lp", 1, self._model())
+        with pytest.raises(ValueError, match="deadline"):
+            Platform(core_types=(ct,), deadline=0.0)
+
+    def test_platform_needs_at_least_one_core(self):
+        ct = CoreType("lp", 0, self._model())
+        with pytest.raises(ValueError, match="at least one core"):
+            Platform(core_types=(ct,))
+
+    def test_s_max_is_the_model_ceiling(self):
+        ct = CoreType("lp", 1, self._model())
+        assert ct.s_max == 0.5

@@ -1,0 +1,207 @@
+"""Cycle distributions, expected energy, and seeded realisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hetero.mk import MKSpec
+from repro.hetero.platform import lp_hp_platform
+from repro.hetero.stochastic import (
+    CycleDistribution,
+    StochasticHeteroProblem,
+    StochasticTask,
+    expected_energy,
+    select_speed,
+)
+from repro.power.base import DormantMode
+from repro.power.polynomial import PolynomialPowerModel
+
+
+def hp_model():
+    return PolynomialPowerModel(beta0=0.08, beta1=1.52, alpha=3.0, s_max=1.0)
+
+
+def lp_model():
+    return PolynomialPowerModel(beta0=0.02, beta1=0.40, alpha=3.0, s_max=0.5)
+
+
+class TestCycleDistribution:
+    def test_fixed_mean_equals_wcet(self):
+        dist = CycleDistribution.fixed(0.3)
+        assert dist.mean() == dist.wcet() == 0.3
+        assert dist.nodes() == ((0.3, 1.0),)
+
+    def test_uniform_moments(self):
+        dist = CycleDistribution.uniform(0.2, 0.6)
+        assert dist.mean() == pytest.approx(0.4)
+        assert dist.wcet() == 0.6
+        nodes = dist.nodes()
+        assert sum(w for _, w in nodes) == pytest.approx(1.0)
+        assert all(0.2 <= v <= 0.6 for v, _ in nodes)
+        # The quadrature reproduces the exact mean (midpoint rule is
+        # exact for linear integrands).
+        assert sum(v * w for v, w in nodes) == pytest.approx(dist.mean())
+
+    def test_choice_moments_and_zero_prob_pruning(self):
+        dist = CycleDistribution.choice((0.1, 0.5), (0.9, 0.5), (0.4, 0.0))
+        assert dist.mean() == pytest.approx(0.5)
+        assert dist.wcet() == 0.9  # the zero-probability branch is ignored
+        assert dist.nodes() == ((0.1, 0.5), (0.9, 0.5))
+
+    @pytest.mark.parametrize(
+        "kind, params, fragment",
+        [
+            ("fixed", (1.0, 2.0), "takes 1 parameter"),
+            ("fixed", (0.0,), "cycles"),
+            ("uniform", (1.0,), "takes 2 parameters"),
+            ("uniform", (2.0, 1.0), "lo <= hi"),
+            ("choice", (1.0,), "(value, prob) pairs"),
+            ("choice", (1.0, 0.4, 2.0, 0.4), "sum to"),
+            ("gaussian", (0.0, 1.0), "unknown distribution kind"),
+        ],
+    )
+    def test_validation_errors(self, kind, params, fragment):
+        with pytest.raises(ValueError) as exc:
+            CycleDistribution(kind, params)
+        assert fragment in str(exc.value)
+
+    def test_sampling_is_seeded_and_in_support(self):
+        dist = CycleDistribution.uniform(0.2, 0.6)
+        a = [dist.sample(np.random.default_rng(5)) for _ in range(3)]
+        b = [dist.sample(np.random.default_rng(5)) for _ in range(3)]
+        assert a == b
+        assert all(0.2 <= x <= 0.6 for x in a)
+        choice = CycleDistribution.choice((0.1, 0.5), (0.9, 0.5))
+        draws = {choice.sample(np.random.default_rng(s)) for s in range(20)}
+        assert draws <= {0.1, 0.9}
+
+    def test_dict_round_trip(self):
+        dist = CycleDistribution.choice((0.1, 0.25), (0.9, 0.75))
+        assert CycleDistribution.from_dict(dist.to_dict()) == dist
+
+    def test_from_dict_errors_name_the_field(self):
+        with pytest.raises(ValueError, match="field kind"):
+            CycleDistribution.from_dict({"params": [1.0]})
+        with pytest.raises(ValueError, match="field params"):
+            CycleDistribution.from_dict({"kind": "fixed"})
+        with pytest.raises(ValueError, match="must be numbers"):
+            CycleDistribution.from_dict({"kind": "fixed", "params": ["x"]})
+
+
+class TestExpectedEnergy:
+    def test_fixed_distribution_matches_the_hand_computation(self):
+        # Busy 0.5s at P(0.5)=0.07, then idle 0.5s at the 0.02 static term.
+        value = expected_energy(
+            CycleDistribution.fixed(0.25), lp_model(), 1.0, speed=0.5
+        )
+        assert value == pytest.approx(0.5 * 0.07 + 0.5 * 0.02)
+
+    def test_dormant_mode_caps_the_idle_cost(self):
+        dist = CycleDistribution.fixed(0.25)
+        idle = expected_energy(dist, lp_model(), 1.0, speed=0.5)
+        slept = expected_energy(
+            dist,
+            lp_model(),
+            1.0,
+            speed=0.5,
+            dormant=DormantMode(t_sw=0.1, e_sw=0.001),
+        )
+        assert slept == pytest.approx(0.5 * 0.07 + 0.001)
+        assert slept < idle
+
+    def test_infeasible_speed_raises(self):
+        with pytest.raises(ValueError, match="misses the deadline"):
+            expected_energy(
+                CycleDistribution.fixed(0.9), hp_model(), 1.0, speed=0.5
+            )
+        with pytest.raises(ValueError, match="exceeds the model ceiling"):
+            expected_energy(
+                CycleDistribution.fixed(0.1), lp_model(), 1.0, speed=0.9
+            )
+
+
+class TestSelectSpeed:
+    def test_discrete_levels_pick_the_cheapest_feasible(self):
+        speed, energy = select_speed(
+            CycleDistribution.fixed(0.5),
+            hp_model(),
+            1.0,
+            levels=[0.25, 0.5, 1.0],
+        )
+        assert speed == 0.5  # 0.25 cannot meet the WCET deadline
+        assert energy == pytest.approx(
+            expected_energy(
+                CycleDistribution.fixed(0.5), hp_model(), 1.0, speed=0.5
+            )
+        )
+
+    def test_no_feasible_level_raises(self):
+        with pytest.raises(ValueError, match="no frequency level"):
+            select_speed(
+                CycleDistribution.fixed(0.5), hp_model(), 1.0, levels=[0.25]
+            )
+
+    def test_impossible_wcet_raises(self):
+        with pytest.raises(ValueError, match="cannot meet deadline"):
+            select_speed(CycleDistribution.fixed(2.0), hp_model(), 1.0)
+
+    def test_continuous_choice_beats_the_endpoints(self):
+        dist = CycleDistribution.uniform(0.1, 0.5)
+        model = hp_model()
+        speed, energy = select_speed(dist, model, 1.0)
+        floor = dist.wcet() / 1.0
+        assert floor - 1e-12 <= speed <= model.s_max + 1e-12
+        for s in (floor, model.s_max):
+            assert energy <= expected_energy(
+                dist, model, 1.0, speed=s
+            ) + 1e-12
+
+    def test_worst_case_stays_schedulable_at_the_chosen_speed(self):
+        dist = CycleDistribution.choice((0.2, 0.8), (0.7, 0.2))
+        speed, _ = select_speed(dist, hp_model(), 1.0)
+        assert dist.wcet() / speed <= 1.0 * (1.0 + 1e-9)
+
+
+class TestStochasticHeteroProblem:
+    def problem(self, mk=None):
+        return StochasticHeteroProblem(
+            tasks=(
+                StochasticTask("a", CycleDistribution.uniform(0.1, 0.4), 1.0),
+                StochasticTask("b", CycleDistribution.fixed(0.3), 2.0),
+                StochasticTask(
+                    "c", CycleDistribution.choice((0.2, 0.5), (0.6, 0.5)), 0.5
+                ),
+            ),
+            platform=lp_hp_platform(2, 1),
+            mk=mk,
+        )
+
+    def test_wcet_projection(self):
+        spec = MKSpec(m=1, k=3)
+        wcet = self.problem(mk=spec).wcet_problem()
+        assert [t.cycles for t in wcet.tasks] == [0.4, 0.3, 0.6]
+        assert wcet.platform.spec() == "lp:2,hp:1"
+        assert wcet.mk == spec
+
+    def test_realize_is_a_pure_function_of_seed_and_stream(self):
+        problem = self.problem()
+        a = problem.realize([7, 3])
+        b = problem.realize([7, 3])
+        assert [t.cycles for t in a.tasks] == [t.cycles for t in b.tasks]
+        other = problem.realize([7, 3], stream="other-stream")
+        assert [t.cycles for t in a.tasks] != [t.cycles for t in other.tasks]
+
+    def test_realized_cycles_stay_within_each_support(self):
+        realized = self.problem().realize([0, 0])
+        a, b, c = realized.tasks
+        assert 0.1 <= a.cycles <= 0.4
+        assert b.cycles == 0.3
+        assert c.cycles in (0.2, 0.6)
+
+    def test_duplicate_names_rejected(self):
+        task = StochasticTask("a", CycleDistribution.fixed(0.1), 1.0)
+        with pytest.raises(ValueError, match="unique"):
+            StochasticHeteroProblem(
+                tasks=(task, task), platform=lp_hp_platform(1, 1)
+            )

@@ -73,7 +73,9 @@ class TestMultiprocInstanceRoundTrip:
     def test_bool_processors_rejected(self):
         data = instance_to_dict(_multiproc_problem())
         data["processors"] = True
-        with pytest.raises(ValueError, match="processors must be an integer"):
+        with pytest.raises(
+            ValueError, match="instance field processors: expected an integer"
+        ):
             instance_from_dict(data)
 
     def test_solution_dict_carries_assignment(self):

@@ -172,3 +172,41 @@ class TestSimSloOutput:
             assert text_row["objective"] == json_row["objective"]
             assert text_row["samples"] == json_row["samples"]
             assert text_row["ok"] == json_row["ok"]
+
+
+class TestSimHeteroFlags:
+    def test_cores_spec_and_mk_params_reach_the_manifest(self, capsys):
+        code, out, _ = run_sim(
+            capsys,
+            "--cores-spec", "lp:2,hp:1",
+            "--policy", "mk", "--mk-m", "2", "--mk-k", "4",
+            "--json",
+        )
+        assert code == 0
+        line = next(l for l in out.splitlines() if l.startswith("{"))
+        payload = json.loads(line)
+        assert payload["params"]["cores_spec"] == "lp:2,hp:1"
+        assert payload["params"]["mk_m"] == 2
+        assert payload["params"]["mk_k"] == 4
+
+    def test_homogeneous_manifest_keeps_its_shape(self, capsys):
+        # No cores_spec / mk keys unless the flags are used: archived
+        # homogeneous manifests stay byte-compatible.
+        code, out, _ = run_sim(capsys, "--json")
+        assert code == 0
+        line = next(l for l in out.splitlines() if l.startswith("{"))
+        payload = json.loads(line)
+        assert "cores_spec" not in payload["params"]
+        assert "mk_m" not in payload["params"]
+
+    def test_cores_spec_is_deterministic(self, capsys):
+        _, first, _ = run_sim(capsys, "--cores-spec", "lp:1,hp:2", "--json")
+        _, second, _ = run_sim(capsys, "--cores-spec", "lp:1,hp:2", "--json")
+        assert first == second
+
+    def test_bad_cores_spec_is_one_line_exit_2(self, capsys):
+        code, _, err = run_sim(capsys, "--cores-spec", "xl:1")
+        assert code == 2
+        assert "bad --cores-spec" in err
+        assert "unknown core type" in err
+        assert len(err.strip().splitlines()) == 1

@@ -14,21 +14,31 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.rejection.online import policy_from_spec
+from repro.hetero.platform import parse_cores_spec
 from repro.service.admission import AdmissionController
 from repro.sim.engine import ArrivalSimulator
 from repro.sim.workload import ARRIVAL_FAMILIES, make_arrivals
+
+#: (m, k) windows with 1 <= m <= k, including the never-skip m == k edge.
+mk_windows = st.integers(min_value=1, max_value=5).flatmap(
+    lambda k: st.tuples(st.integers(min_value=1, max_value=k), st.just(k))
+)
 
 scenarios = st.fixed_dictionaries(
     {
         "family": st.sampled_from(sorted(ARRIVAL_FAMILIES)),
         "count": st.integers(min_value=1, max_value=60),
         "seed": st.integers(min_value=0, max_value=2**31 - 1),
-        "policy": st.sampled_from(["accept", "threshold", "reject_all"]),
+        "policy": st.sampled_from(
+            ["accept", "threshold", "reject_all", "mk"]
+        ),
         "theta": st.floats(min_value=1e-3, max_value=10.0),
         "reserve": st.booleans(),
+        "mk": mk_windows,
         "capacity": st.sampled_from([2_000.0, 50_000.0, 1e9]),
         "rate": st.sampled_from([1_000.0, 20_000.0]),
         "cores": st.integers(min_value=1, max_value=4),
+        "cores_spec": st.sampled_from([None, "lp:2,hp:1", "lp:1,hp:2"]),
         "cs": st.sampled_from([0.0, 1e-4]),
         "deadline_check": st.booleans(),
     }
@@ -66,8 +76,17 @@ def test_sim_decisions_match_a_fresh_admission_controller(scenario):
     arrivals = make_arrivals(
         scenario["family"], scenario["count"], scenario["seed"]
     )
+    mk_m, mk_k = scenario["mk"]
     policy_args = dict(
-        theta=scenario["theta"], reserve=scenario["reserve"]
+        theta=scenario["theta"],
+        reserve=scenario["reserve"],
+        mk_m=mk_m,
+        mk_k=mk_k,
+    )
+    platform = (
+        parse_cores_spec(scenario["cores_spec"])
+        if scenario["cores_spec"]
+        else None
     )
     sim = ArrivalSimulator(
         arrivals,
@@ -77,6 +96,7 @@ def test_sim_decisions_match_a_fresh_admission_controller(scenario):
         rate_units_per_s=scenario["rate"],
         context_switch_s=scenario["cs"],
         deadline_check=scenario["deadline_check"],
+        platform=platform,
     )
     report = sim.run()
 

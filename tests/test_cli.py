@@ -11,7 +11,7 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out.splitlines()
         assert [line.split()[0] for line in out] == list(ALL_EXPERIMENTS)
-        assert len(out) == 17  # Fig R1-R13 + Tab R1-R4
+        assert len(out) == 19  # Fig R1-R13 + Fig H1-H2 + Tab R1-R4
 
     def test_list_shows_descriptions(self, capsys):
         assert main(["list"]) == 0
@@ -432,3 +432,83 @@ class TestServeFlagValidation:
     def test_bad_slo_threshold_exits_2(self, capsys):
         assert main(["serve", "--slo-latency-ms", "0"]) == 2
         assert "bad SLO configuration" in capsys.readouterr().err
+
+
+class TestPolicyChoicesSync:
+    def test_cli_mirror_matches_the_online_registry(self):
+        # cli._POLICY_CHOICES is a hand-kept mirror of
+        # online.POLICY_CHOICES (so building the parser never imports
+        # the solver stack); this is the promised sync check.
+        from repro import cli
+        from repro.core.rejection import online
+
+        assert cli._POLICY_CHOICES == online.POLICY_CHOICES
+
+
+class TestHeteroSolve:
+    @pytest.fixture
+    def instance(self, capsys, tmp_path):
+        path = tmp_path / "inst.json"
+        assert main(["generate", str(path), "--n", "5", "--seed", "3"]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_platform_flag_selects_the_typed_default(self, capsys, instance):
+        code = main(["solve", str(instance), "--platform", "lp:2,hp:1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "typed_ltf on lp:2,hp:1: cost=" in out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["typed_ltf", "typed_global", "exhaustive_hetero"]
+    )
+    def test_each_typed_algorithm_runs(self, capsys, instance, algorithm):
+        code = main(
+            ["solve", str(instance), "--platform", "lp:1,hp:1",
+             "--algorithm", algorithm]
+        )
+        assert code == 0
+        assert f"{algorithm} on lp:1,hp:1: cost=" in capsys.readouterr().out
+
+    def test_bad_platform_spec_is_one_line_exit_2(self, capsys, instance):
+        code = main(["solve", str(instance), "--platform", "xl:2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad --platform spec" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_typed_algorithm_without_platform_exit_2(self, capsys, instance):
+        code = main(
+            ["solve", str(instance), "--algorithm", "typed_ltf"]
+        )
+        assert code == 2
+        assert "needs a platform" in capsys.readouterr().err
+
+    def test_uniproc_algorithm_with_platform_exit_2(self, capsys, instance):
+        code = main(
+            ["solve", str(instance), "--platform", "lp:1,hp:1",
+             "--algorithm", "fptas"]
+        )
+        assert code == 2
+        assert "heterogeneous-platform instance" in capsys.readouterr().err
+
+
+class TestMkPolicyArgs:
+    def test_serve_rejects_m_above_k(self, capsys):
+        assert main(
+            ["serve", "--policy", "mk", "--mk-m", "3", "--mk-k", "2"]
+        ) == 2
+        assert "--mk-m/--mk-k" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_m(self, capsys):
+        assert main(
+            ["serve", "--policy", "mk", "--mk-m", "0", "--mk-k", "2"]
+        ) == 2
+        assert "--mk-m/--mk-k" in capsys.readouterr().err
+
+    def test_sim_rejects_bad_window(self, capsys):
+        assert main(
+            ["sim", "--arrivals", "5", "--policy", "mk",
+             "--mk-m", "4", "--mk-k", "2"]
+        ) == 2
+        assert "--mk-m/--mk-k" in capsys.readouterr().err

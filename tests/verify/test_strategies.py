@@ -5,20 +5,32 @@ import pytest
 
 from repro.core.rejection import MultiprocRejectionProblem, RejectionProblem
 from repro.core.rejection.multiproc import MAX_ENUM_ASSIGNMENTS
-from repro.verify import ALL_STRATEGIES, MULTIPROC_STRATEGIES, UNIPROC_STRATEGIES
+from repro.hetero.assign import (
+    MAX_ENUM_ASSIGNMENTS as MAX_HETERO_ASSIGNMENTS,
+    HeteroRejectionProblem,
+)
+from repro.verify import (
+    ALL_STRATEGIES,
+    HETERO_STRATEGIES,
+    MULTIPROC_STRATEGIES,
+    UNIPROC_STRATEGIES,
+)
 from repro.verify.oracles import MAX_ORACLE_N
 
 SEEDS = range(25)
 
 
 def test_registries_partition_cleanly():
-    assert set(ALL_STRATEGIES) == set(UNIPROC_STRATEGIES) | set(
-        MULTIPROC_STRATEGIES
+    assert set(ALL_STRATEGIES) == (
+        set(UNIPROC_STRATEGIES)
+        | set(MULTIPROC_STRATEGIES)
+        | set(HETERO_STRATEGIES)
     )
     names = [s.name for s in ALL_STRATEGIES]
     assert len(names) == len(set(names))
     assert all(s.kind == "uniproc" for s in UNIPROC_STRATEGIES)
     assert all(s.kind == "multiproc" for s in MULTIPROC_STRATEGIES)
+    assert all(s.kind == "hetero" for s in HETERO_STRATEGIES)
 
 
 @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
@@ -28,10 +40,15 @@ def test_builds_valid_oracle_sized_instances(strategy):
         if strategy.kind == "uniproc":
             assert isinstance(problem, RejectionProblem)
             assert 1 <= problem.n <= MAX_ORACLE_N
-        else:
+            assert problem.capacity > 0
+        elif strategy.kind == "multiproc":
             assert isinstance(problem, MultiprocRejectionProblem)
             assert (problem.m + 1) ** problem.n <= MAX_ENUM_ASSIGNMENTS
-        assert problem.capacity > 0
+            assert problem.capacity > 0
+        else:
+            assert isinstance(problem, HeteroRejectionProblem)
+            assert (problem.m + 1) ** problem.n <= MAX_HETERO_ASSIGNMENTS
+            assert all(cap > 0 for cap in problem.platform.capacities())
         assert all(t.cycles > 0 for t in problem.tasks)
         assert all(t.penalty >= 0 for t in problem.tasks)
 
@@ -47,6 +64,15 @@ def test_boundary_strategy_hits_the_capacity_edge(seed):
         if t.cycles in (cap, np.nextafter(cap, np.inf), np.nextafter(cap, 0.0))
     ]
     assert edge, "boundary instances must contain an on-the-edge task"
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_hetero_boundary_strategy_hits_the_lp_edge(seed):
+    (strategy,) = [s for s in ALL_STRATEGIES if s.name == "hetero_boundary"]
+    problem = strategy.build(np.random.default_rng(seed))
+    lp_cap = min(problem.platform.capacities())
+    edge = [t for t in problem.tasks if t.cycles == lp_cap]
+    assert edge, "hetero boundary instances must pin a task to the LP capacity"
 
 
 def test_same_seed_same_instance():
